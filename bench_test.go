@@ -1,0 +1,389 @@
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/arma"
+	"repro/internal/controller"
+	"repro/internal/experiments"
+	"repro/internal/floorplan"
+	"repro/internal/grid"
+	"repro/internal/pump"
+	"repro/internal/rcnet"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// benchOptions is the reduced-fidelity configuration used by the figure
+// benchmarks so a full -bench=. sweep completes in minutes. cmd/repro
+// regenerates the same artifacts at full fidelity.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		GridNX: 12, GridNY: 10, Duration: 10, Warmup: 3, Seed: 1,
+		Workloads: []string{"Web-high", "gzip"},
+	}
+}
+
+// --- Tables ---------------------------------------------------------------
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteTableI(io.Discard)
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteTableII(io.Discard)
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteTableIII(io.Discard)
+	}
+}
+
+// --- Figures ---------------------------------------------------------------
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.WriteFig3(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != 2 {
+			b.Fatal("missing stacks")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	o := benchOptions()
+	var coolSave float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var lbMax, talbVar *experiments.ComboResult
+		for k := range res {
+			switch res[k].Combo.Label {
+			case "LB (Max)":
+				lbMax = &res[k]
+			case "TALB (Var)*":
+				talbVar = &res[k]
+			}
+		}
+		coolSave = 100 * (1 - talbVar.PumpEnergy/lbMax.PumpEnergy)
+	}
+	b.ReportMetric(coolSave, "%cooling-saved")
+}
+
+func BenchmarkFig7(b *testing.B) {
+	o := benchOptions()
+	var airGrad, varGrad float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		airGrad = res[0].AvgGradPct
+		varGrad = res[len(res)-1].AvgGradPct
+	}
+	b.ReportMetric(airGrad, "%grad-air")
+	b.ReportMetric(varGrad, "%grad-var")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	o := benchOptions()
+	var perf float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perf = res[len(res)-1].NormPerf
+	}
+	b.ReportMetric(perf, "perf-var-vs-lbair")
+}
+
+// --- Ablations (DESIGN.md §6) ----------------------------------------------
+
+// ablationRun executes one Web&DB LiquidVar run with a custom controller
+// configuration and returns the pump energy and time above target. The
+// default-resolution grid and mid-utilization workload keep the
+// controller moving across settings, so the ablation arms actually
+// diverge.
+func ablationRun(b *testing.B, ctrlCfg *controller.Config) (pumpJ, above80 float64) {
+	b.Helper()
+	bench, err := workload.ByName("Web&DB")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Bench = bench
+	cfg.Cooling = sim.LiquidVar
+	cfg.Policy = sched.TALB
+	cfg.Duration = 30
+	cfg.Warmup = 3
+	cfg.ControllerCfg = ctrlCfg
+	r, err := sim.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(r.PumpEnergy), r.Above80Pct
+}
+
+func BenchmarkAblationHysteresis(b *testing.B) {
+	var withJ, withoutJ float64
+	for i := 0; i < b.N; i++ {
+		on := controller.DefaultConfig()
+		withJ, _ = ablationRun(b, &on)
+		off := controller.DefaultConfig()
+		off.HysteresisOff = true
+		withoutJ, _ = ablationRun(b, &off)
+	}
+	b.ReportMetric(withJ, "pumpJ-hyst")
+	b.ReportMetric(withoutJ, "pumpJ-nohyst")
+}
+
+func BenchmarkAblationProactive(b *testing.B) {
+	var proJ, reacJ float64
+	for i := 0; i < b.N; i++ {
+		pro := controller.DefaultConfig()
+		proJ, _ = ablationRun(b, &pro)
+		reac := controller.DefaultConfig()
+		reac.Proactive = false
+		reacJ, _ = ablationRun(b, &reac)
+	}
+	b.ReportMetric(proJ, "pumpJ-proactive")
+	b.ReportMetric(reacJ, "pumpJ-reactive")
+}
+
+func BenchmarkAblationBaselineIncDec(b *testing.B) {
+	// The paper's controller vs the prior-work reactive inc/dec policy
+	// [6]: pump energy and time above target on a varying workload.
+	bench, err := workload.ByName("Web&DB")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(useBaseline bool) (float64, float64) {
+		cfg := sim.DefaultConfig()
+		cfg.Bench = bench
+		cfg.Cooling = sim.LiquidVar
+		cfg.Policy = sched.TALB
+		cfg.Duration = 30
+		cfg.Warmup = 3
+		if useBaseline {
+			fp, err := controller.NewIncDec(controller.TargetTemp, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.FlowPolicy = fp
+		}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(r.PumpEnergy), r.Above80Pct
+	}
+	var paperJ, baseJ float64
+	for i := 0; i < b.N; i++ {
+		paperJ, _ = run(false)
+		baseJ, _ = run(true)
+	}
+	b.ReportMetric(paperJ, "pumpJ-paper")
+	b.ReportMetric(baseJ, "pumpJ-incdec")
+}
+
+func BenchmarkAblationWeighting(b *testing.B) {
+	// TALB vs plain LB under air cooling: gradient frequency.
+	bench, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(p sched.Policy) float64 {
+		cfg := sim.DefaultConfig()
+		cfg.Bench = bench
+		cfg.Cooling = sim.Air
+		cfg.Policy = p
+		cfg.Duration = 12
+		cfg.Warmup = 3
+		cfg.GridNX, cfg.GridNY = 12, 10
+		cfg.DPMEnabled = true
+		r, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r.GradientPct
+	}
+	var lb, talb float64
+	for i := 0; i < b.N; i++ {
+		lb = run(sched.LB)
+		talb = run(sched.TALB)
+	}
+	b.ReportMetric(lb, "%grad-lb")
+	b.ReportMetric(talb, "%grad-talb")
+}
+
+// --- Substrate micro-benchmarks ---------------------------------------------
+
+func benchModel(b *testing.B, nx, ny int) *rcnet.Model {
+	b.Helper()
+	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(nx, ny))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := rcnet.New(g, rcnet.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for li, layer := range g.Stack.Layers {
+		p := make([]float64, len(layer.Blocks))
+		for bi, blk := range layer.Blocks {
+			if blk.Kind == floorplan.KindCore {
+				p[bi] = 3
+			} else {
+				p[bi] = 1
+			}
+		}
+		if err := m.SetLayerPower(li, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := m.SetFlow(0.5); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkThermalStepCoarse(b *testing.B) {
+	m := benchModel(b, 23, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThermalStepPaperResolution(b *testing.B) {
+	// The paper's 100 µm grid: 115×100 cells per slab, 5 slabs.
+	m := benchModel(b, 115, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSteadyState(b *testing.B) {
+	m := benchModel(b, 23, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SetUniformTemp(units.Celsius(60).ToKelvin())
+		if err := m.SteadyState(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLUTBuild(b *testing.B) {
+	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(12, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm, err := pump.New(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full := sim.FullLoadPowers(g.Stack)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := rcnet.New(g, rcnet.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := controller.BuildLUT(m, pm, full, controller.TargetTemp, controller.DefaultLadder()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkARMAFit(b *testing.B) {
+	series := make([]float64, 300)
+	for i := range series {
+		series[i] = 75 + 3*float64(i%60)/60
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arma.Fit(series, arma.DefaultP, arma.DefaultQ); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkControllerDecide(b *testing.B) {
+	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(12, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := rcnet.New(g, rcnet.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm, err := pump.New(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lut, err := controller.BuildLUT(m, pm, sim.FullLoadPowers(g.Stack),
+		controller.TargetTemp, controller.DefaultLadder())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := controller.New(lut, controller.DefaultConfig(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(units.Celsius(76 + 2*float64(i%10)/10))
+		c.Decide()
+	}
+}
+
+func BenchmarkSimTick(b *testing.B) {
+	bench, err := workload.ByName("Web-med")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Bench = bench
+	cfg.Duration = 1e9 // stepped manually
+	cfg.Warmup = 0
+	cfg.GridNX, cfg.GridNY = 23, 20
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

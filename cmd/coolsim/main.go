@@ -1,0 +1,55 @@
+// Command coolsim runs one (system, cooling, policy, workload) simulation
+// and prints its thermal, energy and performance report.
+//
+// Usage:
+//
+//	coolsim -layers 2 -cooling var -policy talb -workload Web-high -duration 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	sc := core.DefaultScenario()
+	flag.IntVar(&sc.Layers, "layers", sc.Layers, "stack layers (2 or 4)")
+	flag.StringVar(&sc.Cooling, "cooling", sc.Cooling, "cooling mode: air|max|var")
+	flag.StringVar(&sc.Policy, "policy", sc.Policy, "scheduling policy: lb|mig|talb")
+	flag.StringVar(&sc.Workload, "workload", sc.Workload,
+		"Table II benchmark: "+strings.Join(core.Workloads(), "|"))
+	flag.Float64Var(&sc.Duration, "duration", sc.Duration, "measured simulation seconds")
+	flag.Float64Var(&sc.Warmup, "warmup", sc.Warmup, "warm-up seconds (excluded from metrics)")
+	flag.Int64Var(&sc.Seed, "seed", sc.Seed, "workload trace seed")
+	flag.BoolVar(&sc.DPM, "dpm", sc.DPM, "enable fixed-timeout dynamic power management")
+	flag.IntVar(&sc.GridNX, "nx", 23, "thermal grid cells in x")
+	flag.IntVar(&sc.GridNY, "ny", 20, "thermal grid cells in y")
+	trace := flag.String("trace", "", "write a per-tick CSV trace to this file")
+	flag.Parse()
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coolsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		report, err := core.RunTraced(sc, f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coolsim:", err)
+			os.Exit(1)
+		}
+		report.WriteSummary(os.Stdout)
+		return
+	}
+	report, err := core.Run(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coolsim:", err)
+		os.Exit(1)
+	}
+	report.WriteSummary(os.Stdout)
+}

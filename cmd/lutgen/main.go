@@ -1,0 +1,64 @@
+// Command lutgen builds and prints the flow-rate controller's lookup
+// table for a given stack — the runtime artifact the paper's controller
+// consults (Section IV), derived from the steady-state analysis behind
+// Fig. 5.
+//
+// Usage:
+//
+//	lutgen -layers 2 -nx 23 -ny 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pump"
+)
+
+func main() {
+	var (
+		layers = flag.Int("layers", 2, "stack layers (2 or 4)")
+		nx     = flag.Int("nx", 23, "thermal grid cells in x")
+		ny     = flag.Int("ny", 20, "thermal grid cells in y")
+	)
+	flag.Parse()
+
+	a, err := core.NewAnalysis(*layers, *nx, *ny)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lutgen:", err)
+		os.Exit(1)
+	}
+	lut, err := a.BuildLUT()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lutgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("flow LUT, %d-layer stack, target %.1f °C\n", *layers, float64(lut.Target))
+	fmt.Printf("%-6s", "load")
+	for s := 0; s < pump.NumSettings; s++ {
+		fmt.Printf("  Tmax@s%d", s)
+	}
+	fmt.Printf("  required\n")
+	for k, lambda := range lut.Ladder {
+		fmt.Printf("%-6.2f", lambda)
+		for s := 0; s < pump.NumSettings; s++ {
+			fmt.Printf("  %7.2f", float64(lut.TmaxAt[s][k]))
+		}
+		fmt.Printf("  s%d", lut.Required[k])
+		if float64(lut.TmaxAt[pump.NumSettings-1][k]) > float64(lut.Target) {
+			fmt.Printf("  (exceeds target even at max flow)")
+		}
+		fmt.Println()
+	}
+	w, err := a.BuildWeights()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lutgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nTALB thermal weights (base, mean 1):\n")
+	for i, b := range w.Base {
+		fmt.Printf("  core%-3d %.4f\n", i, b)
+	}
+}

@@ -1,0 +1,100 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro                      # everything at full fidelity
+//	repro -exp fig6            # one experiment
+//	repro -quick               # reduced fidelity (seconds instead of minutes)
+//	repro -exp tab1,tab2,fig3  # a comma-separated subset
+//
+// Experiments: tab1 tab2 tab3 fig3 fig5 fig6 fig7 fig8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp = flag.String("exp", "all",
+			"experiments to run (comma-separated): tab1,tab2,tab3,fig3,fig5,fig6,fig7,fig8 or all; extensions: fig6x4, inlet")
+		quick  = flag.Bool("quick", false, "reduced fidelity (coarser grid, shorter runs, 3 workloads)")
+		csvDir = flag.String("csv", "", "also write machine-readable CSV files into this directory")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		if err := f(); err != nil {
+			fail(name, err)
+		}
+	}
+	csvOut := func(name string, f func(w *os.File) error) {
+		if *csvDir == "" || (!all && !want[name]) {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(name, err)
+		}
+		file, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			fail(name, err)
+		}
+		defer file.Close()
+		if err := f(file); err != nil {
+			fail(name, err)
+		}
+	}
+
+	out := os.Stdout
+	run("tab1", func() error { experiments.WriteTableI(out); return nil })
+	run("tab2", func() error { experiments.WriteTableII(out); return nil })
+	run("tab3", func() error { experiments.WriteTableIII(out); return nil })
+	run("fig3", func() error { return experiments.WriteFig3(out) })
+	csvOut("fig3", func(w *os.File) error { return experiments.Fig3CSV(w) })
+	run("fig5", func() error { return experiments.WriteFig5(out, opt) })
+	csvOut("fig5", func(w *os.File) error { return experiments.Fig5CSV(w, opt) })
+	run("fig6", func() error { return experiments.WriteFig6(out, opt) })
+	csvOut("fig6", func(w *os.File) error { return experiments.Fig6CSV(w, opt) })
+	run("fig7", func() error { return experiments.WriteFig7(out, opt) })
+	csvOut("fig7", func(w *os.File) error { return experiments.Fig7CSV(w, opt) })
+	run("fig8", func() error { return experiments.WriteFig8(out, opt) })
+	csvOut("fig8", func(w *os.File) error { return experiments.Fig8CSV(w, opt) })
+	// Extension: the 4-layer variant of Fig. 6 (not in the paper's
+	// figures, but its systems section evaluates both stacks).
+	if want["fig6x4"] {
+		if err := experiments.WriteFig6Layers(out, opt, 4); err != nil {
+			fail("fig6x4", err)
+		}
+	}
+	// Extension: sensitivity of the headline savings to the coolant
+	// inlet temperature (the calibration decision in EXPERIMENTS.md).
+	if want["inlet"] {
+		if err := experiments.WriteInletSweep(out, opt, "Web-med",
+			[]float64{50, 60, 65, 70, 72}); err != nil {
+			fail("inlet", err)
+		}
+	}
+}

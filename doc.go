@@ -1,0 +1,12 @@
+// Package repro reproduces "Energy-Efficient Variable-Flow Liquid Cooling
+// in 3D Stacked Architectures" (Coskun, Atienza, Rosing, Brunschwiler,
+// Michel — DATE 2010) as a self-contained Go library: a grid-level thermal
+// RC simulator for 3D stacks with interlayer microchannel cooling, an
+// UltraSPARC-T1-derived power and workload model, a multi-queue scheduler
+// with temperature-aware weighted load balancing, and the proactive
+// variable-flow pump controller the paper contributes.
+//
+// See README.md for the layout, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the per-figure reproduction record. The benchmark
+// harness in bench_test.go regenerates every table and figure.
+package repro

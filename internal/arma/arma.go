@@ -1,0 +1,289 @@
+// Package arma implements autoregressive moving-average modelling of the
+// maximum-temperature time series, following the proactive-management
+// methodology the paper adopts from Coskun et al. [5]: fit an ARMA model to
+// the recent history online (no offline analysis), forecast a few sampling
+// intervals ahead, and monitor residuals for divergence (see package sprt)
+// to trigger refits.
+//
+// Fitting uses the Hannan–Rissanen two-stage least-squares procedure: a
+// long autoregression estimates the innovation sequence, then the ARMA
+// coefficients are regressed on lagged values and lagged innovations. The
+// normal-equation solves are tiny (order p+q) and run in microseconds,
+// matching the paper's negligible runtime overhead.
+package arma
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Model is a fitted ARMA(p, q) model: x_t − μ = Σ φᵢ(x_{t−i} − μ) +
+// Σ θⱼ e_{t−j} + e_t.
+type Model struct {
+	AR   []float64 // φ, length p
+	MA   []float64 // θ, length q
+	Mean float64   // μ
+	// Sigma is the residual standard deviation on the training window.
+	Sigma float64
+}
+
+// DefaultP and DefaultQ are the orders used by the controller; maximum
+// temperature changes slowly (thermal time constants), so low orders
+// suffice.
+const (
+	DefaultP = 3
+	DefaultQ = 1
+)
+
+// Fit estimates an ARMA(p, q) model from series. It needs at least
+// 4·(p+q)+8 samples.
+func Fit(series []float64, p, q int) (*Model, error) {
+	if p < 1 || q < 0 {
+		return nil, fmt.Errorf("arma: invalid orders p=%d q=%d", p, q)
+	}
+	minLen := 4*(p+q) + 8
+	if len(series) < minLen {
+		return nil, fmt.Errorf("arma: need ≥%d samples for ARMA(%d,%d), got %d", minLen, p, q, len(series))
+	}
+	mean := 0.0
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(len(series))
+	x := make([]float64, len(series))
+	for i, v := range series {
+		x[i] = v - mean
+	}
+
+	// Stage 1: long AR to estimate innovations (order m).
+	m := p + q + 4
+	if m > len(x)/3 {
+		m = len(x) / 3
+	}
+	resid := make([]float64, len(x)) // e_t estimates; zero for t < m
+	arLong, err := fitAR(x, m)
+	if err != nil {
+		return nil, err
+	}
+	for t := m; t < len(x); t++ {
+		pred := 0.0
+		for i := 0; i < m; i++ {
+			pred += arLong[i] * x[t-1-i]
+		}
+		resid[t] = x[t] - pred
+	}
+
+	// Stage 2: regress x_t on p lagged values and q lagged innovations.
+	start := m + q
+	rows := len(x) - start
+	a := mat.NewDense(rows, p+q)
+	b := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := start + r
+		for i := 0; i < p; i++ {
+			a.Set(r, i, x[t-1-i])
+		}
+		for j := 0; j < q; j++ {
+			a.Set(r, p+j, resid[t-1-j])
+		}
+		b[r] = x[t]
+	}
+	coef, err := mat.LeastSquares(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("arma: stage-2 regression: %w", err)
+	}
+	model := &Model{AR: coef[:p], MA: coef[p : p+q], Mean: mean}
+	model.stabilize()
+
+	// Residual variance on the training window.
+	var ss float64
+	n := 0
+	state := newState(model)
+	for t := 0; t < len(x); t++ {
+		pred := state.predictNext()
+		e := x[t] - pred
+		state.observe(x[t], e)
+		if t >= start {
+			ss += e * e
+			n++
+		}
+	}
+	if n > 0 {
+		model.Sigma = math.Sqrt(ss / float64(n))
+	}
+	return model, nil
+}
+
+// spectralRadius estimates the magnitude of the largest root of the AR
+// companion matrix by power iteration.
+func spectralRadius(ar []float64) float64 {
+	p := len(ar)
+	if p == 0 {
+		return 0
+	}
+	v := make([]float64, p)
+	w := make([]float64, p)
+	v[0] = 1
+	radius := 0.0
+	for iter := 0; iter < 200; iter++ {
+		// w = companion(ar) · v.
+		w[0] = 0
+		for i, phi := range ar {
+			w[0] += phi * v[i]
+		}
+		copy(w[1:], v[:p-1])
+		norm := mat.Norm2(w)
+		if norm == 0 {
+			return 0
+		}
+		radius = norm / math.Max(mat.Norm2(v), 1e-300)
+		for i := range w {
+			v[i] = w[i] / norm
+		}
+	}
+	return radius
+}
+
+// stabilize shrinks explosive or marginally stable AR polynomials toward
+// the unit-circle interior so long-horizon forecasts cannot diverge.
+// Least-squares fits on noiseless periodic or collinear series can land
+// exactly on (or outside) the stability boundary.
+func (m *Model) stabilize() {
+	const target = 0.995
+	if r := spectralRadius(m.AR); r > target {
+		// Scaling φᵢ by s^i scales every companion root by s.
+		s := target / r
+		f := s
+		for i := range m.AR {
+			m.AR[i] *= f
+			f *= s
+		}
+	}
+	// The MA polynomial must be invertible too: the one-step error
+	// recursion e_t = x_t − Σφx − Σθe is a filter whose poles are the MA
+	// companion roots. Shrink them the same way.
+	if r := spectralRadius(m.MA); r > target {
+		s := target / r
+		f := s
+		for j := range m.MA {
+			m.MA[j] *= f
+			f *= s
+		}
+	}
+}
+
+// fitAR estimates AR(m) coefficients by least squares.
+func fitAR(x []float64, m int) ([]float64, error) {
+	rows := len(x) - m
+	if rows < m+1 {
+		return nil, fmt.Errorf("arma: AR stage underdetermined")
+	}
+	a := mat.NewDense(rows, m)
+	b := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := m + r
+		for i := 0; i < m; i++ {
+			a.Set(r, i, x[t-1-i])
+		}
+		b[r] = x[t]
+	}
+	return mat.LeastSquares(a, b)
+}
+
+// state carries the lagged values and innovations for recursive
+// prediction.
+type state struct {
+	m    *Model
+	lagX []float64 // most recent first
+	lagE []float64
+}
+
+func newState(m *Model) *state {
+	return &state{m: m, lagX: make([]float64, len(m.AR)), lagE: make([]float64, len(m.MA))}
+}
+
+func (s *state) predictNext() float64 {
+	pred := 0.0
+	for i, phi := range s.m.AR {
+		pred += phi * s.lagX[i]
+	}
+	for j, th := range s.m.MA {
+		pred += th * s.lagE[j]
+	}
+	return pred
+}
+
+func (s *state) observe(x, e float64) {
+	shift(s.lagX, x)
+	shift(s.lagE, e)
+}
+
+func shift(lags []float64, v float64) {
+	if len(lags) == 0 {
+		return
+	}
+	copy(lags[1:], lags[:len(lags)-1])
+	lags[0] = v
+}
+
+// Predictor wraps a fitted model with a live lag state fed by Observe.
+type Predictor struct {
+	Model *Model
+	st    *state
+	// LastError is the most recent one-step-ahead prediction error
+	// (observed − predicted), the residual the SPRT monitors.
+	LastError float64
+	warm      int
+}
+
+// NewPredictor returns a predictor with cleared lag state. Feed it
+// observations (newest last) before trusting forecasts; it warms up after
+// max(p, q) observations.
+func NewPredictor(m *Model) *Predictor {
+	return &Predictor{Model: m, st: newState(m)}
+}
+
+// Observe feeds the next measured value, updating the lag state and the
+// one-step prediction error.
+func (p *Predictor) Observe(v float64) {
+	x := v - p.Model.Mean
+	pred := p.st.predictNext()
+	e := x - pred
+	if p.warm < len(p.Model.AR)+len(p.Model.MA) {
+		// During warm-up the lag state is incomplete; damp the recorded
+		// error so the SPRT does not see spurious divergence.
+		p.LastError = 0
+	} else {
+		p.LastError = e
+	}
+	p.st.observe(x, e)
+	p.warm++
+}
+
+// Forecast predicts k steps ahead from the current lag state (future
+// innovations taken as zero, the minimum-mean-square-error forecast).
+func (p *Predictor) Forecast(k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	// Work on copies so the live state is untouched.
+	tmp := &state{
+		m:    p.Model,
+		lagX: append([]float64(nil), p.st.lagX...),
+		lagE: append([]float64(nil), p.st.lagE...),
+	}
+	var pred float64
+	for step := 0; step < k; step++ {
+		pred = tmp.predictNext()
+		tmp.observe(pred, 0)
+	}
+	return pred + p.Model.Mean
+}
+
+// Warm reports whether the predictor has seen enough samples for its lag
+// state to be fully populated.
+func (p *Predictor) Warm() bool {
+	return p.warm >= len(p.Model.AR)+len(p.Model.MA)
+}

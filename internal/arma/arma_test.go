@@ -1,0 +1,206 @@
+package arma
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthAR2 generates a stable AR(2) series with the given noise level.
+func synthAR2(n int, phi1, phi2, mean, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	var x1, x2 float64
+	for i := range x {
+		v := phi1*x1 + phi2*x2 + noise*rng.NormFloat64()
+		x2, x1 = x1, v
+		x[i] = v + mean
+	}
+	return x
+}
+
+func TestFitRecoversARCoefficients(t *testing.T) {
+	series := synthAR2(4000, 0.7, -0.2, 75, 0.05, 1)
+	m, err := Fit(series, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.AR[0]-0.7) > 0.08 || math.Abs(m.AR[1]+0.2) > 0.08 {
+		t.Errorf("AR = %v, want ≈[0.7 -0.2]", m.AR)
+	}
+	if math.Abs(m.Mean-75) > 0.5 {
+		t.Errorf("mean = %v, want ≈75", m.Mean)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	series := synthAR2(100, 0.5, 0, 0, 0.1, 2)
+	if _, err := Fit(series, 0, 1); err == nil {
+		t.Error("expected error for p=0")
+	}
+	if _, err := Fit(series, 2, -1); err == nil {
+		t.Error("expected error for q<0")
+	}
+	if _, err := Fit(series[:10], 3, 1); err == nil {
+		t.Error("expected error for short series")
+	}
+}
+
+func TestOneStepPredictionAccuracy(t *testing.T) {
+	// On a smooth, strongly autocorrelated signal, one-step errors must
+	// be far below the signal's own variation. The paper reports
+	// prediction accuracy "well below 1°C" on temperature traces.
+	series := make([]float64, 1200)
+	for i := range series {
+		tt := float64(i) * 0.1
+		series[i] = 75 + 5*math.Sin(2*math.Pi*tt/60)
+	}
+	m, err := Fit(series[:900], DefaultP, DefaultQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPredictor(m)
+	for _, v := range series[:900] {
+		p.Observe(v)
+	}
+	maxErr := 0.0
+	for _, v := range series[900:] {
+		pred := p.Forecast(1)
+		if e := math.Abs(pred - v); e > maxErr {
+			maxErr = e
+		}
+		p.Observe(v)
+	}
+	if maxErr > 0.5 {
+		t.Errorf("max one-step error %v °C, want well below 1 °C", maxErr)
+	}
+}
+
+func TestMultiStepForecastTracksTrend(t *testing.T) {
+	// 5-step (500 ms) forecast on a rising temperature ramp should be
+	// closer to the future value than the current value is.
+	series := make([]float64, 600)
+	for i := range series {
+		series[i] = 70 + 0.02*float64(i)
+	}
+	m, err := Fit(series[:500], DefaultP, DefaultQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPredictor(m)
+	for _, v := range series[:500] {
+		p.Observe(v)
+	}
+	forecast := p.Forecast(5)
+	actual := series[505]
+	current := series[499]
+	if math.Abs(forecast-actual) >= math.Abs(current-actual) {
+		t.Errorf("5-step forecast %v no better than persistence %v (actual %v)",
+			forecast, current, actual)
+	}
+}
+
+func TestForecastConstantSeries(t *testing.T) {
+	series := make([]float64, 200)
+	for i := range series {
+		series[i] = 80
+	}
+	m, err := Fit(series, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPredictor(m)
+	for _, v := range series {
+		p.Observe(v)
+	}
+	for _, k := range []int{1, 5, 20} {
+		if f := p.Forecast(k); math.Abs(f-80) > 0.01 {
+			t.Errorf("forecast(%d) = %v, want 80", k, f)
+		}
+	}
+}
+
+func TestPredictorWarmup(t *testing.T) {
+	series := synthAR2(300, 0.6, 0.1, 50, 0.1, 3)
+	m, err := Fit(series, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPredictor(m)
+	if p.Warm() {
+		t.Error("fresh predictor should not be warm")
+	}
+	for i := 0; i < 4; i++ {
+		if p.LastError != 0 && !p.Warm() {
+			t.Error("warm-up errors should be damped to zero")
+		}
+		p.Observe(series[i])
+	}
+	if !p.Warm() {
+		t.Error("predictor should be warm after p+q observations")
+	}
+}
+
+func TestForecastMinimumOneStep(t *testing.T) {
+	series := synthAR2(300, 0.5, 0, 10, 0.1, 4)
+	m, _ := Fit(series, 2, 0)
+	p := NewPredictor(m)
+	for _, v := range series {
+		p.Observe(v)
+	}
+	if p.Forecast(0) != p.Forecast(1) {
+		t.Error("Forecast(0) should clamp to one step")
+	}
+}
+
+func TestForecastDoesNotMutateState(t *testing.T) {
+	series := synthAR2(300, 0.6, -0.1, 20, 0.2, 5)
+	m, _ := Fit(series, 2, 1)
+	p := NewPredictor(m)
+	for _, v := range series {
+		p.Observe(v)
+	}
+	f1 := p.Forecast(5)
+	_ = p.Forecast(50)
+	f2 := p.Forecast(5)
+	if f1 != f2 {
+		t.Errorf("forecast mutated state: %v vs %v", f1, f2)
+	}
+}
+
+func TestSigmaReflectsNoise(t *testing.T) {
+	quiet, err := Fit(synthAR2(2000, 0.6, 0, 0, 0.01, 6), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Fit(synthAR2(2000, 0.6, 0, 0, 1.0, 6), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Sigma >= noisy.Sigma {
+		t.Errorf("sigma: quiet %v should be below noisy %v", quiet.Sigma, noisy.Sigma)
+	}
+}
+
+func TestFitStableOnTemperatureLikeTrace(t *testing.T) {
+	// Modulated utilization → low-frequency sinusoid plus noise, the
+	// shape the simulator produces.
+	rng := rand.New(rand.NewSource(7))
+	series := make([]float64, 1000)
+	for i := range series {
+		tt := float64(i) * 0.1
+		series[i] = 74 + 3*math.Sin(2*math.Pi*tt/60) + 0.2*rng.NormFloat64()
+	}
+	m, err := Fit(series, DefaultP, DefaultQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPredictor(m)
+	for _, v := range series {
+		p.Observe(v)
+	}
+	f := p.Forecast(5)
+	if f < 60 || f > 90 {
+		t.Errorf("forecast %v wildly off the series range", f)
+	}
+}

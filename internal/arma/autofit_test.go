@@ -1,0 +1,65 @@
+package arma
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitAutoRecoversOrder(t *testing.T) {
+	// A clean AR(2) should be matched by a model whose one-step
+	// residual variance is near the injected noise, regardless of the
+	// exact order AIC lands on.
+	series := synthAR2(3000, 0.7, -0.2, 50, 0.1, 9)
+	m, p, q, err := FitAuto(series, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1 || p > 4 || q < 0 || q > 2 {
+		t.Errorf("orders out of grid: (%d,%d)", p, q)
+	}
+	if m.Sigma > 0.15 {
+		t.Errorf("residual sigma %v, want ≈0.1", m.Sigma)
+	}
+}
+
+func TestFitAutoPrefersParsimonyOnWhiteNoise(t *testing.T) {
+	// White noise: higher orders only add parameters; AIC should pick a
+	// small model.
+	series := synthAR2(2000, 0, 0, 0, 1, 4)
+	_, p, q, err := FitAuto(series, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p+q > 3 {
+		t.Errorf("white noise selected ARMA(%d,%d); expected parsimonious", p, q)
+	}
+}
+
+func TestFitAutoValidation(t *testing.T) {
+	series := synthAR2(200, 0.5, 0, 0, 0.1, 2)
+	if _, _, _, err := FitAuto(series, 0, 1); err == nil {
+		t.Error("expected error for maxP=0")
+	}
+	if _, _, _, err := FitAuto(series[:5], 3, 2); err == nil {
+		t.Error("expected error for tiny series")
+	}
+}
+
+func TestFitAutoForecastUsable(t *testing.T) {
+	series := make([]float64, 800)
+	for i := range series {
+		series[i] = 75 + 4*math.Sin(float64(i)/30)
+	}
+	m, _, _, err := FitAuto(series, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := NewPredictor(m)
+	for _, v := range series {
+		pr.Observe(v)
+	}
+	f := pr.Forecast(5)
+	if f < 70 || f > 80 {
+		t.Errorf("forecast %v outside series band", f)
+	}
+}

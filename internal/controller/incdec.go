@@ -1,0 +1,71 @@
+package controller
+
+import (
+	"fmt"
+
+	"repro/internal/pump"
+	"repro/internal/units"
+)
+
+// IncDec is the reactive increment/decrement flow policy of the authors'
+// prior work [6], which the paper positions itself against: "a policy to
+// increment/decrement the flow rate based on temperature measurements,
+// without considering energy consumption". It reacts to the measured
+// maximum temperature with no forecast, no steady-state analysis and no
+// hysteresis band: one setting up when hot, one setting down when
+// comfortably cool.
+//
+// Compared to the paper's LUT controller it reacts late (the pump takes
+// ~275 ms to transition while the thermal time constant is shorter),
+// over-cools after transients and dithers between settings — exactly the
+// behaviours Section IV's proactive design eliminates.
+type IncDec struct {
+	// UpThreshold raises the setting when Tmax exceeds it.
+	UpThreshold units.Celsius
+	// DownThreshold lowers the setting when Tmax falls below it.
+	DownThreshold units.Celsius
+
+	cur  pump.Setting
+	last units.Celsius
+	seen bool
+}
+
+// NewIncDec returns the baseline policy with thresholds bracketing the
+// target temperature.
+func NewIncDec(target units.Celsius, initial pump.Setting) (*IncDec, error) {
+	if err := pump.Validate(initial); err != nil {
+		return nil, err
+	}
+	if initial == pump.Off {
+		return nil, fmt.Errorf("controller: incdec cannot start with the pump off")
+	}
+	return &IncDec{
+		UpThreshold:   target - 1,
+		DownThreshold: target - 3,
+		cur:           initial,
+	}, nil
+}
+
+// Observe records the latest maximum temperature.
+func (c *IncDec) Observe(tmax units.Celsius) {
+	c.last = tmax
+	c.seen = true
+}
+
+// Decide steps the setting by at most one level based on the last
+// observation.
+func (c *IncDec) Decide() pump.Setting {
+	if !c.seen {
+		return c.cur
+	}
+	switch {
+	case c.last > c.UpThreshold && c.cur < pump.MaxSetting():
+		c.cur++
+	case c.last < c.DownThreshold && c.cur > 0:
+		c.cur--
+	}
+	return c.cur
+}
+
+// Setting returns the current setting.
+func (c *IncDec) Setting() pump.Setting { return c.cur }

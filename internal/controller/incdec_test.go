@@ -1,0 +1,107 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/pump"
+	"repro/internal/units"
+)
+
+func TestIncDecValidation(t *testing.T) {
+	if _, err := NewIncDec(80, pump.Setting(9)); err == nil {
+		t.Error("expected error for invalid setting")
+	}
+	if _, err := NewIncDec(80, pump.Off); err == nil {
+		t.Error("expected error for off initial setting")
+	}
+}
+
+func TestIncDecRaisesWhenHot(t *testing.T) {
+	c, err := NewIncDec(80, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Observe(81)
+	if got := c.Decide(); got != 1 {
+		t.Errorf("setting = %v, want 1", got)
+	}
+	// One step per decision, saturating at max.
+	for i := 0; i < 10; i++ {
+		c.Observe(85)
+		c.Decide()
+	}
+	if c.Setting() != pump.MaxSetting() {
+		t.Errorf("setting = %v, want max", c.Setting())
+	}
+}
+
+func TestIncDecLowersWhenCool(t *testing.T) {
+	c, _ := NewIncDec(80, pump.MaxSetting())
+	for i := 0; i < 10; i++ {
+		c.Observe(70)
+		c.Decide()
+	}
+	if c.Setting() != 0 {
+		t.Errorf("setting = %v, want 0", c.Setting())
+	}
+}
+
+func TestIncDecDeadBandHolds(t *testing.T) {
+	c, _ := NewIncDec(80, 2)
+	// Between thresholds (77-79): hold.
+	c.Observe(78)
+	if got := c.Decide(); got != 2 {
+		t.Errorf("setting = %v, want hold at 2", got)
+	}
+}
+
+func TestIncDecNoObservationHolds(t *testing.T) {
+	c, _ := NewIncDec(80, 3)
+	if got := c.Decide(); got != 3 {
+		t.Errorf("setting = %v, want initial 3", got)
+	}
+}
+
+func TestIncDecDithersOnBoundaryTemps(t *testing.T) {
+	// The baseline's known flaw: temperatures oscillating across the
+	// thresholds cause continual setting changes, which the paper's
+	// hysteresis explicitly avoids.
+	c, _ := NewIncDec(80, 2)
+	changes := 0
+	prev := c.Setting()
+	temps := []float64{79.5, 76.5, 79.5, 76.5, 79.5, 76.5}
+	for _, temp := range temps {
+		c.Observe(units.Celsius(temp))
+		got := c.Decide()
+		if got != prev {
+			changes++
+			prev = got
+		}
+	}
+	if changes < len(temps)-1 {
+		t.Errorf("expected dithering, saw %d changes", changes)
+	}
+}
+
+func TestIncDecComparedToLUTController(t *testing.T) {
+	// Feed both policies an identical slow temperature ramp: the LUT
+	// controller jumps straight to the adequate setting; the baseline
+	// crawls one step per tick.
+	lut, _, _ := buildLUT(t)
+	paper, err := New(lut, DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewIncDec(TargetTemp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := lut.TmaxAt[0][len(lut.Ladder)-1] // heavy overload reading
+	paper.Observe(hot)
+	base.Observe(hot)
+	p := paper.Decide()
+	b := base.Decide()
+	if p <= b {
+		t.Errorf("LUT controller (%v) should out-jump the inc/dec baseline (%v)", p, b)
+	}
+}

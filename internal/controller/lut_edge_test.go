@@ -1,0 +1,124 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/pump"
+	"repro/internal/units"
+)
+
+// syntheticLUT builds a small hand-crafted LUT for edge-case testing
+// without thermal solves: Tmax rises linearly with load and drops 0.5 °C
+// per setting.
+func syntheticLUT(target units.Celsius) *LUT {
+	ladder := []float64{0, 0.5, 1.0, 1.5}
+	l := &LUT{
+		Target:   target,
+		Ladder:   ladder,
+		TmaxAt:   make([][]units.Celsius, pump.NumSettings),
+		Required: make([]pump.Setting, len(ladder)),
+	}
+	for s := 0; s < pump.NumSettings; s++ {
+		l.TmaxAt[s] = make([]units.Celsius, len(ladder))
+		for k, lam := range ladder {
+			l.TmaxAt[s][k] = units.Celsius(70 + 10*lam - 0.5*float64(s))
+		}
+	}
+	for k := range ladder {
+		req := pump.MaxSetting()
+		for s := 0; s < pump.NumSettings; s++ {
+			if l.TmaxAt[s][k] <= target {
+				req = pump.Setting(s)
+				break
+			}
+		}
+		l.Required[k] = req
+	}
+	return l
+}
+
+func TestRequiredForOffSettingTreatedAsMin(t *testing.T) {
+	l := syntheticLUT(80)
+	// Off observations invert through the minimum-setting curve.
+	if got, want := l.RequiredFor(75, pump.Off), l.RequiredFor(75, 0); got != want {
+		t.Errorf("Off handling: %v vs %v", got, want)
+	}
+}
+
+func TestRequiredForBelowTableClamps(t *testing.T) {
+	l := syntheticLUT(80)
+	if got := l.RequiredFor(10, 0); got != 0 {
+		t.Errorf("ice-cold observation requires %v, want 0", got)
+	}
+}
+
+func TestRequiredForAboveTableClamps(t *testing.T) {
+	l := syntheticLUT(80)
+	if got := l.RequiredFor(200, 0); got != pump.MaxSetting() {
+		t.Errorf("meltdown observation requires %v, want max", got)
+	}
+}
+
+func TestDownBoundaryWhenLowerHoldsEverything(t *testing.T) {
+	// Target far above every curve: the lower setting holds even the
+	// top of the ladder; boundary = top of the current curve.
+	l := syntheticLUT(150)
+	b := l.DownBoundary(2, 1)
+	top := l.TmaxAt[2][len(l.Ladder)-1]
+	if b != top {
+		t.Errorf("boundary %v, want curve top %v", b, top)
+	}
+}
+
+func TestDownBoundaryWhenLowerHoldsNothing(t *testing.T) {
+	// Target below every curve point: the lower setting holds nothing;
+	// the boundary collapses to the bottom of the current curve, so the
+	// controller can never step down — the safe behaviour.
+	l := syntheticLUT(0)
+	b := l.DownBoundary(2, 1)
+	bottom := l.TmaxAt[2][0]
+	if b != bottom {
+		t.Errorf("boundary %v, want curve bottom %v", b, bottom)
+	}
+}
+
+func TestControllerNeverExceedsValidSettings(t *testing.T) {
+	l := syntheticLUT(80)
+	c, err := New(l, DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := []float64{60, 95, 40, 120, 77, 79, 81, 83, 70, 60, 50}
+	for _, temp := range temps {
+		c.Observe(units.Celsius(temp))
+		got := c.Decide()
+		if got < 0 || int(got) >= pump.NumSettings {
+			t.Fatalf("setting %v out of range after %v", got, temp)
+		}
+	}
+}
+
+func TestControllerMonotoneUnderRisingTemps(t *testing.T) {
+	l := syntheticLUT(80)
+	c, _ := New(l, DefaultConfig(), 0)
+	prev := pump.Setting(0)
+	for temp := 70.0; temp <= 95; temp += 1 {
+		c.Observe(units.Celsius(temp))
+		got := c.Decide()
+		if got < prev {
+			t.Fatalf("setting dropped from %v to %v on rising temps", prev, got)
+		}
+		prev = got
+	}
+	if prev != pump.MaxSetting() {
+		t.Errorf("final setting %v, want max", prev)
+	}
+}
+
+func TestPredictedEmptyHistory(t *testing.T) {
+	l := syntheticLUT(80)
+	c, _ := New(l, DefaultConfig(), 0)
+	if got := c.Predicted(); got != 0 {
+		t.Errorf("Predicted with no history = %v", got)
+	}
+}

@@ -1,0 +1,74 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/pump"
+	"repro/internal/units"
+)
+
+// LUT serialization: the offline steady-state sweep is the expensive part
+// of controller construction (dozens of thermal solves); production
+// deployments compute it once per system and ship the table. JSON keeps
+// the artifact inspectable.
+
+// SaveJSON writes the LUT.
+func (l *LUT) SaveJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
+}
+
+// LoadLUT reads and validates a LUT.
+func LoadLUT(r io.Reader) (*LUT, error) {
+	var l LUT
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, fmt.Errorf("controller: decode LUT: %w", err)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// Validate checks structural and monotonicity invariants.
+func (l *LUT) Validate() error {
+	if len(l.Ladder) < 2 {
+		return fmt.Errorf("controller: LUT ladder has %d points", len(l.Ladder))
+	}
+	for k := 1; k < len(l.Ladder); k++ {
+		if l.Ladder[k] <= l.Ladder[k-1] {
+			return fmt.Errorf("controller: LUT ladder not increasing at %d", k)
+		}
+	}
+	if len(l.TmaxAt) != pump.NumSettings {
+		return fmt.Errorf("controller: LUT has %d setting curves, want %d",
+			len(l.TmaxAt), pump.NumSettings)
+	}
+	for s, curve := range l.TmaxAt {
+		if len(curve) != len(l.Ladder) {
+			return fmt.Errorf("controller: LUT curve %d has %d points, want %d",
+				s, len(curve), len(l.Ladder))
+		}
+		for k := 1; k < len(curve); k++ {
+			if curve[k] < curve[k-1]-units.Celsius(0.05) {
+				return fmt.Errorf("controller: LUT curve %d not monotone at %d", s, k)
+			}
+		}
+	}
+	if len(l.Required) != len(l.Ladder) {
+		return fmt.Errorf("controller: LUT required has %d entries, want %d",
+			len(l.Required), len(l.Ladder))
+	}
+	for k, s := range l.Required {
+		if err := pump.Validate(s); err != nil || s == pump.Off {
+			return fmt.Errorf("controller: LUT required[%d] invalid: %v", k, s)
+		}
+	}
+	if l.Target <= 0 {
+		return fmt.Errorf("controller: LUT target %v", l.Target)
+	}
+	return nil
+}

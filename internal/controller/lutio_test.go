@@ -1,0 +1,94 @@
+package controller
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/pump"
+	"repro/internal/units"
+)
+
+func TestLUTJSONRoundTrip(t *testing.T) {
+	orig := syntheticLUT(80)
+	var buf bytes.Buffer
+	if err := orig.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLUT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Target != orig.Target || len(back.Ladder) != len(orig.Ladder) {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	for s := range orig.TmaxAt {
+		for k := range orig.TmaxAt[s] {
+			if back.TmaxAt[s][k] != orig.TmaxAt[s][k] {
+				t.Fatalf("TmaxAt[%d][%d] differs", s, k)
+			}
+		}
+	}
+	// A loaded LUT drives a controller identically.
+	c1, err := New(orig, DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(back, DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, temp := range []float64{72, 78, 81, 85, 70} {
+		c1.Observe(units.Celsius(temp))
+		c2.Observe(units.Celsius(temp))
+		if c1.Decide() != c2.Decide() {
+			t.Fatalf("loaded LUT decided differently at %v", temp)
+		}
+	}
+}
+
+func TestLoadLUTRejectsGarbage(t *testing.T) {
+	if _, err := LoadLUT(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := LoadLUT(strings.NewReader(`{"Target":80,"Ladder":[1]}`)); err == nil {
+		t.Error("expected validation error for short ladder")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := syntheticLUT(80)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid LUT rejected: %v", err)
+	}
+
+	bad := syntheticLUT(80)
+	bad.Ladder[2] = bad.Ladder[1] // non-increasing
+	if err := bad.Validate(); err == nil {
+		t.Error("non-increasing ladder accepted")
+	}
+
+	bad = syntheticLUT(80)
+	bad.TmaxAt = bad.TmaxAt[:2]
+	if err := bad.Validate(); err == nil {
+		t.Error("missing curves accepted")
+	}
+
+	bad = syntheticLUT(80)
+	bad.TmaxAt[1][2] = bad.TmaxAt[1][1] - 5 // non-monotone curve
+	if err := bad.Validate(); err == nil {
+		t.Error("non-monotone curve accepted")
+	}
+
+	bad = syntheticLUT(80)
+	bad.Required[0] = pump.Setting(9)
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid required setting accepted")
+	}
+
+	bad = syntheticLUT(80)
+	bad.Target = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative target accepted")
+	}
+}

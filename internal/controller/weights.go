@@ -1,0 +1,107 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+	"repro/internal/pump"
+	"repro/internal/rcnet"
+	"repro/internal/units"
+)
+
+// WeightTable holds the TALB thermal weight factors of Eqn. 8, computed in
+// a pre-processing step and indexed by the current maximum temperature
+// range, exactly as Section IV describes.
+//
+// The base weight of core i is its relative thermal resistance: cores in
+// thermally disadvantaged positions (higher temperature per watt) get
+// weights above 1, so their weighted queue lengths read longer and the
+// balancer sends them fewer threads. That is the paper's "multiplicative
+// inverse of the power values [that] achieve a balanced temperature,
+// normalized". Higher temperature ranges apply the weights more
+// aggressively (exponent γ > 1); near-idle ranges flatten them (γ < 1),
+// since balancing load evenly is better for performance when nothing is
+// hot.
+type WeightTable struct {
+	// Base[i] is core i's relative thermal resistance, mean 1.
+	Base []float64
+	// Bands are the upper edges of the temperature ranges; Gammas has
+	// one more entry than Bands (the last applies above every band).
+	Bands  []units.Celsius
+	Gammas []float64
+}
+
+// BuildWeights derives the table from steady-state analysis of the thermal
+// model: uniform full core power at the middle pump setting (or the
+// air-cooled package), then per-core thermal resistance from the resulting
+// block temperatures.
+func BuildWeights(m *rcnet.Model, pm *pump.Pump, corePower float64) (*WeightTable, error) {
+	if corePower <= 0 {
+		return nil, fmt.Errorf("controller: core power %g must be positive", corePower)
+	}
+	stack := m.Grid.Stack
+	cores := stack.Cores()
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("controller: stack has no cores")
+	}
+	for li, layer := range stack.Layers {
+		p := make([]float64, len(layer.Blocks))
+		for bi, b := range layer.Blocks {
+			if b.Kind == floorplan.KindCore {
+				p[bi] = corePower
+			}
+		}
+		if err := m.SetLayerPower(li, p); err != nil {
+			return nil, err
+		}
+	}
+	if stack.LiquidCooled {
+		mid := pump.Setting(pump.NumSettings / 2)
+		if err := m.SetFlow(pm.PerCavityFlow(mid)); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.SteadyState(); err != nil {
+		return nil, fmt.Errorf("controller: weight analysis: %w", err)
+	}
+	ref := float64(m.Cfg.CoolantInlet)
+	if !stack.LiquidCooled {
+		ref = float64(m.Cfg.AmbientAir)
+	}
+	base := make([]float64, len(cores))
+	sum := 0.0
+	for i, c := range cores {
+		rth := (float64(m.BlockTemp(c.Layer, c.Block)) - ref) / corePower
+		if rth <= 0 {
+			return nil, fmt.Errorf("controller: core %s non-positive thermal resistance", c.Name)
+		}
+		base[i] = rth
+		sum += rth
+	}
+	mean := sum / float64(len(base))
+	for i := range base {
+		base[i] /= mean
+	}
+	return &WeightTable{
+		Base:   base,
+		Bands:  []units.Celsius{72, 76, 80, 85},
+		Gammas: []float64{0.5, 0.75, 1.0, 1.25, 1.5},
+	}, nil
+}
+
+// Lookup returns the per-core weights for the current maximum temperature.
+func (w *WeightTable) Lookup(tmax units.Celsius) []float64 {
+	gamma := w.Gammas[len(w.Gammas)-1]
+	for i, edge := range w.Bands {
+		if tmax <= edge {
+			gamma = w.Gammas[i]
+			break
+		}
+	}
+	out := make([]float64, len(w.Base))
+	for i, b := range w.Base {
+		out[i] = math.Pow(b, gamma)
+	}
+	return out
+}

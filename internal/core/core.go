@@ -1,0 +1,270 @@
+// Package core is the public orchestration API of the library: it wires
+// the thermal model, workload, scheduler, pump and flow-rate controller
+// into ready-to-run scenarios, re-exporting the configuration surface a
+// downstream user needs without reaching into the individual substrate
+// packages.
+//
+// The building blocks are:
+//
+//   - Scenario: one (stack, cooling, policy, workload) simulation, the
+//     unit the paper's figures are built from.
+//   - Analysis: the offline steady-state sweeps (flow lookup table,
+//     thermal weights).
+//   - The experiment generators in internal/experiments, reachable from
+//     cmd/repro, regenerate every table and figure of the paper.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/controller"
+	"repro/internal/floorplan"
+	"repro/internal/grid"
+	"repro/internal/pump"
+	"repro/internal/rcnet"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Cooling mode names accepted by ParseCooling.
+const (
+	CoolingAir = "air"
+	CoolingMax = "max"
+	CoolingVar = "var"
+)
+
+// ParseCooling maps a CLI string to a simulation cooling mode.
+func ParseCooling(s string) (sim.CoolingMode, error) {
+	switch s {
+	case CoolingAir:
+		return sim.Air, nil
+	case CoolingMax:
+		return sim.LiquidMax, nil
+	case CoolingVar:
+		return sim.LiquidVar, nil
+	default:
+		return 0, fmt.Errorf("core: unknown cooling mode %q (want air|max|var)", s)
+	}
+}
+
+// ParsePolicy maps a CLI string to a scheduling policy.
+func ParsePolicy(s string) (sched.Policy, error) {
+	switch s {
+	case "lb":
+		return sched.LB, nil
+	case "mig", "migration":
+		return sched.Migration, nil
+	case "talb":
+		return sched.TALB, nil
+	default:
+		return 0, fmt.Errorf("core: unknown policy %q (want lb|mig|talb)", s)
+	}
+}
+
+// Scenario describes one simulation in user-level terms.
+type Scenario struct {
+	// Layers: 2 or 4.
+	Layers int
+	// Cooling: "air", "max" (worst-case flow), or "var" (the paper's
+	// controller).
+	Cooling string
+	// Policy: "lb", "mig", or "talb".
+	Policy string
+	// Workload is a Table II benchmark name.
+	Workload string
+	// Duration and Warmup in seconds.
+	Duration, Warmup float64
+	// Seed for the synthetic trace (default 1).
+	Seed int64
+	// DPM enables the fixed-timeout sleep policy.
+	DPM bool
+	// GridNX, GridNY default to 23×20 when zero.
+	GridNX, GridNY int
+}
+
+// DefaultScenario is a 2-layer TALB(Var) run of Web-med.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Layers: 2, Cooling: CoolingVar, Policy: "talb", Workload: "Web-med",
+		Duration: 60, Warmup: 5, Seed: 1,
+	}
+}
+
+// Report is the user-facing result of a scenario.
+type Report struct {
+	stats.Report
+	Scenario     Scenario
+	Migrations   int64
+	Refits       int
+	MeanFlowLPM  float64
+	PendingAtEnd int
+}
+
+// Run executes a scenario.
+func Run(sc Scenario) (*Report, error) {
+	cfg, err := sc.simConfig()
+	if err != nil {
+		return nil, err
+	}
+	r, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return report(sc, r), nil
+}
+
+// RunTraced executes a scenario while streaming a per-tick CSV trace of
+// temperatures and pump state to dst.
+func RunTraced(sc Scenario, dst io.Writer) (*Report, error) {
+	cfg, err := sc.simConfig()
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr := sim.NewTraceRecorder(s, dst)
+	for s.Time() < cfg.Duration {
+		measured := s.Time() >= 0 // ticks starting inside the window
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+		if measured {
+			if err := tr.Record(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		return nil, err
+	}
+	return report(sc, s.Result()), nil
+}
+
+func report(sc Scenario, r *sim.Result) *Report {
+	return &Report{
+		Report:       r.Report,
+		Scenario:     sc,
+		Migrations:   r.Migrations,
+		Refits:       r.Refits,
+		MeanFlowLPM:  r.MeanFlowLPM,
+		PendingAtEnd: r.PendingAtEnd,
+	}
+}
+
+func (sc Scenario) simConfig() (sim.Config, error) {
+	cooling, err := ParseCooling(sc.Cooling)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	policy, err := ParsePolicy(sc.Policy)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	bench, err := workload.ByName(sc.Workload)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Layers = sc.Layers
+	cfg.Cooling = cooling
+	cfg.Policy = policy
+	cfg.Bench = bench
+	if sc.Seed != 0 {
+		cfg.Seed = sc.Seed
+	}
+	if sc.Duration > 0 {
+		cfg.Duration = units.Second(sc.Duration)
+	}
+	if sc.Warmup > 0 {
+		cfg.Warmup = units.Second(sc.Warmup)
+	}
+	if sc.GridNX > 0 && sc.GridNY > 0 {
+		cfg.GridNX, cfg.GridNY = sc.GridNX, sc.GridNY
+	}
+	cfg.DPMEnabled = sc.DPM
+	return cfg, nil
+}
+
+// WriteSummary renders a human-readable report.
+func (r *Report) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "scenario: %d-layer %s / %s / %s (%.0fs)\n",
+		r.Scenario.Layers, r.Scenario.Cooling, r.Scenario.Policy,
+		r.Scenario.Workload, float64(r.SimTime))
+	fmt.Fprintf(w, "  Tmax observed:    %.2f °C (mean %.2f °C)\n", r.MaxTemp, r.MeanTemp)
+	fmt.Fprintf(w, "  hot spots >85°C:  %.2f %% of time (above 80 °C: %.2f %%)\n",
+		r.HotSpotPct, r.Above80Pct)
+	fmt.Fprintf(w, "  gradients >15°C:  %.2f %%   cycles >20°C: %.2f %%\n",
+		r.GradientPct, r.CyclePct)
+	fmt.Fprintf(w, "  energy:           chip %.1f J, pump %.1f J, total %.1f J\n",
+		float64(r.ChipEnergy), float64(r.PumpEnergy), float64(r.TotalEnergy))
+	fmt.Fprintf(w, "  throughput:       %.1f threads/s (%d completed, %d pending)\n",
+		r.Throughput, r.Completed, r.PendingAtEnd)
+	if r.Scenario.Cooling == CoolingVar {
+		fmt.Fprintf(w, "  controller:       mean setting %.2f, mean flow %.0f ml/min, %d refits\n",
+			r.MeanSetting, r.MeanFlowLPM*1000, r.Refits)
+	}
+	if r.Migrations > 0 {
+		fmt.Fprintf(w, "  migrations:       %d\n", r.Migrations)
+	}
+}
+
+// Analysis exposes the offline steady-state machinery for custom use.
+type Analysis struct {
+	Stack *floorplan.Stack
+	Model *rcnet.Model
+	Pump  *pump.Pump
+}
+
+// NewAnalysis builds the thermal analysis stack for a liquid-cooled
+// system.
+func NewAnalysis(layers, nx, ny int) (*Analysis, error) {
+	var stack *floorplan.Stack
+	switch layers {
+	case 2:
+		stack = floorplan.NewT1Stack2(true)
+	case 4:
+		stack = floorplan.NewT1Stack4(true)
+	default:
+		return nil, fmt.Errorf("core: unsupported layer count %d", layers)
+	}
+	g, err := grid.Build(stack, grid.DefaultParams(nx, ny))
+	if err != nil {
+		return nil, err
+	}
+	m, err := rcnet.New(g, rcnet.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	pm, err := pump.New(stack.NumCavities())
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Stack: stack, Model: m, Pump: pm}, nil
+}
+
+// BuildLUT runs the Fig. 5-style steady-state sweep and returns the
+// controller lookup table.
+func (a *Analysis) BuildLUT() (*controller.LUT, error) {
+	return controller.BuildLUT(a.Model, a.Pump, sim.FullLoadPowers(a.Stack),
+		controller.TargetTemp, controller.DefaultLadder())
+}
+
+// BuildWeights computes the TALB thermal weight table.
+func (a *Analysis) BuildWeights() (*controller.WeightTable, error) {
+	return controller.BuildWeights(a.Model, a.Pump, 3)
+}
+
+// Workloads returns the Table II benchmark names.
+func Workloads() []string {
+	out := make([]string, len(workload.TableII))
+	for i, b := range workload.TableII {
+		out[i] = b.Name
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickScenario() Scenario {
+	sc := DefaultScenario()
+	sc.Duration = 10
+	sc.Warmup = 2
+	sc.GridNX, sc.GridNY = 12, 10
+	return sc
+}
+
+func TestParseCooling(t *testing.T) {
+	for _, s := range []string{CoolingAir, CoolingMax, CoolingVar} {
+		if _, err := ParseCooling(s); err != nil {
+			t.Errorf("ParseCooling(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseCooling("water"); err == nil {
+		t.Error("expected error for unknown cooling")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, s := range []string{"lb", "mig", "migration", "talb"} {
+		if _, err := ParsePolicy(s); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", s, err)
+		}
+	}
+	if _, err := ParsePolicy("fifo"); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+}
+
+func TestRunDefaultScenario(t *testing.T) {
+	r, err := Run(quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Samples == 0 || r.Completed == 0 {
+		t.Errorf("empty report: %+v", r.Report)
+	}
+	if r.MaxTemp < 60 || r.MaxTemp > 100 {
+		t.Errorf("implausible Tmax %v", r.MaxTemp)
+	}
+}
+
+func TestRunValidatesScenario(t *testing.T) {
+	sc := quickScenario()
+	sc.Workload = "bogus"
+	if _, err := Run(sc); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+	sc = quickScenario()
+	sc.Cooling = "freon"
+	if _, err := Run(sc); err == nil {
+		t.Error("expected error for unknown cooling")
+	}
+	sc = quickScenario()
+	sc.Policy = "rr"
+	if _, err := Run(sc); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+	sc = quickScenario()
+	sc.Layers = 5
+	if _, err := Run(sc); err == nil {
+		t.Error("expected error for bad layer count")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	r, err := Run(quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	r.WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{"scenario:", "Tmax observed", "energy:", "throughput:", "controller:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalysisLifecycle(t *testing.T) {
+	a, err := NewAnalysis(2, 12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lut, err := a.BuildLUT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lut.Ladder) == 0 {
+		t.Error("empty LUT")
+	}
+	w, err := a.BuildWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Base) != 8 {
+		t.Errorf("weights for %d cores", len(w.Base))
+	}
+	if _, err := NewAnalysis(3, 12, 10); err == nil {
+		t.Error("expected error for 3 layers")
+	}
+}
+
+func TestWorkloadsComplete(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 8 {
+		t.Fatalf("workloads = %v", ws)
+	}
+	if ws[0] != "Web-med" || ws[7] != "MPlayer&Web" {
+		t.Errorf("unexpected ordering: %v", ws)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestRunTraced(t *testing.T) {
+	sc := quickScenario()
+	sc.Duration = 5
+	var buf bytes.Buffer
+	r, err := RunTraced(sc, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + one row per measured tick.
+	if len(rows) != r.Samples+1 {
+		t.Errorf("trace rows = %d, want %d", len(rows)-1, r.Samples)
+	}
+}
+
+func TestRunTracedMatchesRun(t *testing.T) {
+	sc := quickScenario()
+	sc.Duration = 5
+	plain, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	traced, err := RunTraced(sc, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ChipEnergy != traced.ChipEnergy || plain.MaxTemp != traced.MaxTemp {
+		t.Error("tracing changed the simulation results")
+	}
+}
+
+func TestRunTracedValidates(t *testing.T) {
+	sc := quickScenario()
+	sc.Cooling = "plasma"
+	var buf bytes.Buffer
+	if _, err := RunTraced(sc, &buf); err == nil {
+		t.Error("expected error")
+	}
+}

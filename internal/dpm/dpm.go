@@ -1,0 +1,51 @@
+// Package dpm implements the paper's Dynamic Power Management baseline: a
+// fixed-timeout policy that puts a core into the sleep state once it has
+// been idle longer than the timeout (Section V: 200 ms, sleep power
+// 0.02 W).
+package dpm
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// DefaultTimeout is the paper's fixed timeout (200 ms).
+const DefaultTimeout units.Second = 0.2
+
+// Policy is a fixed-timeout sleep policy over n cores.
+type Policy struct {
+	// Timeout is the idle duration after which a core sleeps.
+	Timeout units.Second
+	// Enabled gates the whole policy (the paper evaluates thermal
+	// variations both with and without DPM).
+	Enabled bool
+}
+
+// New returns an enabled policy with the paper's timeout.
+func New() *Policy { return &Policy{Timeout: DefaultTimeout, Enabled: true} }
+
+// Disabled returns a policy that never sleeps cores.
+func Disabled() *Policy { return &Policy{Timeout: DefaultTimeout, Enabled: false} }
+
+// States maps per-core (busyFrac, idleTime) to power states: a core that
+// executed anything this interval is Active, an idle core is Idle until
+// the timeout elapses, then Sleep.
+func (p *Policy) States(busy []float64, idle []units.Second) ([]power.CoreState, error) {
+	if len(busy) != len(idle) {
+		return nil, fmt.Errorf("dpm: %d busy fractions vs %d idle times", len(busy), len(idle))
+	}
+	out := make([]power.CoreState, len(busy))
+	for i := range busy {
+		switch {
+		case busy[i] > 0:
+			out[i] = power.StateActive
+		case p.Enabled && idle[i] >= p.Timeout:
+			out[i] = power.StateSleep
+		default:
+			out[i] = power.StateIdle
+		}
+	}
+	return out, nil
+}

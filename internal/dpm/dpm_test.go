@@ -1,0 +1,81 @@
+package dpm
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func TestStatesBasic(t *testing.T) {
+	p := New()
+	states, err := p.States(
+		[]float64{0.5, 0, 0, 0},
+		[]units.Second{0, 0.1, 0.2, 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []power.CoreState{
+		power.StateActive, // busy
+		power.StateIdle,   // idle below timeout
+		power.StateSleep,  // exactly at timeout
+		power.StateSleep,  // long idle
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Errorf("core %d state = %v, want %v", i, states[i], want[i])
+		}
+	}
+}
+
+func TestDisabledNeverSleeps(t *testing.T) {
+	p := Disabled()
+	states, err := p.States([]float64{0, 0}, []units.Second{10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range states {
+		if s != power.StateIdle {
+			t.Errorf("core %d state = %v, want idle", i, s)
+		}
+	}
+}
+
+func TestBusyOverridesIdleTime(t *testing.T) {
+	p := New()
+	states, err := p.States([]float64{0.01}, []units.Second{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states[0] != power.StateActive {
+		t.Errorf("busy core state = %v, want active", states[0])
+	}
+}
+
+func TestTimeoutMatchesPaper(t *testing.T) {
+	if DefaultTimeout != 0.2 {
+		t.Errorf("default timeout = %v, want 200 ms", DefaultTimeout)
+	}
+	if !New().Enabled {
+		t.Error("New() should be enabled")
+	}
+}
+
+func TestStatesValidation(t *testing.T) {
+	p := New()
+	if _, err := p.States([]float64{0}, []units.Second{0, 1}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestCustomTimeout(t *testing.T) {
+	p := &Policy{Timeout: 0.5, Enabled: true}
+	states, _ := p.States([]float64{0, 0}, []units.Second{0.3, 0.6})
+	if states[0] != power.StateIdle {
+		t.Errorf("0.3s idle with 0.5s timeout = %v, want idle", states[0])
+	}
+	if states[1] != power.StateSleep {
+		t.Errorf("0.6s idle with 0.5s timeout = %v, want sleep", states[1])
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// CSV emitters for the figure data series, for plotting outside Go. Each
+// writes one table with a header row; floats use enough precision to
+// round-trip.
+
+func fstr(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// Fig3CSV writes the pump operating points.
+func Fig3CSV(w io.Writer) error {
+	rows, err := Fig3()
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"setting", "pump_flow_lph", "per_cavity_2layer_mlmin", "per_cavity_4layer_mlmin", "power_w"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(int(r.Setting)), fstr(r.PumpFlowLPH),
+			fstr(r.PerCavity2LayerML), fstr(r.PerCavity4LayerML), fstr(r.PowerW),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig5CSV writes the required-flow curves for both stacks.
+func Fig5CSV(w io.Writer, o Options) error {
+	results, err := Fig5(o)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"layers", "power_scale", "tmax_observed_c", "required_flow_mlmin", "required_setting", "setting_flow_mlmin"}); err != nil {
+		return err
+	}
+	for _, res := range results {
+		for _, r := range res.Rows {
+			req := ""
+			if !math.IsNaN(r.RequiredFlowML) {
+				req = fstr(r.RequiredFlowML)
+			}
+			if err := cw.Write([]string{
+				strconv.Itoa(res.Layers), fstr(r.PowerScale),
+				fstr(float64(r.TmaxObserved)), req,
+				strconv.Itoa(int(r.RequiredSetting)), fstr(r.SettingFlowML),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// comboCSV writes a ComboResult slice (Figs. 6–8 share the schema).
+func comboCSV(w io.Writer, res []ComboResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"policy", "hot_avg_pct", "hot_max_pct", "grad_avg_pct", "grad_max_pct",
+		"cycle_avg_pct", "cycle_max_pct", "chip_energy_j", "pump_energy_j",
+		"norm_chip", "norm_pump", "norm_perf", "mean_response_s",
+	}); err != nil {
+		return err
+	}
+	for _, r := range res {
+		if err := cw.Write([]string{
+			r.Combo.Label,
+			fstr(r.AvgHotPct), fstr(r.MaxHotPct),
+			fstr(r.AvgGradPct), fstr(r.MaxGradPct),
+			fstr(r.AvgCyclePct), fstr(r.MaxCyclePct),
+			fstr(r.ChipEnergy), fstr(r.PumpEnergy),
+			fstr(r.NormChip), fstr(r.NormPump), fstr(r.NormPerf),
+			fstr(r.MeanResponse),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig6CSV, Fig7CSV and Fig8CSV write the policy-comparison figures.
+func Fig6CSV(w io.Writer, o Options) error {
+	res, err := Fig6(o)
+	if err != nil {
+		return err
+	}
+	return comboCSV(w, res)
+}
+
+// Fig7CSV writes the thermal-variation comparison.
+func Fig7CSV(w io.Writer, o Options) error {
+	res, err := Fig7(o)
+	if err != nil {
+		return err
+	}
+	return comboCSV(w, res)
+}
+
+// Fig8CSV writes the performance/energy comparison.
+func Fig8CSV(w io.Writer, o Options) error {
+	res, err := Fig8(o)
+	if err != nil {
+		return err
+	}
+	return comboCSV(w, res)
+}
+
+// WriteFig6Layers renders the layer-parameterized Fig. 6 extension.
+func WriteFig6Layers(w io.Writer, o Options, layers int) error {
+	res, err := Fig6Layers(o, layers)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(res))
+	for _, r := range res {
+		rows = append(rows, []string{
+			r.Combo.Label,
+			fmt.Sprintf("%.1f", r.AvgHotPct),
+			fmt.Sprintf("%.1f", r.MaxHotPct),
+			fmt.Sprintf("%.3f", r.NormChip),
+			fmt.Sprintf("%.3f", r.NormPump),
+			fmt.Sprintf("%.3f", r.NormChip+r.NormPump),
+		})
+	}
+	writeTable(w, fmt.Sprintf("FIG 6 extension: hot spots and energy, %d-layer system", layers),
+		[]string{"Policy", "HotSpots avg (%>85C)", "HotSpots max (%)", "Energy chip", "Energy pump", "Energy total"},
+		rows)
+	return nil
+}

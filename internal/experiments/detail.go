@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteFig6Detail renders the per-workload breakdown behind Fig. 6's
+// aggregated bars: for each policy, one row per Table II benchmark with
+// hot-spot time, energies and the variable-flow controller's mean setting.
+func WriteFig6Detail(w io.Writer, o Options) error {
+	res, err := Fig6(o)
+	if err != nil {
+		return err
+	}
+	benches, err := o.benchmarks()
+	if err != nil {
+		return err
+	}
+	for _, cr := range res {
+		rows := make([][]string, 0, len(benches))
+		for i, b := range benches {
+			r := cr.PerWorkload[i]
+			rows = append(rows, []string{
+				b.Name,
+				fmt.Sprintf("%.1f", r.HotSpotPct),
+				fmt.Sprintf("%.2f", r.MaxTemp),
+				fmt.Sprintf("%.0f", float64(r.ChipEnergy)),
+				fmt.Sprintf("%.0f", float64(r.PumpEnergy)),
+				fmt.Sprintf("%.2f", r.MeanSetting),
+				fmt.Sprintf("%.1f", r.Throughput),
+			})
+		}
+		writeTable(w, fmt.Sprintf("FIG 6 detail — %s", cr.Combo.Label),
+			[]string{"Workload", "Hot (%>85C)", "Tmax (°C)", "Chip (J)", "Pump (J)", "Mean setting", "Thr (/s)"},
+			rows)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteFig6Detail(t *testing.T) {
+	o := QuickOptions()
+	o.Workloads = []string{"gzip", "Web-high"}
+	o.Duration = 8
+	var buf bytes.Buffer
+	if err := WriteFig6Detail(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FIG 6 detail — LB (Air)", "FIG 6 detail — TALB (Var)*", "gzip", "Web-high"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("detail output missing %q", want)
+		}
+	}
+	// One detail table per combo.
+	if got := strings.Count(out, "FIG 6 detail"); got != 7 {
+		t.Errorf("detail tables = %d, want 7", got)
+	}
+}

@@ -1,0 +1,236 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables I–III, Figures 3 and 5–8). Each experiment has a
+// structured result type (consumed by tests and benchmarks) and a text
+// renderer (consumed by cmd/repro).
+//
+// Absolute numbers come from this repository's simulator, not the authors'
+// testbed; EXPERIMENTS.md records the shape comparison against the paper.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/controller"
+	"repro/internal/floorplan"
+	"repro/internal/grid"
+	"repro/internal/pump"
+	"repro/internal/rcnet"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Options tunes experiment fidelity. The zero value is invalid; use
+// DefaultOptions or QuickOptions.
+type Options struct {
+	// GridNX, GridNY set the thermal grid resolution.
+	GridNX, GridNY int
+	// Duration and Warmup per simulation run.
+	Duration, Warmup units.Second
+	// Seed for the workload generators.
+	Seed int64
+	// Workloads restricts the benchmark set (nil = all of Table II).
+	Workloads []string
+}
+
+// DefaultOptions reproduces the figures at full fidelity (minutes of CPU).
+func DefaultOptions() Options {
+	return Options{GridNX: 23, GridNY: 20, Duration: 60, Warmup: 5, Seed: 1}
+}
+
+// QuickOptions is a reduced-fidelity configuration for tests and smoke
+// runs.
+func QuickOptions() Options {
+	return Options{
+		GridNX: 12, GridNY: 10, Duration: 15, Warmup: 3, Seed: 1,
+		Workloads: []string{"Web-high", "Web-med", "gzip"},
+	}
+}
+
+func (o Options) benchmarks() ([]workload.Benchmark, error) {
+	if o.Workloads == nil {
+		return workload.TableII, nil
+	}
+	var out []workload.Benchmark
+	for _, name := range o.Workloads {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// tables reuses the expensive LUT/weight analyses across the runs of one
+// experiment matrix.
+type tables struct {
+	lut     map[int]*controller.LUT            // by layer count
+	weights map[string]*controller.WeightTable // by layers+cooling
+}
+
+func (o Options) newTables() *tables {
+	return &tables{lut: map[int]*controller.LUT{}, weights: map[string]*controller.WeightTable{}}
+}
+
+func (o Options) stackFor(layers int, liquid bool) (*floorplan.Stack, error) {
+	switch layers {
+	case 2:
+		return floorplan.NewT1Stack2(liquid), nil
+	case 4:
+		return floorplan.NewT1Stack4(liquid), nil
+	default:
+		return nil, fmt.Errorf("experiments: unsupported layer count %d", layers)
+	}
+}
+
+func (o Options) modelFor(layers int, liquid bool) (*rcnet.Model, *pump.Pump, error) {
+	stack, err := o.stackFor(layers, liquid)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := grid.Build(stack, grid.DefaultParams(o.GridNX, o.GridNY))
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := rcnet.New(g, rcnet.DefaultConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	var pm *pump.Pump
+	if liquid {
+		pm, err = pump.New(stack.NumCavities())
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, pm, nil
+}
+
+// lutFor builds (or reuses) the flow LUT for a layer count.
+func (o Options) lutFor(t *tables, layers int) (*controller.LUT, error) {
+	if l, ok := t.lut[layers]; ok {
+		return l, nil
+	}
+	m, pm, err := o.modelFor(layers, true)
+	if err != nil {
+		return nil, err
+	}
+	stack := m.Grid.Stack
+	lut, err := controller.BuildLUT(m, pm, sim.FullLoadPowers(stack),
+		controller.TargetTemp, controller.DefaultLadder())
+	if err != nil {
+		return nil, err
+	}
+	t.lut[layers] = lut
+	return lut, nil
+}
+
+// weightsFor builds (or reuses) the TALB weights for a configuration.
+func (o Options) weightsFor(t *tables, layers int, liquid bool) (*controller.WeightTable, error) {
+	key := fmt.Sprintf("%d-%v", layers, liquid)
+	if w, ok := t.weights[key]; ok {
+		return w, nil
+	}
+	m, pm, err := o.modelFor(layers, liquid)
+	if err != nil {
+		return nil, err
+	}
+	w, err := controller.BuildWeights(m, pm, 3)
+	if err != nil {
+		return nil, err
+	}
+	t.weights[key] = w
+	return w, nil
+}
+
+// Combo names one policy/cooling configuration as the paper labels them.
+type Combo struct {
+	Label   string
+	Cooling sim.CoolingMode
+	Policy  sched.Policy
+}
+
+// Fig6Combos lists the seven configurations of Figs. 6 and 7, in the
+// paper's bar order. (*) marks the paper's novel policy.
+func Fig6Combos() []Combo {
+	return []Combo{
+		{"LB (Air)", sim.Air, sched.LB},
+		{"Mig. (Air)", sim.Air, sched.Migration},
+		{"TALB (Air)", sim.Air, sched.TALB},
+		{"LB (Max)", sim.LiquidMax, sched.LB},
+		{"Mig. (Max)", sim.LiquidMax, sched.Migration},
+		{"TALB (Max)", sim.LiquidMax, sched.TALB},
+		{"TALB (Var)*", sim.LiquidVar, sched.TALB},
+	}
+}
+
+// Fig8Combos lists the five configurations of Fig. 8.
+func Fig8Combos() []Combo {
+	return []Combo{
+		{"LB (Air)", sim.Air, sched.LB},
+		{"Mig. (Air)", sim.Air, sched.Migration},
+		{"TALB (Air)", sim.Air, sched.TALB},
+		{"LB (Max)", sim.LiquidMax, sched.LB},
+		{"TALB (Var)*", sim.LiquidVar, sched.TALB},
+	}
+}
+
+// run executes one cell of an experiment matrix.
+func (o Options) run(t *tables, layers int, combo Combo,
+	bench workload.Benchmark, dpmOn bool) (*sim.Result, error) {
+	cfg := sim.DefaultConfig()
+	cfg.Layers = layers
+	cfg.Cooling = combo.Cooling
+	cfg.Policy = combo.Policy
+	cfg.Bench = bench
+	cfg.Seed = o.Seed
+	cfg.Duration = o.Duration
+	cfg.Warmup = o.Warmup
+	cfg.GridNX, cfg.GridNY = o.GridNX, o.GridNY
+	cfg.DPMEnabled = dpmOn
+	if combo.Cooling == sim.LiquidVar {
+		lut, err := o.lutFor(t, layers)
+		if err != nil {
+			return nil, err
+		}
+		cfg.LUT = lut
+	}
+	if combo.Policy == sched.TALB {
+		w, err := o.weightsFor(t, layers, combo.Cooling != sim.Air)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Weights = w
+	}
+	return sim.Run(cfg)
+}
+
+// writeTable renders rows of equal length under a header.
+func writeTable(w io.Writer, title string, header []string, rows [][]string) {
+	fmt.Fprintf(w, "%s\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}

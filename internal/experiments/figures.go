@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/controller"
+	"repro/internal/pump"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Fig5Row is one point of Fig. 5: the flow required to cool a system
+// observed at TmaxObserved back below the target temperature.
+type Fig5Row struct {
+	// PowerScale is the underlying load (fraction of full load).
+	PowerScale float64
+	// TmaxObserved is the steady maximum temperature at the lowest pump
+	// setting — what the system would heat up to if the controller did
+	// not react (the figure's x-axis).
+	TmaxObserved units.Celsius
+	// RequiredFlowML is the minimum continuous per-cavity flow (ml/min)
+	// holding the target, found by bisection; NaN when even the maximum
+	// deliverable flow cannot.
+	RequiredFlowML float64
+	// RequiredSetting is the minimum discrete pump setting (the dashed
+	// staircase in the figure).
+	RequiredSetting pump.Setting
+	// SettingFlowML is that setting's delivered per-cavity flow.
+	SettingFlowML float64
+}
+
+// Fig5Result holds one stack's required-flow curve.
+type Fig5Result struct {
+	Layers int
+	Rows   []Fig5Row
+}
+
+// Fig5 regenerates the flow-requirement analysis for the 2- and 4-layer
+// systems.
+func Fig5(o Options) ([]Fig5Result, error) {
+	var out []Fig5Result
+	for _, layers := range []int{2, 4} {
+		m, pm, err := o.modelFor(layers, true)
+		if err != nil {
+			return nil, err
+		}
+		t := o.newTables()
+		lut, err := o.lutFor(t, layers)
+		if err != nil {
+			return nil, err
+		}
+		full := sim.FullLoadPowers(m.Grid.Stack)
+		res := Fig5Result{Layers: layers}
+		maxFlow := float64(pm.PerCavityFlow(pump.MaxSetting()))
+		for k, lambda := range lut.Ladder {
+			if lambda == 0 {
+				continue
+			}
+			scaled := make([][]float64, len(full))
+			for li := range full {
+				scaled[li] = make([]float64, len(full[li]))
+				for bi := range full[li] {
+					scaled[li][bi] = full[li][bi] * lambda
+				}
+				if err := m.SetLayerPower(li, scaled[li]); err != nil {
+					return nil, err
+				}
+			}
+			tmaxAt := func(flowLPM float64) (units.Celsius, error) {
+				if err := m.SetFlow(units.LitersPerMinute(flowLPM)); err != nil {
+					return 0, err
+				}
+				if err := m.SteadyState(); err != nil {
+					return 0, fmt.Errorf("fig5: %d-layer load %.2f flow %.4f l/min: %w",
+						layers, lambda, flowLPM, err)
+				}
+				return m.MaxDieTemp().ToCelsius(), nil
+			}
+			required, err := bisectFlow(tmaxAt, lut.Target, 0.005, maxFlow)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig5Row{
+				PowerScale:      lambda,
+				TmaxObserved:    lut.TmaxAt[0][k],
+				RequiredSetting: lut.Required[k],
+				SettingFlowML:   pm.PerCavityFlow(lut.Required[k]).MilliLitersPerMinute(),
+			}
+			if math.IsNaN(required) {
+				row.RequiredFlowML = math.NaN()
+			} else {
+				row.RequiredFlowML = units.LitersPerMinute(required).MilliLitersPerMinute()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// bisectFlow finds the minimum flow (l/min) with tmaxAt(flow) ≤ target.
+// Returns lo if already sufficient, NaN if hi is insufficient.
+func bisectFlow(tmaxAt func(float64) (units.Celsius, error), target units.Celsius, lo, hi float64) (float64, error) {
+	tLo, err := tmaxAt(lo)
+	if err != nil {
+		return 0, err
+	}
+	if tLo <= target {
+		return lo, nil
+	}
+	tHi, err := tmaxAt(hi)
+	if err != nil {
+		return 0, err
+	}
+	if tHi > target {
+		return math.NaN(), nil
+	}
+	for i := 0; i < 24 && hi-lo > 1e-4; i++ {
+		mid := 0.5 * (lo + hi)
+		tm, err := tmaxAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if tm <= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// WriteFig5 renders the required-flow analysis.
+func WriteFig5(w io.Writer, o Options) error {
+	results, err := Fig5(o)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		rows := make([][]string, 0, len(res.Rows))
+		for _, r := range res.Rows {
+			req := "—(needs > max)"
+			if !math.IsNaN(r.RequiredFlowML) {
+				req = fmt.Sprintf("%.0f", r.RequiredFlowML)
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%.1f", r.PowerScale),
+				celsius(r.TmaxObserved),
+				req,
+				fmt.Sprintf("%d", r.RequiredSetting),
+				fmt.Sprintf("%.0f", r.SettingFlowML),
+			})
+		}
+		writeTable(w, fmt.Sprintf("FIG 5. Flow required to cool Tmax below %.0f °C (%d-layer)",
+			float64(controller.TargetTemp), res.Layers),
+			[]string{"Load", "Tmax@min-flow (°C)", "Min flow (ml/min)", "Setting", "Setting flow (ml/min)"},
+			rows)
+	}
+	return nil
+}
+
+// ComboResult aggregates one policy/cooling configuration across the
+// workload set.
+type ComboResult struct {
+	Combo Combo
+	// Per-workload reports in benchmark order.
+	PerWorkload []*sim.Result
+	// AvgHotPct and MaxHotPct across workloads (Fig. 6's bars).
+	AvgHotPct, MaxHotPct float64
+	// AvgGradPct / MaxGradPct and AvgCyclePct / MaxCyclePct (Fig. 7).
+	AvgGradPct, MaxGradPct   float64
+	AvgCyclePct, MaxCyclePct float64
+	// ChipEnergy and PumpEnergy summed over workloads (J).
+	ChipEnergy, PumpEnergy float64
+	// Throughput summed over workloads (threads/s).
+	Throughput float64
+	// MeanResponse averaged over workloads (s): thread sojourn time,
+	// the latency view of the migration penalty.
+	MeanResponse float64
+	// NormChip, NormPump, NormPerf are normalized to the first combo
+	// (LB (Air)); pump energy is normalized to the same chip base, as in
+	// Fig. 6's shared right axis.
+	NormChip, NormPump, NormPerf float64
+}
+
+// runMatrix executes a combo × workload matrix and aggregates.
+func (o Options) runMatrix(layers int, combos []Combo, dpmOn bool) ([]ComboResult, error) {
+	benches, err := o.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	t := o.newTables()
+	out := make([]ComboResult, 0, len(combos))
+	for _, combo := range combos {
+		cr := ComboResult{Combo: combo, MaxHotPct: 0}
+		for _, b := range benches {
+			r, err := o.run(t, layers, combo, b, dpmOn)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %s: %w", combo.Label, b.Name, err)
+			}
+			cr.PerWorkload = append(cr.PerWorkload, r)
+			cr.AvgHotPct += r.HotSpotPct
+			cr.MaxHotPct = math.Max(cr.MaxHotPct, r.HotSpotPct)
+			cr.AvgGradPct += r.GradientPct
+			cr.MaxGradPct = math.Max(cr.MaxGradPct, r.GradientPct)
+			cr.AvgCyclePct += r.CyclePct
+			cr.MaxCyclePct = math.Max(cr.MaxCyclePct, r.CyclePct)
+			cr.ChipEnergy += float64(r.ChipEnergy)
+			cr.PumpEnergy += float64(r.PumpEnergy)
+			cr.Throughput += r.Throughput
+			cr.MeanResponse += float64(r.MeanResponse)
+		}
+		n := float64(len(benches))
+		cr.AvgHotPct /= n
+		cr.AvgGradPct /= n
+		cr.AvgCyclePct /= n
+		cr.MeanResponse /= n
+		out = append(out, cr)
+	}
+	base := out[0]
+	for i := range out {
+		out[i].NormChip = out[i].ChipEnergy / base.ChipEnergy
+		out[i].NormPump = out[i].PumpEnergy / base.ChipEnergy
+		out[i].NormPerf = out[i].Throughput / base.Throughput
+	}
+	return out, nil
+}
+
+// Fig6 regenerates the hot-spot and energy comparison (2-layer system, no
+// DPM, all policies).
+func Fig6(o Options) ([]ComboResult, error) {
+	return o.runMatrix(2, Fig6Combos(), false)
+}
+
+// Fig6Layers is the layer-count-parameterized extension of Fig. 6 (the
+// paper evaluates 2- and 4-layer systems; its figures show the 2-layer).
+func Fig6Layers(o Options, layers int) ([]ComboResult, error) {
+	return o.runMatrix(layers, Fig6Combos(), false)
+}
+
+// Fig7Layers parameterizes Fig. 7 by layer count.
+func Fig7Layers(o Options, layers int) ([]ComboResult, error) {
+	return o.runMatrix(layers, Fig6Combos(), true)
+}
+
+// WriteFig6 renders Fig. 6.
+func WriteFig6(w io.Writer, o Options) error {
+	res, err := Fig6(o)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(res))
+	for _, r := range res {
+		rows = append(rows, []string{
+			r.Combo.Label,
+			fmt.Sprintf("%.1f", r.AvgHotPct),
+			fmt.Sprintf("%.1f", r.MaxHotPct),
+			fmt.Sprintf("%.3f", r.NormChip),
+			fmt.Sprintf("%.3f", r.NormPump),
+			fmt.Sprintf("%.3f", r.NormChip+r.NormPump),
+		})
+	}
+	writeTable(w, "FIG 6. Hot spots and energy, 2-layer system (energy normalized to LB (Air) chip energy)",
+		[]string{"Policy", "HotSpots avg (%>85C)", "HotSpots max (%)", "Energy chip", "Energy pump", "Energy total"},
+		rows)
+	// Headline deltas vs the worst-case flow baseline.
+	var lbMax, talbVar *ComboResult
+	for i := range res {
+		switch res[i].Combo.Label {
+		case "LB (Max)":
+			lbMax = &res[i]
+		case "TALB (Var)*":
+			talbVar = &res[i]
+		}
+	}
+	if lbMax != nil && talbVar != nil && lbMax.PumpEnergy > 0 {
+		coolSave := 100 * (1 - talbVar.PumpEnergy/lbMax.PumpEnergy)
+		totSave := 100 * (1 - (talbVar.ChipEnergy+talbVar.PumpEnergy)/(lbMax.ChipEnergy+lbMax.PumpEnergy))
+		fmt.Fprintf(w, "TALB (Var) vs LB (Max): cooling energy -%.1f%%, total energy -%.1f%%\n\n", coolSave, totSave)
+	}
+	return nil
+}
+
+// Fig7 regenerates the thermal-variation comparison (with DPM).
+func Fig7(o Options) ([]ComboResult, error) {
+	return o.runMatrix(2, Fig6Combos(), true)
+}
+
+// WriteFig7 renders Fig. 7.
+func WriteFig7(w io.Writer, o Options) error {
+	res, err := Fig7(o)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(res))
+	for _, r := range res {
+		rows = append(rows, []string{
+			r.Combo.Label,
+			fmt.Sprintf("%.1f", r.AvgGradPct),
+			fmt.Sprintf("%.1f", r.MaxGradPct),
+			fmt.Sprintf("%.2f", r.AvgCyclePct),
+			fmt.Sprintf("%.2f", r.MaxCyclePct),
+		})
+	}
+	writeTable(w, "FIG 7. Thermal variations with DPM, 2-layer system",
+		[]string{"Policy", "Grad>15C avg (%)", "Grad>15C max (%)", "Cycles>20C avg (%)", "Cycles>20C max (%)"},
+		rows)
+	return nil
+}
+
+// Fig8 regenerates the performance and energy comparison.
+func Fig8(o Options) ([]ComboResult, error) {
+	return o.runMatrix(2, Fig8Combos(), false)
+}
+
+// WriteFig8 renders Fig. 8.
+func WriteFig8(w io.Writer, o Options) error {
+	res, err := Fig8(o)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(res))
+	for _, r := range res {
+		rows = append(rows, []string{
+			r.Combo.Label,
+			fmt.Sprintf("%.3f", r.NormChip),
+			fmt.Sprintf("%.3f", r.NormPump),
+			fmt.Sprintf("%.3f", r.NormPerf),
+			fmt.Sprintf("%.1f", r.MeanResponse*1000),
+		})
+	}
+	writeTable(w, "FIG 8. Performance and energy (normalized to LB (Air))",
+		[]string{"Policy", "Chip energy", "Pump energy", "Performance", "Mean response (ms)"},
+		rows)
+	return nil
+}

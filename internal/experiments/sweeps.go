@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/controller"
+	"repro/internal/grid"
+	"repro/internal/pump"
+	"repro/internal/rcnet"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// InletSweepRow captures the behaviour of the variable-flow controller at
+// one coolant inlet temperature.
+type InletSweepRow struct {
+	InletC float64
+	// FullLoadFeasible reports whether maximum flow can hold the target
+	// at full load.
+	FullLoadFeasible bool
+	// MeanSetting is the controller's time-averaged setting on the
+	// sweep workload.
+	MeanSetting float64
+	// CoolingSavedPct and TotalSavedPct vs the max-flow baseline.
+	CoolingSavedPct, TotalSavedPct float64
+	// MaxTemp observed under variable flow (°C).
+	MaxTemp float64
+}
+
+// InletSweep quantifies the sensitivity of the headline results to the
+// coolant inlet temperature — the calibration decision EXPERIMENTS.md
+// documents. Colder inlets make every pump setting sufficient (the
+// controller pins to minimum and the savings saturate); warmer inlets
+// squeeze the thermal budget until even maximum flow cannot hold the
+// target at full load.
+func InletSweep(o Options, bench string, inletsC []float64) ([]InletSweepRow, error) {
+	b, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	var out []InletSweepRow
+	for _, inlet := range inletsC {
+		rcCfg := rcnet.DefaultConfig()
+		rcCfg.CoolantInlet = units.Celsius(inlet).ToKelvin()
+
+		// Feasibility + LUT from the steady-state sweep.
+		stack, err := o.stackFor(2, true)
+		if err != nil {
+			return nil, err
+		}
+		g, err := grid.Build(stack, grid.DefaultParams(o.GridNX, o.GridNY))
+		if err != nil {
+			return nil, err
+		}
+		m, err := rcnet.New(g, rcCfg)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := pump.New(stack.NumCavities())
+		if err != nil {
+			return nil, err
+		}
+		lut, err := controller.BuildLUT(m, pm, sim.FullLoadPowers(stack),
+			controller.TargetTemp, controller.DefaultLadder())
+		if err != nil {
+			return nil, err
+		}
+		fullIdx := 0
+		for k, l := range lut.Ladder {
+			if l <= 1.0 {
+				fullIdx = k
+			}
+		}
+		row := InletSweepRow{
+			InletC:           inlet,
+			FullLoadFeasible: lut.TmaxAt[len(lut.TmaxAt)-1][fullIdx] <= lut.Target,
+		}
+
+		run := func(cooling sim.CoolingMode) (*sim.Result, error) {
+			cfg := sim.DefaultConfig()
+			cfg.Bench = b
+			cfg.Cooling = cooling
+			cfg.Policy = sched.TALB
+			cfg.Seed = o.Seed
+			cfg.Duration = o.Duration
+			cfg.Warmup = o.Warmup
+			cfg.GridNX, cfg.GridNY = o.GridNX, o.GridNY
+			cfg.RC = &rcCfg
+			if cooling == sim.LiquidVar {
+				cfg.LUT = lut
+			}
+			return sim.Run(cfg)
+		}
+		vr, err := run(sim.LiquidVar)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: inlet %v var: %w", inlet, err)
+		}
+		mx, err := run(sim.LiquidMax)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: inlet %v max: %w", inlet, err)
+		}
+		row.MeanSetting = vr.MeanSetting
+		row.MaxTemp = vr.MaxTemp
+		if mx.PumpEnergy > 0 {
+			row.CoolingSavedPct = 100 * (1 - float64(vr.PumpEnergy)/float64(mx.PumpEnergy))
+		}
+		if tot := float64(mx.TotalEnergy); tot > 0 {
+			row.TotalSavedPct = 100 * (1 - float64(vr.TotalEnergy)/tot)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// WriteInletSweep renders the sweep.
+func WriteInletSweep(w io.Writer, o Options, bench string, inletsC []float64) error {
+	rows, err := InletSweep(o, bench, inletsC)
+	if err != nil {
+		return err
+	}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		feas := "yes"
+		if !r.FullLoadFeasible {
+			feas = "no"
+		}
+		out = append(out, []string{
+			fmt.Sprintf("%.0f", r.InletC),
+			feas,
+			fmt.Sprintf("%.2f", r.MeanSetting),
+			fmt.Sprintf("%.1f", r.CoolingSavedPct),
+			fmt.Sprintf("%.1f", r.TotalSavedPct),
+			fmt.Sprintf("%.2f", r.MaxTemp),
+		})
+	}
+	writeTable(w, fmt.Sprintf("INLET SWEEP (%s): controller behaviour vs coolant inlet temperature", bench),
+		[]string{"Inlet (°C)", "Full load feasible", "Mean setting", "Cooling saved (%)", "Total saved (%)", "Tmax (°C)"},
+		out)
+	return nil
+}

@@ -1,0 +1,232 @@
+// Package floorplan describes the geometry of the 3D stacked systems the
+// paper evaluates: blocks (cores, L2 caches, crossbar, memory controllers)
+// placed on layers, and layers stacked with microchannel cavities (or plain
+// interlayer material for the air-cooled baseline) in between.
+//
+// The concrete floorplans follow Section V and Table III of the paper:
+// UltraSPARC T1-derived layers of 115 mm² with 10 mm² cores and 19 mm² L2
+// caches, cores and caches on separate tiers, TSVs confined to the central
+// crossbar strip.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// BlockKind classifies a floorplan block for the power and scheduling
+// models.
+type BlockKind int
+
+// Block kinds.
+const (
+	KindCore BlockKind = iota
+	KindL2
+	KindCrossbar
+	KindMemCtrl
+	KindOther
+)
+
+// String implements fmt.Stringer.
+func (k BlockKind) String() string {
+	switch k {
+	case KindCore:
+		return "core"
+	case KindL2:
+		return "l2"
+	case KindCrossbar:
+		return "crossbar"
+	case KindMemCtrl:
+		return "memctrl"
+	case KindOther:
+		return "other"
+	default:
+		return fmt.Sprintf("BlockKind(%d)", int(k))
+	}
+}
+
+// Block is an axis-aligned rectangle on a layer. Coordinates are metres
+// with the origin at the layer's lower-left corner.
+type Block struct {
+	Name string
+	Kind BlockKind
+	X, Y units.Meter // lower-left corner
+	W, H units.Meter // extent
+
+	// HotspotPowerFrac and HotspotAreaFrac describe within-block power
+	// concentration: HotspotPowerFrac of the block's power dissipates in
+	// a centred sub-rectangle of HotspotAreaFrac of the block area, the
+	// rest uniformly over the whole block. Both zero means uniform.
+	// Real cores concentrate flux in the execution units; block-level
+	// power inputs (the paper's 3 W/core) need this to recover realistic
+	// peak flux.
+	HotspotPowerFrac float64
+	HotspotAreaFrac  float64
+}
+
+// HotspotRect returns the centred hot-spot sub-rectangle. Valid only when
+// HotspotAreaFrac > 0; the sub-rectangle preserves the block's aspect
+// ratio.
+func (b Block) HotspotRect() Block {
+	scale := math.Sqrt(b.HotspotAreaFrac)
+	w := units.Meter(float64(b.W) * scale)
+	h := units.Meter(float64(b.H) * scale)
+	return Block{
+		X: b.X + (b.W-w)/2,
+		Y: b.Y + (b.H-h)/2,
+		W: w, H: h,
+	}
+}
+
+// Area returns the block area.
+func (b Block) Area() units.SquareMeter {
+	return units.SquareMeter(float64(b.W) * float64(b.H))
+}
+
+// Contains reports whether the point (x, y) lies inside the block
+// (half-open on the upper edges so adjacent blocks do not both claim their
+// shared boundary).
+func (b Block) Contains(x, y units.Meter) bool {
+	return x >= b.X && x < b.X+b.W && y >= b.Y && y < b.Y+b.H
+}
+
+// Overlaps reports whether two blocks share interior area.
+func (b Block) Overlaps(o Block) bool {
+	return b.X < o.X+o.W && o.X < b.X+b.W && b.Y < o.Y+o.H && o.Y < b.Y+b.H
+}
+
+// Layer is one silicon tier of the stack.
+type Layer struct {
+	Name   string
+	Blocks []Block
+	// Thickness is the silicon die thickness (Table III: 0.15 mm).
+	Thickness units.Meter
+}
+
+// LayerRole distinguishes compute tiers for the scheduler: the paper places
+// cores and caches on separate tiers.
+type LayerRole int
+
+// Layer roles.
+const (
+	RoleCores LayerRole = iota
+	RoleCaches
+)
+
+// Stack is a full 3D system: layers bottom-to-top with cavity or interface
+// material between and around them.
+type Stack struct {
+	Name   string
+	Width  units.Meter
+	Height units.Meter
+	Layers []Layer
+	Roles  []LayerRole
+
+	// LiquidCooled selects microchannel cavities (true) or plain interlayer
+	// material plus a conventional package (false).
+	LiquidCooled bool
+
+	// ChannelsPerCavity is the number of microchannels in each cavity
+	// (paper: 65). Meaningful only when LiquidCooled.
+	ChannelsPerCavity int
+}
+
+// NumCavities returns the number of coolant cavities. The paper puts
+// cooling layers on the very top and bottom of the stack as well as between
+// tiers, so an n-layer liquid-cooled stack has n+1 cavities.
+func (s *Stack) NumCavities() int {
+	if !s.LiquidCooled {
+		return 0
+	}
+	return len(s.Layers) + 1
+}
+
+// TotalChannels returns the microchannel count across all cavities
+// (paper: 195 for 2 layers, 325 for 4).
+func (s *Stack) TotalChannels() int {
+	return s.NumCavities() * s.ChannelsPerCavity
+}
+
+// Cores returns, per layer index, the blocks of kind KindCore in layer
+// order, flattened into one slice with stable ordering (layer-major, then
+// block order). The scheduler and power model index cores this way.
+func (s *Stack) Cores() []CoreRef {
+	var refs []CoreRef
+	for li, layer := range s.Layers {
+		for bi, b := range layer.Blocks {
+			if b.Kind == KindCore {
+				refs = append(refs, CoreRef{Layer: li, Block: bi, Name: b.Name})
+			}
+		}
+	}
+	return refs
+}
+
+// CoreRef locates a core block within a stack.
+type CoreRef struct {
+	Layer int
+	Block int
+	Name  string
+}
+
+// BlockAt returns the block containing (x, y) on layer li, or nil.
+func (s *Stack) BlockAt(li int, x, y units.Meter) *Block {
+	for i := range s.Layers[li].Blocks {
+		if s.Layers[li].Blocks[i].Contains(x, y) {
+			return &s.Layers[li].Blocks[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks geometric consistency: blocks inside bounds, no overlap,
+// and per-layer block coverage equal to the stack footprint to within tol
+// (relative).
+func (s *Stack) Validate(tol float64) error {
+	if len(s.Layers) == 0 {
+		return fmt.Errorf("floorplan: stack %q has no layers", s.Name)
+	}
+	if len(s.Roles) != len(s.Layers) {
+		return fmt.Errorf("floorplan: stack %q has %d roles for %d layers", s.Name, len(s.Roles), len(s.Layers))
+	}
+	footprint := float64(s.Width) * float64(s.Height)
+	for li, layer := range s.Layers {
+		if layer.Thickness <= 0 {
+			return fmt.Errorf("floorplan: layer %d (%s) has non-positive thickness", li, layer.Name)
+		}
+		covered := 0.0
+		for bi, b := range layer.Blocks {
+			if b.W <= 0 || b.H <= 0 {
+				return fmt.Errorf("floorplan: layer %d block %q has non-positive extent", li, b.Name)
+			}
+			if b.X < 0 || b.Y < 0 ||
+				float64(b.X+b.W) > float64(s.Width)*(1+tol) ||
+				float64(b.Y+b.H) > float64(s.Height)*(1+tol) {
+				return fmt.Errorf("floorplan: layer %d block %q outside stack bounds", li, b.Name)
+			}
+			if b.HotspotPowerFrac < 0 || b.HotspotPowerFrac > 1 ||
+				b.HotspotAreaFrac < 0 || b.HotspotAreaFrac > 1 ||
+				(b.HotspotPowerFrac > 0) != (b.HotspotAreaFrac > 0) {
+				return fmt.Errorf("floorplan: layer %d block %q has invalid hotspot fractions (%g power, %g area)",
+					li, b.Name, b.HotspotPowerFrac, b.HotspotAreaFrac)
+			}
+			covered += float64(b.Area())
+			for bj := bi + 1; bj < len(layer.Blocks); bj++ {
+				if b.Overlaps(layer.Blocks[bj]) {
+					return fmt.Errorf("floorplan: layer %d blocks %q and %q overlap",
+						li, b.Name, layer.Blocks[bj].Name)
+				}
+			}
+		}
+		if math.Abs(covered-footprint) > tol*footprint {
+			return fmt.Errorf("floorplan: layer %d (%s) covers %.4g of %.4g m²",
+				li, layer.Name, covered, footprint)
+		}
+	}
+	if s.LiquidCooled && s.ChannelsPerCavity <= 0 {
+		return fmt.Errorf("floorplan: liquid-cooled stack %q needs channels per cavity", s.Name)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestT1Stack2Validates(t *testing.T) {
+	for _, liquid := range []bool{true, false} {
+		s := NewT1Stack2(liquid)
+		if err := s.Validate(1e-6); err != nil {
+			t.Errorf("liquid=%v: %v", liquid, err)
+		}
+	}
+}
+
+func TestT1Stack4Validates(t *testing.T) {
+	s := NewT1Stack4(true)
+	if err := s.Validate(1e-6); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestT1StackCoreCounts(t *testing.T) {
+	if got := len(NewT1Stack2(true).Cores()); got != 8 {
+		t.Errorf("2-layer core count = %d, want 8", got)
+	}
+	if got := len(NewT1Stack4(true).Cores()); got != 16 {
+		t.Errorf("4-layer core count = %d, want 16", got)
+	}
+}
+
+func TestT1CoreNamesUniqueAndOrdered(t *testing.T) {
+	s := NewT1Stack4(true)
+	seen := map[string]bool{}
+	for _, c := range s.Cores() {
+		if seen[c.Name] {
+			t.Errorf("duplicate core name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	// Layer-major ordering: first 8 cores on layer 0, next 8 on layer 2.
+	cores := s.Cores()
+	for i := 0; i < 8; i++ {
+		if cores[i].Layer != 0 {
+			t.Errorf("core %d on layer %d, want 0", i, cores[i].Layer)
+		}
+	}
+	for i := 8; i < 16; i++ {
+		if cores[i].Layer != 2 {
+			t.Errorf("core %d on layer %d, want 2", i, cores[i].Layer)
+		}
+	}
+}
+
+func TestT1AreasMatchTableIII(t *testing.T) {
+	s := NewT1Stack2(true)
+	footprint := float64(s.Width) * float64(s.Height)
+	if math.Abs(footprint-115e-6) > 1e-9 {
+		t.Errorf("layer footprint = %v m², want 115 mm²", footprint)
+	}
+	for _, c := range s.Cores() {
+		b := s.Layers[c.Layer].Blocks[c.Block]
+		if units.RelativeError(float64(b.Area()), 10e-6) > 1e-3 {
+			t.Errorf("core %s area = %v m², want 10 mm²", b.Name, b.Area())
+		}
+	}
+	for _, b := range s.Layers[1].Blocks {
+		if b.Kind == KindL2 && units.RelativeError(float64(b.Area()), 19e-6) > 1e-3 {
+			t.Errorf("L2 %s area = %v m², want 19 mm²", b.Name, b.Area())
+		}
+	}
+}
+
+func TestT1L2CountMatchesSharingRatio(t *testing.T) {
+	// One shared L2 per two cores (Section V).
+	count := func(s *Stack, k BlockKind) int {
+		n := 0
+		for _, l := range s.Layers {
+			for _, b := range l.Blocks {
+				if b.Kind == k {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if got := count(NewT1Stack2(true), KindL2); got != 4 {
+		t.Errorf("2-layer L2 count = %d, want 4", got)
+	}
+	if got := count(NewT1Stack4(true), KindL2); got != 8 {
+		t.Errorf("4-layer L2 count = %d, want 8", got)
+	}
+}
+
+func TestChannelCountsMatchPaper(t *testing.T) {
+	// Section III: 195 channels in the 2-layer system, 325 in the 4-layer.
+	if got := NewT1Stack2(true).TotalChannels(); got != 195 {
+		t.Errorf("2-layer total channels = %d, want 195", got)
+	}
+	if got := NewT1Stack4(true).TotalChannels(); got != 325 {
+		t.Errorf("4-layer total channels = %d, want 325", got)
+	}
+	if got := NewT1Stack2(false).TotalChannels(); got != 0 {
+		t.Errorf("air-cooled stack reports %d channels, want 0", got)
+	}
+}
+
+func TestCavityCounts(t *testing.T) {
+	if got := NewT1Stack2(true).NumCavities(); got != 3 {
+		t.Errorf("2-layer cavities = %d, want 3", got)
+	}
+	if got := NewT1Stack4(true).NumCavities(); got != 5 {
+		t.Errorf("4-layer cavities = %d, want 5", got)
+	}
+}
+
+func TestBlockContainsHalfOpen(t *testing.T) {
+	b := Block{X: 0, Y: 0, W: 1e-3, H: 1e-3}
+	if !b.Contains(0, 0) {
+		t.Error("lower-left corner should be inside")
+	}
+	if b.Contains(1e-3, 0.5e-3) {
+		t.Error("right edge should be outside (half-open)")
+	}
+	if b.Contains(0.5e-3, 1e-3) {
+		t.Error("top edge should be outside (half-open)")
+	}
+}
+
+func TestBlockOverlaps(t *testing.T) {
+	a := Block{X: 0, Y: 0, W: 2e-3, H: 2e-3}
+	touching := Block{X: 2e-3, Y: 0, W: 1e-3, H: 1e-3}
+	if a.Overlaps(touching) {
+		t.Error("edge-touching blocks should not overlap")
+	}
+	inter := Block{X: 1e-3, Y: 1e-3, W: 2e-3, H: 2e-3}
+	if !a.Overlaps(inter) {
+		t.Error("intersecting blocks should overlap")
+	}
+}
+
+func TestBlockAt(t *testing.T) {
+	s := NewT1Stack2(true)
+	// Centre of the die is crossbar on both layers.
+	cx, cy := s.Width/2, s.Height/2
+	for li := range s.Layers {
+		b := s.BlockAt(li, cx, cy)
+		if b == nil || b.Kind != KindCrossbar {
+			t.Errorf("layer %d centre block = %v, want crossbar", li, b)
+		}
+	}
+	// Lower-left corner of layer 0 is core0.
+	b := s.BlockAt(0, 1e-6, 1e-6)
+	if b == nil || b.Name != "core0" {
+		t.Errorf("layer 0 corner block = %v, want core0", b)
+	}
+	if s.BlockAt(0, s.Width+1e-3, 0) != nil {
+		t.Error("point outside stack should find no block")
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	s := NewT1Stack2(true)
+	s.Layers[0].Blocks[0].W *= 2 // now overlaps core1
+	if err := s.Validate(1e-6); err == nil {
+		t.Error("expected overlap error")
+	}
+}
+
+func TestValidateDetectsCoverageGap(t *testing.T) {
+	s := NewT1Stack2(true)
+	s.Layers[0].Blocks = s.Layers[0].Blocks[:len(s.Layers[0].Blocks)-1]
+	if err := s.Validate(1e-6); err == nil {
+		t.Error("expected coverage error")
+	}
+}
+
+func TestValidateDetectsRoleMismatch(t *testing.T) {
+	s := NewT1Stack2(true)
+	s.Roles = s.Roles[:1]
+	if err := s.Validate(1e-6); err == nil {
+		t.Error("expected role count error")
+	}
+}
+
+func TestValidateDetectsMissingChannels(t *testing.T) {
+	s := NewT1Stack2(true)
+	s.ChannelsPerCavity = 0
+	if err := s.Validate(1e-6); err == nil {
+		t.Error("expected channels-per-cavity error")
+	}
+}
+
+func TestBlockKindString(t *testing.T) {
+	cases := map[BlockKind]string{
+		KindCore: "core", KindL2: "l2", KindCrossbar: "crossbar",
+		KindMemCtrl: "memctrl", KindOther: "other", BlockKind(99): "BlockKind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

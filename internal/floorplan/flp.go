@@ -1,0 +1,155 @@
+package floorplan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// This file implements HotSpot's .flp floorplan interchange format, so
+// layers can be exported to (and imported from) the tool the paper builds
+// its thermal model in. The format is line-oriented:
+//
+//	<unit-name> <width> <height> <left-x> <bottom-y>
+//
+// with dimensions in metres and '#' comments. Block kinds are inferred
+// from name prefixes on import (core*, l2*, *xbar*, *mc*) and preserved
+// verbatim on export.
+
+// WriteFLP serializes one layer in HotSpot .flp format.
+func WriteFLP(w io.Writer, l *Layer) error {
+	if _, err := fmt.Fprintf(w, "# floorplan: %s\n# <name> <width> <height> <left-x> <bottom-y> (metres)\n", l.Name); err != nil {
+		return err
+	}
+	for _, b := range l.Blocks {
+		if _, err := fmt.Fprintf(w, "%s\t%.9f\t%.9f\t%.9f\t%.9f\n",
+			b.Name, float64(b.W), float64(b.H), float64(b.X), float64(b.Y)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KindFromName infers a block kind from HotSpot-style unit names.
+func KindFromName(name string) BlockKind {
+	n := strings.ToLower(name)
+	switch {
+	// Crossbar first: names like "cores0-xbar" carry a "core" prefix.
+	case strings.Contains(n, "xbar") || strings.Contains(n, "crossbar"):
+		return KindCrossbar
+	case strings.HasPrefix(n, "core") || strings.HasPrefix(n, "cpu"):
+		return KindCore
+	case strings.HasPrefix(n, "l2") || strings.Contains(n, "cache"):
+		return KindL2
+	case strings.Contains(n, "mc") || strings.Contains(n, "memctrl") || strings.Contains(n, "dram"):
+		return KindMemCtrl
+	default:
+		return KindOther
+	}
+}
+
+// ParseFLP reads a HotSpot .flp floorplan into a Layer with the given
+// name and thickness.
+func ParseFLP(r io.Reader, name string, thickness units.Meter) (*Layer, error) {
+	layer := &Layer{Name: name, Thickness: thickness}
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("floorplan: %s line %d: %d fields, want ≥5", name, lineNo, len(fields))
+		}
+		var w, h, x, y float64
+		for i, dst := range []*float64{&w, &h, &x, &y} {
+			if _, err := fmt.Sscanf(fields[i+1], "%g", dst); err != nil {
+				return nil, fmt.Errorf("floorplan: %s line %d field %d: %v", name, lineNo, i+2, err)
+			}
+		}
+		if w <= 0 || h <= 0 {
+			return nil, fmt.Errorf("floorplan: %s line %d: non-positive extent", name, lineNo)
+		}
+		layer.Blocks = append(layer.Blocks, Block{
+			Name: fields[0],
+			Kind: KindFromName(fields[0]),
+			X:    units.Meter(x), Y: units.Meter(y),
+			W: units.Meter(w), H: units.Meter(h),
+		})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(layer.Blocks) == 0 {
+		return nil, fmt.Errorf("floorplan: %s: empty floorplan", name)
+	}
+	return layer, nil
+}
+
+// StackBuilder assembles custom stacks layer by layer, for configurations
+// beyond the paper's two (e.g. asymmetric tiers, imported floorplans).
+type StackBuilder struct {
+	name    string
+	width   units.Meter
+	height  units.Meter
+	layers  []Layer
+	roles   []LayerRole
+	liquid  bool
+	chans   int
+	errList []error
+}
+
+// NewStackBuilder starts a stack of the given footprint.
+func NewStackBuilder(name string, width, height units.Meter) *StackBuilder {
+	return &StackBuilder{name: name, width: width, height: height, chans: ChannelsPerCavity}
+}
+
+// AddLayer appends a tier with an explicit scheduling role.
+func (b *StackBuilder) AddLayer(l Layer, role LayerRole) *StackBuilder {
+	b.layers = append(b.layers, l)
+	b.roles = append(b.roles, role)
+	return b
+}
+
+// LiquidCooled enables microchannel cavities with n channels each.
+func (b *StackBuilder) LiquidCooled(n int) *StackBuilder {
+	b.liquid = true
+	b.chans = n
+	return b
+}
+
+// AirCooled selects the conventional package.
+func (b *StackBuilder) AirCooled() *StackBuilder {
+	b.liquid = false
+	return b
+}
+
+// Build validates and returns the stack.
+func (b *StackBuilder) Build() (*Stack, error) {
+	s := &Stack{
+		Name:              b.name,
+		Width:             b.width,
+		Height:            b.height,
+		Layers:            b.layers,
+		Roles:             b.roles,
+		LiquidCooled:      b.liquid,
+		ChannelsPerCavity: b.chans,
+	}
+	if err := s.Validate(1e-6); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SortBlocksByName orders a layer's blocks deterministically (useful
+// after importing floorplans whose line order varies).
+func SortBlocksByName(l *Layer) {
+	sort.Slice(l.Blocks, func(i, j int) bool { return l.Blocks[i].Name < l.Blocks[j].Name })
+}

@@ -1,0 +1,153 @@
+package floorplan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestFLPRoundTrip(t *testing.T) {
+	orig := NewT1Stack2(true).Layers[0]
+	var buf bytes.Buffer
+	if err := WriteFLP(&buf, &orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseFLP(&buf, orig.Name, orig.Thickness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Blocks) != len(orig.Blocks) {
+		t.Fatalf("block count %d, want %d", len(parsed.Blocks), len(orig.Blocks))
+	}
+	for i, b := range parsed.Blocks {
+		o := orig.Blocks[i]
+		if b.Name != o.Name || b.Kind != o.Kind {
+			t.Errorf("block %d: %s/%v, want %s/%v", i, b.Name, b.Kind, o.Name, o.Kind)
+		}
+		for _, pair := range [][2]float64{
+			{float64(b.X), float64(o.X)}, {float64(b.Y), float64(o.Y)},
+			{float64(b.W), float64(o.W)}, {float64(b.H), float64(o.H)},
+		} {
+			if units.RelativeError(pair[0], pair[1]) > 1e-6 {
+				t.Errorf("block %d geometry %v != %v", i, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+func TestParseFLPHandlesCommentsAndBlanks(t *testing.T) {
+	src := `# HotSpot floorplan
+core0	0.002875	0.003478	0	0
+
+# a comment
+l2_0	0.005463	0.003478	0.002875	0
+`
+	l, err := ParseFLP(strings.NewReader(src), "test", units.Millimeter(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Blocks) != 2 {
+		t.Fatalf("parsed %d blocks", len(l.Blocks))
+	}
+	if l.Blocks[0].Kind != KindCore || l.Blocks[1].Kind != KindL2 {
+		t.Errorf("kinds: %v, %v", l.Blocks[0].Kind, l.Blocks[1].Kind)
+	}
+}
+
+func TestParseFLPErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":  "core0 0.001 0.001 0\n",
+		"bad number":  "core0 w 0.001 0 0\n",
+		"zero extent": "core0 0 0.001 0 0\n",
+		"empty":       "# only comments\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseFLP(strings.NewReader(src), "t", 1e-4); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestKindFromName(t *testing.T) {
+	cases := map[string]BlockKind{
+		"core3":    KindCore,
+		"CPU0":     KindCore,
+		"l2_1":     KindL2,
+		"dcache":   KindL2,
+		"xbar":     KindCrossbar,
+		"Crossbar": KindCrossbar,
+		"mc0":      KindMemCtrl,
+		"dram_ctl": KindMemCtrl,
+		"rng":      KindOther,
+	}
+	for name, want := range cases {
+		if got := KindFromName(name); got != want {
+			t.Errorf("KindFromName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestStackBuilderCustomStack(t *testing.T) {
+	// A 3-tier stack: two core tiers around one cache tier.
+	b := NewStackBuilder("custom3", units.Millimeter(StackWidthMM), units.Millimeter(StackHeightMM))
+	s, err := b.
+		AddLayer(coreLayer("c0", 0), RoleCores).
+		AddLayer(cacheLayer("$0", 0), RoleCaches).
+		AddLayer(coreLayer("c1", 8), RoleCores).
+		LiquidCooled(65).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Cores()); got != 16 {
+		t.Errorf("custom stack cores = %d, want 16", got)
+	}
+	if got := s.NumCavities(); got != 4 {
+		t.Errorf("cavities = %d, want 4", got)
+	}
+	if got := s.TotalChannels(); got != 4*65 {
+		t.Errorf("channels = %d", got)
+	}
+}
+
+func TestStackBuilderAirCooled(t *testing.T) {
+	s, err := NewStackBuilder("a", units.Millimeter(StackWidthMM), units.Millimeter(StackHeightMM)).
+		AddLayer(coreLayer("c0", 0), RoleCores).
+		AddLayer(cacheLayer("$0", 0), RoleCaches).
+		AirCooled().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LiquidCooled || s.NumCavities() != 0 {
+		t.Error("air-cooled builder produced cavities")
+	}
+}
+
+func TestStackBuilderRejectsInvalid(t *testing.T) {
+	// Empty stack.
+	if _, err := NewStackBuilder("e", 1e-2, 1e-2).Build(); err == nil {
+		t.Error("expected error for empty stack")
+	}
+	// Overlapping blocks.
+	bad := coreLayer("c0", 0)
+	bad.Blocks[0].W *= 2
+	if _, err := NewStackBuilder("b", units.Millimeter(StackWidthMM), units.Millimeter(StackHeightMM)).
+		AddLayer(bad, RoleCores).LiquidCooled(65).Build(); err == nil {
+		t.Error("expected overlap error")
+	}
+}
+
+func TestSortBlocksByName(t *testing.T) {
+	l := Layer{Blocks: []Block{
+		{Name: "z", W: 1, H: 1},
+		{Name: "a", W: 1, H: 1},
+		{Name: "m", W: 1, H: 1},
+	}}
+	SortBlocksByName(&l)
+	if l.Blocks[0].Name != "a" || l.Blocks[2].Name != "z" {
+		t.Errorf("not sorted: %v %v %v", l.Blocks[0].Name, l.Blocks[1].Name, l.Blocks[2].Name)
+	}
+}

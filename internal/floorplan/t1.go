@@ -1,0 +1,165 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Geometry constants derived from Table III of the paper. The 115 mm² layer
+// is realized as an 11.5 mm × 10 mm rectangle; cores sit in two rows of
+// four around the central crossbar strip that carries the TSVs, mirroring
+// the UltraSPARC T1 arrangement the paper sketches in Fig. 1.
+const (
+	// StackWidthMM and StackHeightMM give the layer footprint in mm
+	// (115 mm² total, Table III).
+	StackWidthMM  = 11.5
+	StackHeightMM = 10.0
+
+	// CoreAreaMM2 is the paper's 10 mm² per-core area (Table III).
+	CoreAreaMM2 = 10.0
+	// L2AreaMM2 is the paper's 19 mm² per-L2 area (Table III).
+	L2AreaMM2 = 19.0
+
+	// DieThicknessMM is one stack's die thickness (Table III: 0.15 mm).
+	DieThicknessMM = 0.15
+
+	// ChannelsPerCavity is the microchannel count per cavity (Section III).
+	ChannelsPerCavity = 65
+
+	// CoreHotspotPowerFrac and CoreHotspotAreaFrac concentrate 60 % of a
+	// core's power into its central quarter (the execution-unit cluster),
+	// giving a peak flux of 2.4× the core average — consistent with
+	// published T1 unit-level power breakdowns.
+	CoreHotspotPowerFrac = 0.6
+	CoreHotspotAreaFrac  = 0.25
+
+	coresPerRow    = 4
+	coreRowsPerDie = 2
+)
+
+// Derived dimensions, in mm.
+const (
+	coreWidthMM  = StackWidthMM / coresPerRow                  // 2.875
+	coreHeightMM = CoreAreaMM2 / coreWidthMM                   // ~3.478
+	xbarHeightMM = StackHeightMM - coreRowsPerDie*coreHeightMM // ~3.043
+	l2WidthMM    = L2AreaMM2 / coreHeightMM                    // ~5.463
+	memWidthMM   = StackWidthMM - 2*l2WidthMM                  // ~0.574
+)
+
+// coreLayer builds one tier of 8 cores around a central crossbar strip.
+// The idx parameter offsets core names for multi-core-layer (4-tier)
+// stacks.
+func coreLayer(name string, firstCore int) Layer {
+	w := units.Millimeter(coreWidthMM)
+	h := units.Millimeter(coreHeightMM)
+	xh := units.Millimeter(xbarHeightMM)
+	layer := Layer{Name: name, Thickness: units.Millimeter(DieThicknessMM)}
+	// Bottom row of cores.
+	for c := 0; c < coresPerRow; c++ {
+		layer.Blocks = append(layer.Blocks, Block{
+			Name: fmt.Sprintf("core%d", firstCore+c),
+			Kind: KindCore,
+			X:    units.Meter(float64(w) * float64(c)),
+			Y:    0,
+			W:    w, H: h,
+			HotspotPowerFrac: CoreHotspotPowerFrac,
+			HotspotAreaFrac:  CoreHotspotAreaFrac,
+		})
+	}
+	// Central crossbar strip (holds the TSVs).
+	layer.Blocks = append(layer.Blocks, Block{
+		Name: name + "-xbar",
+		Kind: KindCrossbar,
+		X:    0,
+		Y:    h,
+		W:    units.Millimeter(StackWidthMM),
+		H:    xh,
+	})
+	// Top row of cores.
+	for c := 0; c < coresPerRow; c++ {
+		layer.Blocks = append(layer.Blocks, Block{
+			Name: fmt.Sprintf("core%d", firstCore+coresPerRow+c),
+			Kind: KindCore,
+			X:    units.Meter(float64(w) * float64(c)),
+			Y:    h + xh,
+			W:    w, H: h,
+			HotspotPowerFrac: CoreHotspotPowerFrac,
+			HotspotAreaFrac:  CoreHotspotAreaFrac,
+		})
+	}
+	return layer
+}
+
+// cacheLayer builds one tier of 4 L2 caches (one per two cores, as on the
+// T1), a crossbar strip aligned with the core layer's, and two thin memory
+// controller blocks at the right edge.
+func cacheLayer(name string, firstL2 int) Layer {
+	lw := units.Millimeter(l2WidthMM)
+	h := units.Millimeter(coreHeightMM)
+	xh := units.Millimeter(xbarHeightMM)
+	mw := units.Millimeter(memWidthMM)
+	layer := Layer{Name: name, Thickness: units.Millimeter(DieThicknessMM)}
+	// Bottom row: two L2s and a memory controller sliver.
+	layer.Blocks = append(layer.Blocks,
+		Block{Name: fmt.Sprintf("l2_%d", firstL2), Kind: KindL2, X: 0, Y: 0, W: lw, H: h},
+		Block{Name: fmt.Sprintf("l2_%d", firstL2+1), Kind: KindL2, X: lw, Y: 0, W: lw, H: h},
+		Block{Name: name + "-mc0", Kind: KindMemCtrl, X: 2 * lw, Y: 0, W: mw, H: h},
+	)
+	// Central crossbar strip, vertically aligned with the core layer's
+	// strip so the TSVs line up.
+	layer.Blocks = append(layer.Blocks, Block{
+		Name: name + "-xbar",
+		Kind: KindCrossbar,
+		X:    0,
+		Y:    h,
+		W:    units.Millimeter(StackWidthMM),
+		H:    xh,
+	})
+	// Top row.
+	layer.Blocks = append(layer.Blocks,
+		Block{Name: fmt.Sprintf("l2_%d", firstL2+2), Kind: KindL2, X: 0, Y: h + xh, W: lw, H: h},
+		Block{Name: fmt.Sprintf("l2_%d", firstL2+3), Kind: KindL2, X: lw, Y: h + xh, W: lw, H: h},
+		Block{Name: name + "-mc1", Kind: KindMemCtrl, X: 2 * lw, Y: h + xh, W: mw, H: h},
+	)
+	return layer
+}
+
+// NewT1Stack2 builds the paper's 2-layer system: one 8-core tier and one
+// 4-L2 tier. liquid selects microchannel cavities vs the air-cooled
+// baseline package.
+func NewT1Stack2(liquid bool) *Stack {
+	s := &Stack{
+		Name:              "t1-2layer",
+		Width:             units.Millimeter(StackWidthMM),
+		Height:            units.Millimeter(StackHeightMM),
+		LiquidCooled:      liquid,
+		ChannelsPerCavity: ChannelsPerCavity,
+	}
+	// Cores on the bottom tier (closer to the heat sink in the air-cooled
+	// flip-chip convention HotSpot uses; for liquid cooling every tier has
+	// adjacent cavities anyway).
+	s.Layers = []Layer{coreLayer("cores0", 0), cacheLayer("caches0", 0)}
+	s.Roles = []LayerRole{RoleCores, RoleCaches}
+	return s
+}
+
+// NewT1Stack4 builds the paper's 4-layer, 16-core system: two 8-core tiers
+// interleaved with two cache tiers.
+func NewT1Stack4(liquid bool) *Stack {
+	s := &Stack{
+		Name:              "t1-4layer",
+		Width:             units.Millimeter(StackWidthMM),
+		Height:            units.Millimeter(StackHeightMM),
+		LiquidCooled:      liquid,
+		ChannelsPerCavity: ChannelsPerCavity,
+	}
+	s.Layers = []Layer{
+		coreLayer("cores0", 0),
+		cacheLayer("caches0", 0),
+		coreLayer("cores1", 8),
+		cacheLayer("caches1", 4),
+	}
+	s.Roles = []LayerRole{RoleCores, RoleCaches, RoleCores, RoleCaches}
+	return s
+}

@@ -1,0 +1,365 @@
+// Package grid discretizes a 3D stack onto a uniform thermal grid.
+//
+// The stack becomes a bottom-to-top sequence of slabs: silicon dies and, in
+// between (and, for liquid cooling, above and below), interlayer slabs that
+// carry the microchannels and TSVs. Every slab is divided into NX×NY cells
+// of identical footprint. Die cells are tagged with the floorplan block
+// covering their centre so block power can be spread over cells; interlayer
+// cells carry the local volume fractions of microchannel, TSV copper and
+// interface material, from which the RC-network builder derives
+// heterogeneous per-cell properties (the paper's Section III.A novelty (1))
+// that may be updated at runtime with the flow rate (novelty (2)).
+//
+// Microchannels run along the x axis. Rather than aligning individual
+// 50 µm channels to cells, each interlayer cell stores the channel area
+// fraction of its footprint (width wc over pitch p), which is exact for the
+// uniform channel array of the paper at any grid resolution.
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/units"
+)
+
+// SlabKind distinguishes the two slab types in the vertical stackup.
+type SlabKind int
+
+// Slab kinds.
+const (
+	// SlabDie is a silicon tier carrying floorplan blocks.
+	SlabDie SlabKind = iota
+	// SlabInterlayer is the material between tiers: interface polymer,
+	// TSVs under the crossbar and, when liquid-cooled, the microchannels.
+	SlabInterlayer
+)
+
+// String implements fmt.Stringer.
+func (k SlabKind) String() string {
+	switch k {
+	case SlabDie:
+		return "die"
+	case SlabInterlayer:
+		return "interlayer"
+	default:
+		return fmt.Sprintf("SlabKind(%d)", int(k))
+	}
+}
+
+// DieCell is the per-cell payload of a die slab.
+type DieCell struct {
+	// Block indexes Layer.Blocks, or -1 when no block covers the centre
+	// (should not happen for validated full-coverage floorplans).
+	Block int
+}
+
+// InterCell is the per-cell payload of an interlayer slab.
+type InterCell struct {
+	// ChannelFrac is the fraction of the cell footprint occupied by
+	// microchannel (0 for air-cooled stacks).
+	ChannelFrac float64
+	// TSVFrac is the fraction of the cell footprint occupied by TSV
+	// copper (non-zero only under the crossbar).
+	TSVFrac float64
+}
+
+// Slab is one horizontal layer of the thermal grid.
+type Slab struct {
+	Kind SlabKind
+	// DieIndex is the stack layer index for SlabDie, or the cavity index
+	// for SlabInterlayer (0 = below the bottom die).
+	Index     int
+	Thickness units.Meter
+	// Die payloads, len NX*NY, row-major (iy*NX+ix); nil unless SlabDie.
+	Die []DieCell
+	// Inter payloads, len NX*NY; nil unless SlabInterlayer.
+	Inter []InterCell
+	// Liquid marks an interlayer slab that carries coolant. Only the
+	// cavities of liquid-cooled stacks are liquid; the thin bonding
+	// interfaces of air-cooled stacks are not.
+	Liquid bool
+}
+
+// Grid is the discretized stack.
+type Grid struct {
+	Stack *floorplan.Stack
+	NX    int
+	NY    int
+	CellW units.Meter
+	CellH units.Meter
+	Slabs []Slab
+	// BlockCells[layer][block] lists the cell indices (iy*NX+ix) covered
+	// by that block on its die slab.
+	BlockCells [][][]int
+	// HotspotCells[layer][block] lists the subset of BlockCells inside
+	// the block's hot-spot sub-rectangle (empty for uniform blocks).
+	HotspotCells [][][]int
+	// DieSlab[layer] is the slab index of stack layer `layer`.
+	DieSlab []int
+}
+
+// Params controls discretization and the stackup dimensions.
+type Params struct {
+	// NX, NY are the grid dimensions. The paper uses 100 µm cells
+	// (115×100 for the T1 footprint); tests and default experiments use
+	// coarser grids with identical structure.
+	NX, NY int
+	// CavityThickness is the interlayer thickness with channels
+	// (Table III: 0.4 mm).
+	CavityThickness units.Meter
+	// InterfaceThickness is the plain interlayer thickness without
+	// channels (Table III: 0.02 mm).
+	InterfaceThickness units.Meter
+	// ChannelWidth and ChannelPitch are wc and p from Table I
+	// (50 µm and 100 µm).
+	ChannelWidth units.Meter
+	ChannelPitch units.Meter
+	// TSVCount is the number of TSVs within the crossbar per layer pair
+	// (Section III: 128), each TSVSide × TSVSide.
+	TSVCount int
+	TSVSide  units.Meter
+}
+
+// DefaultParams returns the paper's dimensions at the given grid
+// resolution.
+func DefaultParams(nx, ny int) Params {
+	return Params{
+		NX:                 nx,
+		NY:                 ny,
+		CavityThickness:    units.Millimeter(0.4),
+		InterfaceThickness: units.Millimeter(0.02),
+		ChannelWidth:       units.Micron(50),
+		ChannelPitch:       units.Micron(100),
+		TSVCount:           128,
+		TSVSide:            units.Micron(50),
+	}
+}
+
+// PaperResolutionParams returns DefaultParams at the paper's 100 µm cell
+// size for the T1 footprint (115 × 100 cells).
+func PaperResolutionParams() Params { return DefaultParams(115, 100) }
+
+// Build discretizes the stack. The slab sequence is, bottom to top:
+//
+//	liquid:  cavity0, die0, cavity1, die1, ..., cavityN
+//	air:     die0, iface0, die1, iface1, ..., die(N-1)
+func Build(s *floorplan.Stack, p Params) (*Grid, error) {
+	if err := s.Validate(1e-6); err != nil {
+		return nil, err
+	}
+	if p.NX <= 0 || p.NY <= 0 {
+		return nil, fmt.Errorf("grid: non-positive dimensions %dx%d", p.NX, p.NY)
+	}
+	g := &Grid{
+		Stack: s,
+		NX:    p.NX,
+		NY:    p.NY,
+		CellW: units.Meter(float64(s.Width) / float64(p.NX)),
+		CellH: units.Meter(float64(s.Height) / float64(p.NY)),
+	}
+	g.BlockCells = make([][][]int, len(s.Layers))
+	g.HotspotCells = make([][][]int, len(s.Layers))
+	g.DieSlab = make([]int, len(s.Layers))
+
+	// The channel fraction is uniform across the footprint: wc / p.
+	// The paper's 65 channels at 100 µm pitch cover only part of the
+	// 10 mm die height; the channel array is centred, but at the grid
+	// granularities we use, the homogenized fraction over the covered
+	// span is what matters. We scale the fraction so that total channel
+	// area equals 65 · wc · width, preserving the coolant inventory.
+	chFrac := 0.0
+	if s.LiquidCooled {
+		spanFrac := float64(s.ChannelsPerCavity) * float64(p.ChannelPitch) / float64(s.Height)
+		if spanFrac > 1 {
+			spanFrac = 1
+		}
+		chFrac = float64(p.ChannelWidth) / float64(p.ChannelPitch) * spanFrac
+	}
+
+	addInter := func(idx int, thickness units.Meter, liquid bool, xbars []floorplan.Block) {
+		slab := Slab{
+			Kind:      SlabInterlayer,
+			Index:     idx,
+			Thickness: thickness,
+			Inter:     make([]InterCell, p.NX*p.NY),
+			Liquid:    liquid,
+		}
+		// TSV area is concentrated under the crossbar strip(s): total TSV
+		// copper area spread uniformly over crossbar footprint.
+		tsvArea := float64(p.TSVCount) * float64(p.TSVSide) * float64(p.TSVSide)
+		xbarArea := 0.0
+		for _, b := range xbars {
+			xbarArea += float64(b.Area())
+		}
+		tsvFracInXbar := 0.0
+		if xbarArea > 0 {
+			tsvFracInXbar = tsvArea / xbarArea
+		}
+		for iy := 0; iy < p.NY; iy++ {
+			for ix := 0; ix < p.NX; ix++ {
+				cx := units.Meter((float64(ix) + 0.5) * float64(g.CellW))
+				cy := units.Meter((float64(iy) + 0.5) * float64(g.CellH))
+				c := InterCell{}
+				if liquid {
+					c.ChannelFrac = chFrac
+				}
+				for _, b := range xbars {
+					if b.Contains(cx, cy) {
+						c.TSVFrac = tsvFracInXbar
+						break
+					}
+				}
+				slab.Inter[iy*p.NX+ix] = c
+			}
+		}
+		g.Slabs = append(g.Slabs, slab)
+	}
+
+	addDie := func(li int) {
+		layer := s.Layers[li]
+		slab := Slab{
+			Kind:      SlabDie,
+			Index:     li,
+			Thickness: layer.Thickness,
+			Die:       make([]DieCell, p.NX*p.NY),
+		}
+		g.BlockCells[li] = make([][]int, len(layer.Blocks))
+		g.HotspotCells[li] = make([][]int, len(layer.Blocks))
+		hotRects := make([]floorplan.Block, len(layer.Blocks))
+		for i, b := range layer.Blocks {
+			if b.HotspotAreaFrac > 0 {
+				hotRects[i] = b.HotspotRect()
+			}
+		}
+		for iy := 0; iy < p.NY; iy++ {
+			for ix := 0; ix < p.NX; ix++ {
+				cx := units.Meter((float64(ix) + 0.5) * float64(g.CellW))
+				cy := units.Meter((float64(iy) + 0.5) * float64(g.CellH))
+				bi := -1
+				for i := range layer.Blocks {
+					if layer.Blocks[i].Contains(cx, cy) {
+						bi = i
+						break
+					}
+				}
+				slab.Die[iy*p.NX+ix] = DieCell{Block: bi}
+				if bi >= 0 {
+					g.BlockCells[li][bi] = append(g.BlockCells[li][bi], iy*p.NX+ix)
+					if layer.Blocks[bi].HotspotAreaFrac > 0 && hotRects[bi].Contains(cx, cy) {
+						g.HotspotCells[li][bi] = append(g.HotspotCells[li][bi], iy*p.NX+ix)
+					}
+				}
+			}
+		}
+		g.DieSlab[li] = len(g.Slabs)
+		g.Slabs = append(g.Slabs, slab)
+	}
+
+	// The crossbar blocks neighbouring each interlayer slab determine
+	// where its TSVs sit.
+	xbarsOf := func(li int) []floorplan.Block {
+		var xs []floorplan.Block
+		for _, b := range s.Layers[li].Blocks {
+			if b.Kind == floorplan.KindCrossbar {
+				xs = append(xs, b)
+			}
+		}
+		return xs
+	}
+
+	if s.LiquidCooled {
+		for li := range s.Layers {
+			addInter(li, p.CavityThickness, true, xbarsOf(li))
+			addDie(li)
+		}
+		addInter(len(s.Layers), p.CavityThickness, true, xbarsOf(len(s.Layers)-1))
+	} else {
+		for li := range s.Layers {
+			addDie(li)
+			if li < len(s.Layers)-1 {
+				addInter(li, p.InterfaceThickness, false, xbarsOf(li))
+			}
+		}
+	}
+
+	// Every die cell must belong to a block for power accounting.
+	for _, slab := range g.Slabs {
+		if slab.Kind != SlabDie {
+			continue
+		}
+		for i, c := range slab.Die {
+			if c.Block < 0 {
+				return nil, fmt.Errorf("grid: die %d cell %d not covered by any block", slab.Index, i)
+			}
+		}
+	}
+	return g, nil
+}
+
+// CellArea returns the footprint area of one cell.
+func (g *Grid) CellArea() units.SquareMeter {
+	return units.SquareMeter(float64(g.CellW) * float64(g.CellH))
+}
+
+// NumCells returns the per-slab cell count.
+func (g *Grid) NumCells() int { return g.NX * g.NY }
+
+// TotalNodes returns the total thermal node count.
+func (g *Grid) TotalNodes() int { return g.NumCells() * len(g.Slabs) }
+
+// NodeIndex maps (slab, iy, ix) to a global node index.
+func (g *Grid) NodeIndex(slab, iy, ix int) int {
+	return slab*g.NumCells() + iy*g.NX + ix
+}
+
+// CavitySlabs returns the indices of liquid interlayer slabs, bottom to
+// top.
+func (g *Grid) CavitySlabs() []int {
+	var out []int
+	for i, s := range g.Slabs {
+		if s.Kind == SlabInterlayer && s.Liquid {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SpreadBlockPower distributes per-block power (indexed like
+// Layers[li].Blocks) uniformly over each block's cells, returning a per-die
+// power map aligned with slab cell indexing. The result of layer li has
+// length NumCells().
+func (g *Grid) SpreadBlockPower(li int, blockPower []float64) ([]float64, error) {
+	if li < 0 || li >= len(g.BlockCells) {
+		return nil, fmt.Errorf("grid: layer %d out of range", li)
+	}
+	if len(blockPower) != len(g.Stack.Layers[li].Blocks) {
+		return nil, fmt.Errorf("grid: layer %d has %d blocks, got %d powers",
+			li, len(g.Stack.Layers[li].Blocks), len(blockPower))
+	}
+	out := make([]float64, g.NumCells())
+	for bi, cells := range g.BlockCells[li] {
+		if len(cells) == 0 {
+			if blockPower[bi] != 0 {
+				return nil, fmt.Errorf("grid: block %d of layer %d has power %g but covers no cells",
+					bi, li, blockPower[bi])
+			}
+			continue
+		}
+		b := g.Stack.Layers[li].Blocks[bi]
+		hot := g.HotspotCells[li][bi]
+		hotPower := 0.0
+		if b.HotspotPowerFrac > 0 && len(hot) > 0 {
+			hotPower = blockPower[bi] * b.HotspotPowerFrac
+			per := hotPower / float64(len(hot))
+			for _, c := range hot {
+				out[c] += per
+			}
+		}
+		per := (blockPower[bi] - hotPower) / float64(len(cells))
+		for _, c := range cells {
+			out[c] += per
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,282 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/units"
+)
+
+func build2(t *testing.T, liquid bool, nx, ny int) *Grid {
+	t.Helper()
+	g, err := Build(pick2(liquid), DefaultParams(nx, ny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func pick2(liquid bool) *floorplan.Stack { return floorplan.NewT1Stack2(liquid) }
+
+func TestBuildLiquidSlabSequence(t *testing.T) {
+	g := build2(t, true, 23, 20)
+	// cavity0, die0, cavity1, die1, cavity2.
+	wantKinds := []SlabKind{SlabInterlayer, SlabDie, SlabInterlayer, SlabDie, SlabInterlayer}
+	if len(g.Slabs) != len(wantKinds) {
+		t.Fatalf("slab count = %d, want %d", len(g.Slabs), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if g.Slabs[i].Kind != k {
+			t.Errorf("slab %d kind = %v, want %v", i, g.Slabs[i].Kind, k)
+		}
+	}
+	if got := len(g.CavitySlabs()); got != 3 {
+		t.Errorf("cavity slabs = %d, want 3 (paper: n+1 cavities)", got)
+	}
+	for _, ci := range g.CavitySlabs() {
+		if !g.Slabs[ci].Liquid {
+			t.Errorf("cavity slab %d not liquid", ci)
+		}
+		if math.Abs(float64(g.Slabs[ci].Thickness)-0.4e-3) > 1e-12 {
+			t.Errorf("cavity thickness = %v, want 0.4 mm", g.Slabs[ci].Thickness)
+		}
+	}
+}
+
+func TestBuildAirSlabSequence(t *testing.T) {
+	g := build2(t, false, 23, 20)
+	wantKinds := []SlabKind{SlabDie, SlabInterlayer, SlabDie}
+	if len(g.Slabs) != len(wantKinds) {
+		t.Fatalf("slab count = %d, want %d", len(g.Slabs), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if g.Slabs[i].Kind != k {
+			t.Errorf("slab %d kind = %v, want %v", i, g.Slabs[i].Kind, k)
+		}
+	}
+	iface := g.Slabs[1]
+	if iface.Liquid {
+		t.Error("air-cooled interface slab marked liquid")
+	}
+	if math.Abs(float64(iface.Thickness)-0.02e-3) > 1e-12 {
+		t.Errorf("interface thickness = %v, want 0.02 mm", iface.Thickness)
+	}
+	for _, c := range iface.Inter {
+		if c.ChannelFrac != 0 {
+			t.Fatal("air-cooled interface has channel fraction")
+		}
+	}
+	if got := len(g.CavitySlabs()); got != 0 {
+		t.Errorf("air-cooled cavity slabs = %d, want 0", got)
+	}
+}
+
+func TestBuild4LayerSlabCount(t *testing.T) {
+	g, err := Build(floorplan.NewT1Stack4(true), DefaultParams(23, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 dies + 5 cavities.
+	if len(g.Slabs) != 9 {
+		t.Errorf("slab count = %d, want 9", len(g.Slabs))
+	}
+	if got := len(g.CavitySlabs()); got != 5 {
+		t.Errorf("cavities = %d, want 5", got)
+	}
+}
+
+func TestChannelAreaConservation(t *testing.T) {
+	// Total channel cross-footprint area must equal 65 channels × wc ×
+	// stack width regardless of grid resolution.
+	for _, dims := range [][2]int{{23, 20}, {46, 40}, {115, 100}} {
+		g := build2(t, true, dims[0], dims[1])
+		cellA := float64(g.CellArea())
+		for _, ci := range g.CavitySlabs() {
+			area := 0.0
+			for _, c := range g.Slabs[ci].Inter {
+				area += c.ChannelFrac * cellA
+			}
+			want := 65 * 50e-6 * 11.5e-3
+			if units.RelativeError(area, want) > 1e-6 {
+				t.Errorf("grid %v cavity %d channel area = %v, want %v", dims, ci, area, want)
+			}
+		}
+	}
+}
+
+func TestTSVAreaConservation(t *testing.T) {
+	g := build2(t, true, 46, 40)
+	cellA := float64(g.CellArea())
+	for _, ci := range g.CavitySlabs() {
+		area := 0.0
+		for _, c := range g.Slabs[ci].Inter {
+			area += c.TSVFrac * cellA
+		}
+		// 128 TSVs of 50 µm × 50 µm.
+		want := 128 * 50e-6 * 50e-6
+		if units.RelativeError(area, want) > 0.05 {
+			t.Errorf("cavity %d TSV area = %v, want %v (±5%%)", ci, area, want)
+		}
+	}
+}
+
+func TestTSVsOnlyUnderCrossbar(t *testing.T) {
+	g := build2(t, true, 46, 40)
+	s := g.Stack
+	for _, ci := range g.CavitySlabs() {
+		for iy := 0; iy < g.NY; iy++ {
+			for ix := 0; ix < g.NX; ix++ {
+				c := g.Slabs[ci].Inter[iy*g.NX+ix]
+				cx := units.Meter((float64(ix) + 0.5) * float64(g.CellW))
+				cy := units.Meter((float64(iy) + 0.5) * float64(g.CellH))
+				b := s.BlockAt(0, cx, cy)
+				underXbar := b != nil && b.Kind == floorplan.KindCrossbar
+				if c.TSVFrac > 0 && !underXbar {
+					t.Fatalf("cavity %d cell (%d,%d) has TSVs outside crossbar", ci, ix, iy)
+				}
+				if c.TSVFrac == 0 && underXbar {
+					t.Fatalf("cavity %d cell (%d,%d) under crossbar lacks TSVs", ci, ix, iy)
+				}
+			}
+		}
+	}
+}
+
+func TestDieCellsAllCovered(t *testing.T) {
+	g := build2(t, true, 23, 20)
+	for li := range g.Stack.Layers {
+		total := 0
+		for _, cells := range g.BlockCells[li] {
+			total += len(cells)
+		}
+		if total != g.NumCells() {
+			t.Errorf("layer %d covers %d of %d cells", li, total, g.NumCells())
+		}
+	}
+}
+
+func TestBlockCellCountsProportionalToArea(t *testing.T) {
+	g := build2(t, true, 115, 100)
+	footprint := 115e-6
+	for li, layer := range g.Stack.Layers {
+		for bi, b := range layer.Blocks {
+			frac := float64(b.Area()) / footprint
+			got := float64(len(g.BlockCells[li][bi])) / float64(g.NumCells())
+			if math.Abs(got-frac) > 0.02 {
+				t.Errorf("layer %d block %s: cell fraction %.4f vs area fraction %.4f",
+					li, b.Name, got, frac)
+			}
+		}
+	}
+}
+
+func TestSpreadBlockPowerConserves(t *testing.T) {
+	g := build2(t, true, 23, 20)
+	li := 0
+	n := len(g.Stack.Layers[li].Blocks)
+	power := make([]float64, n)
+	want := 0.0
+	for i := range power {
+		power[i] = float64(i) + 0.5
+		want += power[i]
+	}
+	cells, err := g.SpreadBlockPower(li, power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0.0
+	for _, p := range cells {
+		got += p
+	}
+	if units.RelativeError(got, want) > 1e-12 {
+		t.Errorf("spread power sums to %v, want %v", got, want)
+	}
+}
+
+func TestSpreadBlockPowerErrors(t *testing.T) {
+	g := build2(t, true, 23, 20)
+	if _, err := g.SpreadBlockPower(0, []float64{1}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if _, err := g.SpreadBlockPower(9, nil); err == nil {
+		t.Error("expected layer-range error")
+	}
+}
+
+func TestNodeIndexBijective(t *testing.T) {
+	g := build2(t, true, 7, 5)
+	seen := map[int]bool{}
+	for s := range g.Slabs {
+		for iy := 0; iy < g.NY; iy++ {
+			for ix := 0; ix < g.NX; ix++ {
+				n := g.NodeIndex(s, iy, ix)
+				if n < 0 || n >= g.TotalNodes() {
+					t.Fatalf("node index %d out of range", n)
+				}
+				if seen[n] {
+					t.Fatalf("duplicate node index %d", n)
+				}
+				seen[n] = true
+			}
+		}
+	}
+	if len(seen) != g.TotalNodes() {
+		t.Errorf("indexed %d nodes, want %d", len(seen), g.TotalNodes())
+	}
+}
+
+func TestDieSlabMapping(t *testing.T) {
+	g := build2(t, true, 7, 5)
+	if g.DieSlab[0] != 1 || g.DieSlab[1] != 3 {
+		t.Errorf("DieSlab = %v, want [1 3]", g.DieSlab)
+	}
+	ga := build2(t, false, 7, 5)
+	if ga.DieSlab[0] != 0 || ga.DieSlab[1] != 2 {
+		t.Errorf("air DieSlab = %v, want [0 2]", ga.DieSlab)
+	}
+}
+
+func TestBuildRejectsBadDims(t *testing.T) {
+	if _, err := Build(pick2(true), DefaultParams(0, 5)); err == nil {
+		t.Error("expected error for zero NX")
+	}
+	if _, err := Build(pick2(true), DefaultParams(5, -1)); err == nil {
+		t.Error("expected error for negative NY")
+	}
+}
+
+func TestBuildRejectsInvalidStack(t *testing.T) {
+	s := pick2(true)
+	s.Layers[0].Blocks[0].W *= 3
+	if _, err := Build(s, DefaultParams(10, 10)); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestPaperResolutionParams(t *testing.T) {
+	p := PaperResolutionParams()
+	if p.NX != 115 || p.NY != 100 {
+		t.Errorf("paper resolution = %dx%d, want 115x100", p.NX, p.NY)
+	}
+	g, err := Build(pick2(true), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 µm cells.
+	if units.RelativeError(float64(g.CellW), 100e-6) > 1e-9 {
+		t.Errorf("cell width = %v, want 100 µm", g.CellW)
+	}
+	if units.RelativeError(float64(g.CellH), 100e-6) > 1e-9 {
+		t.Errorf("cell height = %v, want 100 µm", g.CellH)
+	}
+}
+
+func TestSlabKindString(t *testing.T) {
+	if SlabDie.String() != "die" || SlabInterlayer.String() != "interlayer" {
+		t.Error("SlabKind strings wrong")
+	}
+	if SlabKind(9).String() != "SlabKind(9)" {
+		t.Error("unknown SlabKind string wrong")
+	}
+}

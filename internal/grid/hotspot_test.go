@@ -1,0 +1,130 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/units"
+)
+
+func TestHotspotCellsSubsetOfBlockCells(t *testing.T) {
+	g := build2(t, true, 46, 40)
+	for li := range g.Stack.Layers {
+		for bi := range g.Stack.Layers[li].Blocks {
+			in := map[int]bool{}
+			for _, c := range g.BlockCells[li][bi] {
+				in[c] = true
+			}
+			for _, c := range g.HotspotCells[li][bi] {
+				if !in[c] {
+					t.Fatalf("layer %d block %d: hotspot cell %d outside block", li, bi, c)
+				}
+			}
+		}
+	}
+}
+
+func TestHotspotCellsOnlyForCores(t *testing.T) {
+	g := build2(t, true, 46, 40)
+	for li, layer := range g.Stack.Layers {
+		for bi, b := range layer.Blocks {
+			hs := g.HotspotCells[li][bi]
+			if b.Kind == floorplan.KindCore && len(hs) == 0 {
+				t.Errorf("core %s has no hotspot cells", b.Name)
+			}
+			if b.Kind != floorplan.KindCore && len(hs) != 0 {
+				t.Errorf("non-core %s has hotspot cells", b.Name)
+			}
+		}
+	}
+}
+
+func TestHotspotAreaFraction(t *testing.T) {
+	// Hot-spot cells should cover roughly HotspotAreaFrac of the core.
+	g := build2(t, true, 115, 100)
+	for li, layer := range g.Stack.Layers {
+		for bi, b := range layer.Blocks {
+			if b.Kind != floorplan.KindCore {
+				continue
+			}
+			frac := float64(len(g.HotspotCells[li][bi])) / float64(len(g.BlockCells[li][bi]))
+			if frac < 0.15 || frac > 0.35 {
+				t.Errorf("core %s hotspot cell fraction %.3f, want ≈%.2f",
+					b.Name, frac, floorplan.CoreHotspotAreaFrac)
+			}
+		}
+	}
+}
+
+func TestSpreadConcentratesPowerInHotspot(t *testing.T) {
+	g := build2(t, true, 46, 40)
+	li := 0
+	blocks := g.Stack.Layers[li].Blocks
+	p := make([]float64, len(blocks))
+	coreIdx := -1
+	for bi, b := range blocks {
+		if b.Kind == floorplan.KindCore {
+			coreIdx = bi
+			p[bi] = 3
+			break
+		}
+	}
+	cells, err := g.SpreadBlockPower(li, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := map[int]bool{}
+	for _, c := range g.HotspotCells[li][coreIdx] {
+		hs[c] = true
+	}
+	var hotFlux, coolFlux float64
+	var nHot, nCool int
+	for _, c := range g.BlockCells[li][coreIdx] {
+		if hs[c] {
+			hotFlux += cells[c]
+			nHot++
+		} else {
+			coolFlux += cells[c]
+			nCool++
+		}
+	}
+	if nHot == 0 || nCool == 0 {
+		t.Fatal("degenerate split")
+	}
+	ratio := (hotFlux / float64(nHot)) / (coolFlux / float64(nCool))
+	// 60 % of power in 25 % of area on top of a uniform 40 %:
+	// flux ratio ≈ (0.6/0.25 + 0.4) / 0.4 ≈ 7 at exact geometry; grid
+	// quantization loosens it.
+	if ratio < 2 {
+		t.Errorf("hotspot flux ratio %.2f, want > 2", ratio)
+	}
+	// Power conserved.
+	sum := 0.0
+	for _, v := range cells {
+		sum += v
+	}
+	if units.RelativeError(sum, 3) > 1e-12 {
+		t.Errorf("total power %v, want 3", sum)
+	}
+}
+
+func TestUniformBlockSpreadUnchanged(t *testing.T) {
+	// Blocks without hotspot fractions still spread uniformly.
+	g := build2(t, true, 23, 20)
+	li := 1 // cache layer: no hotspots
+	blocks := g.Stack.Layers[li].Blocks
+	p := make([]float64, len(blocks))
+	p[0] = 1.28
+	cells, err := g.SpreadBlockPower(li, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := -1.0
+	for _, c := range g.BlockCells[li][0] {
+		if per < 0 {
+			per = cells[c]
+		} else if units.RelativeError(cells[c], per) > 1e-12 {
+			t.Fatalf("non-uniform spread in uniform block: %v vs %v", cells[c], per)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a small row-major dense matrix. It backs the LU solver used by
+// the ARMA fitter (normal equations are tiny) and by tests that cross-check
+// the sparse CG solver against a direct method.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewDense allocates a zeroed Rows×Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (d *Dense) At(r, c int) float64 { return d.Data[r*d.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (d *Dense) Set(r, c int, v float64) { d.Data[r*d.Cols+c] = v }
+
+// Add accumulates v at (r, c).
+func (d *Dense) Add(r, c int, v float64) { d.Data[r*d.Cols+c] += v }
+
+// Clone returns a deep copy of d.
+func (d *Dense) Clone() *Dense {
+	return &Dense{Rows: d.Rows, Cols: d.Cols, Data: append([]float64(nil), d.Data...)}
+}
+
+// FromCSR expands a sparse matrix to dense form (test helper).
+func FromCSR(m *CSR) *Dense {
+	d := NewDense(m.N, m.N)
+	for r := 0; r < m.N; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			d.Set(r, m.Col[k], m.Val[k])
+		}
+	}
+	return d
+}
+
+// SolveLU solves A·x = b by LU factorization with partial pivoting,
+// overwriting neither input. It returns an error for singular systems.
+func SolveLU(a *Dense, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: SolveLU needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: SolveLU rhs length %d != %d", len(b), n)
+	}
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		maxAbs := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(lu.At(r, col)); a > maxAbs {
+				maxAbs, pivot = a, r
+			}
+		}
+		if maxAbs == 0 {
+			return nil, fmt.Errorf("mat: singular matrix at column %d", col)
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				v1, v2 := lu.At(col, c), lu.At(pivot, c)
+				lu.Set(col, c, v2)
+				lu.Set(pivot, c, v1)
+			}
+			perm[col], perm[pivot] = perm[pivot], perm[col]
+		}
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) * inv
+			lu.Set(r, col, f)
+			for c := col + 1; c < n; c++ {
+				lu.Add(r, c, -f*lu.At(col, c))
+			}
+		}
+	}
+	// Forward substitution with permuted rhs.
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[perm[i]]
+		for c := 0; c < i; c++ {
+			x[i] -= lu.At(i, c) * x[c]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		for c := i + 1; c < n; c++ {
+			x[i] -= lu.At(i, c) * x[c]
+		}
+		x[i] /= lu.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A·x - b‖₂ via the normal equations AᵀA·x = Aᵀb.
+// A must have at least as many rows as columns. The ARMA fitter uses this
+// for small, well-conditioned regression problems.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("mat: LeastSquares rhs length %d != rows %d", len(b), a.Rows)
+	}
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("mat: LeastSquares underdetermined (%d rows < %d cols)", a.Rows, a.Cols)
+	}
+	n := a.Cols
+	ata := NewDense(n, n)
+	atb := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			s := 0.0
+			for r := 0; r < a.Rows; r++ {
+				s += a.At(r, i) * a.At(r, j)
+			}
+			ata.Set(i, j, s)
+			ata.Set(j, i, s)
+		}
+		s := 0.0
+		for r := 0; r < a.Rows; r++ {
+			s += a.At(r, i) * b[r]
+		}
+		atb[i] = s
+	}
+	// Tikhonov damping keeps nearly collinear regressors (flat temperature
+	// traces) solvable without meaningfully biasing the fit.
+	const ridge = 1e-9
+	for i := 0; i < n; i++ {
+		ata.Add(i, i, ridge*(1+math.Abs(ata.At(i, i))))
+	}
+	return SolveLU(ata, atb)
+}

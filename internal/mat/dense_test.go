@@ -1,0 +1,151 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveLUKnown(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3.
+	a := NewDense(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveLU(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLUNeedsPivoting(t *testing.T) {
+	// Zero leading pivot forces a row swap.
+	a := NewDense(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveLU(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLUSingular(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := SolveLU(a, []float64{1, 2}); err == nil {
+		t.Error("expected error for singular matrix")
+	}
+}
+
+func TestSolveLURandomResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(15)
+		a := NewDense(n, n)
+		for i := 0; i < n*n; i++ {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)) // keep well conditioned
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLU(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for r := 0; r < n; r++ {
+			s := 0.0
+			for c := 0; c < n; c++ {
+				s += a.At(r, c) * x[c]
+			}
+			if math.Abs(s-b[r]) > 1e-9 {
+				t.Fatalf("trial %d: residual %v at row %d", trial, s-b[r], r)
+			}
+		}
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// Overdetermined but consistent: y = 2t + 1 sampled at 5 points.
+	a := NewDense(5, 2)
+	b := make([]float64, 5)
+	for i := 0; i < 5; i++ {
+		tt := float64(i)
+		a.Set(i, 0, tt)
+		a.Set(i, 1, 1)
+		b[i] = 2*tt + 1
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-6 || math.Abs(x[1]-1) > 1e-6 {
+		t.Errorf("fit = %v, want [2 1]", x)
+	}
+}
+
+func TestLeastSquaresMinimizesResidual(t *testing.T) {
+	// Noisy line; perturbing the solution must not reduce the residual.
+	rng := rand.New(rand.NewSource(11))
+	n := 50
+	a := NewDense(n, 2)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tt := float64(i) / 10
+		a.Set(i, 0, tt)
+		a.Set(i, 1, 1)
+		b[i] = 3*tt - 0.5 + 0.1*rng.NormFloat64()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := func(p []float64) float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			r := a.At(i, 0)*p[0] + a.At(i, 1)*p[1] - b[i]
+			s += r * r
+		}
+		return s
+	}
+	base := resid(x)
+	for _, d := range [][]float64{{0.01, 0}, {-0.01, 0}, {0, 0.01}, {0, -0.01}} {
+		if resid([]float64{x[0] + d[0], x[1] + d[1]}) < base-1e-9 {
+			t.Errorf("perturbation %v improved residual", d)
+		}
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	a := NewDense(1, 2)
+	if _, err := LeastSquares(a, []float64{1}); err == nil {
+		t.Error("expected error for underdetermined system")
+	}
+}
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	m := laplacian1D(4)
+	d := FromCSR(m)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if d.At(r, c) != m.At(r, c) {
+				t.Errorf("(%d,%d): dense %v != sparse %v", r, c, d.At(r, c), m.At(r, c))
+			}
+		}
+	}
+}

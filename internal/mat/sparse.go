@@ -1,0 +1,324 @@
+// Package mat provides the small amount of numerical linear algebra the
+// thermal solver needs: compressed-sparse-row matrices, a Jacobi-
+// preconditioned conjugate-gradient solver for the symmetric positive
+// definite systems that arise from RC thermal networks, and a dense LU
+// fallback used by tests and tiny systems.
+//
+// Go has no numerical ecosystem in the standard library, so this package is
+// deliberately self-contained and tuned only as far as the simulator
+// requires: matrices are assembled once per configuration, values (but not
+// structure) are updated when the coolant flow rate changes, and systems are
+// solved every simulation tick.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coord is a single (row, col, value) triplet used during assembly.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// Builder accumulates triplets and produces a CSR matrix. Duplicate
+// (row, col) entries are summed, matching the usual finite-volume assembly
+// convention where each neighbour contribution is added independently.
+type Builder struct {
+	n      int
+	coords []Coord
+}
+
+// NewBuilder returns a Builder for an n×n matrix.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// Add accumulates v at (row, col).
+func (b *Builder) Add(row, col int, v float64) {
+	if row < 0 || row >= b.n || col < 0 || col >= b.n {
+		panic(fmt.Sprintf("mat: Add(%d,%d) out of range for n=%d", row, col, b.n))
+	}
+	b.coords = append(b.coords, Coord{row, col, v})
+}
+
+// N returns the matrix dimension.
+func (b *Builder) N() int { return b.n }
+
+// Build compacts the accumulated triplets into a CSR matrix.
+func (b *Builder) Build() *CSR {
+	sort.Slice(b.coords, func(i, j int) bool {
+		ci, cj := b.coords[i], b.coords[j]
+		if ci.Row != cj.Row {
+			return ci.Row < cj.Row
+		}
+		return ci.Col < cj.Col
+	})
+	m := &CSR{
+		N:      b.n,
+		RowPtr: make([]int, b.n+1),
+	}
+	for i := 0; i < len(b.coords); {
+		j := i
+		sum := 0.0
+		for j < len(b.coords) && b.coords[j].Row == b.coords[i].Row && b.coords[j].Col == b.coords[i].Col {
+			sum += b.coords[j].Val
+			j++
+		}
+		m.Col = append(m.Col, b.coords[i].Col)
+		m.Val = append(m.Val, sum)
+		m.RowPtr[b.coords[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < b.n; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	N      int
+	RowPtr []int
+	Col    []int
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// At returns the value at (row, col); zero if the entry is not stored.
+func (m *CSR) At(row, col int) float64 {
+	for k := m.RowPtr[row]; k < m.RowPtr[row+1]; k++ {
+		if m.Col[k] == col {
+			return m.Val[k]
+		}
+	}
+	return 0
+}
+
+// Set overwrites the stored entry at (row, col). It panics if the entry is
+// not part of the sparsity structure; runtime resistivity updates must not
+// change the structure.
+func (m *CSR) Set(row, col int, v float64) {
+	for k := m.RowPtr[row]; k < m.RowPtr[row+1]; k++ {
+		if m.Col[k] == col {
+			m.Val[k] = v
+			return
+		}
+	}
+	panic(fmt.Sprintf("mat: Set(%d,%d) not in sparsity structure", row, col))
+}
+
+// AddAt adds v to the stored entry at (row, col), panicking if absent.
+func (m *CSR) AddAt(row, col int, v float64) {
+	for k := m.RowPtr[row]; k < m.RowPtr[row+1]; k++ {
+		if m.Col[k] == col {
+			m.Val[k] += v
+			return
+		}
+	}
+	panic(fmt.Sprintf("mat: AddAt(%d,%d) not in sparsity structure", row, col))
+}
+
+// MulVec computes dst = m·x. dst and x must have length N and must not alias.
+func (m *CSR) MulVec(dst, x []float64) {
+	if len(dst) != m.N || len(x) != m.N {
+		panic("mat: MulVec dimension mismatch")
+	}
+	for r := 0; r < m.N; r++ {
+		sum := 0.0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			sum += m.Val[k] * x[m.Col[k]]
+		}
+		dst[r] = sum
+	}
+}
+
+// Diagonal extracts the matrix diagonal into dst (length N).
+func (m *CSR) Diagonal(dst []float64) {
+	if len(dst) != m.N {
+		panic("mat: Diagonal dimension mismatch")
+	}
+	for r := 0; r < m.N; r++ {
+		dst[r] = 0
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			if m.Col[k] == r {
+				dst[r] = m.Val[k]
+				break
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy sharing no storage with m.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{
+		N:      m.N,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		Col:    append([]int(nil), m.Col...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+	return c
+}
+
+// IsSymmetric reports whether the matrix is symmetric to within tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	for r := 0; r < m.N; r++ {
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			c := m.Col[k]
+			if math.Abs(m.Val[k]-m.At(c, r)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget without reaching the requested tolerance.
+var ErrNoConvergence = errors.New("mat: iterative solver did not converge")
+
+// CGOptions configures the conjugate-gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual tolerance ‖b-Ax‖/‖b‖. Zero means 1e-10.
+	Tol float64
+	// MaxIter bounds iterations. Zero means 4·N.
+	MaxIter int
+}
+
+// CGResult reports solver diagnostics.
+type CGResult struct {
+	Iterations int
+	Residual   float64
+}
+
+// SolveCG solves A·x = b for symmetric positive definite A using Jacobi-
+// preconditioned conjugate gradient. x is used as the starting guess and
+// holds the solution on return.
+func SolveCG(a *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
+	n := a.N
+	if len(x) != n || len(b) != n {
+		panic("mat: SolveCG dimension mismatch")
+	}
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-10
+	}
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 4 * n
+	}
+
+	diag := make([]float64, n)
+	a.Diagonal(diag)
+	invDiag := make([]float64, n)
+	for i, d := range diag {
+		if d <= 0 {
+			return CGResult{}, fmt.Errorf("mat: non-positive diagonal %g at %d; matrix not SPD", d, i)
+		}
+		invDiag[i] = 1 / d
+	}
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		// Solution of Ax=0 for SPD A is x=0.
+		for i := range x {
+			x[i] = 0
+		}
+		return CGResult{Iterations: 0, Residual: 0}, nil
+	}
+
+	for i := range z {
+		z[i] = invDiag[i] * r[i]
+	}
+	copy(p, z)
+	rz := Dot(r, z)
+
+	res := Norm2(r) / bnorm
+	var it int
+	for it = 0; it < maxIter && res > tol; it++ {
+		a.MulVec(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return CGResult{Iterations: it, Residual: res},
+				fmt.Errorf("mat: p·Ap = %g ≤ 0; matrix not SPD", pap)
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		for i := range z {
+			z[i] = invDiag[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		res = Norm2(r) / bnorm
+	}
+	if res > tol {
+		return CGResult{Iterations: it, Residual: res}, ErrNoConvergence
+	}
+	return CGResult{Iterations: it, Residual: res}, nil
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot dimension mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// NormInf returns the maximum absolute entry of v.
+func NormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// AXPY computes y += alpha·x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: AXPY dimension mismatch")
+	}
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}

@@ -1,0 +1,119 @@
+package microchannel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Coolant carries the fluid properties the model depends on. The paper
+// assumes forced convective interlayer cooling with water but notes the
+// model "can be extended to other coolants as well"; this type is that
+// extension point.
+type Coolant struct {
+	Name string
+	// Cp is the specific heat capacity, J/(kg·K).
+	Cp float64
+	// Rho is the density, kg/m³.
+	Rho float64
+	// K is the thermal conductivity, W/(m·K), used for the stagnant
+	// conduction contribution of channel cells.
+	K float64
+	// H is the convective heat-transfer coefficient in the Table I
+	// channel geometry, W/(m²·K). For water the paper's value (derived
+	// from the hydraulic diameter and Nusselt number of the developed
+	// laminar flow) is 37132; other fluids scale with their
+	// conductivity, since Nu is geometry-determined for developed
+	// laminar flow: h = Nu·k/Dh.
+	H float64
+}
+
+// Water returns the paper's coolant (Table I values).
+func Water() Coolant {
+	return Coolant{
+		Name: "water",
+		Cp:   CoolantHeatCapacity,
+		Rho:  CoolantDensity,
+		K:    WaterConductivity,
+		H:    HeatTransferCoeff,
+	}
+}
+
+// hydraulic diameter of the Table I channel: Dh = 2·wc·tc/(wc+tc).
+func hydraulicDiameter() float64 {
+	return 2 * ChannelWidth * ChannelHeight / (ChannelWidth + ChannelHeight)
+}
+
+// nusselt is the geometry-fixed Nusselt number implied by the paper's
+// water h: Nu = h·Dh/k_water ≈ 4.1, consistent with developed laminar
+// flow in a rectangular duct.
+func nusselt() float64 {
+	return HeatTransferCoeff * hydraulicDiameter() / WaterConductivity
+}
+
+// WithConductivityScaledH returns c with H derived from its conductivity
+// at the fixed channel Nusselt number (for fluids without a measured h).
+func (c Coolant) WithConductivityScaledH() Coolant {
+	c.H = nusselt() * c.K / hydraulicDiameter()
+	return c
+}
+
+// WaterGlycol50 returns a 50/50 water–ethylene-glycol mix, the common
+// sub-freezing alternative. Properties at ~60 °C.
+func WaterGlycol50() Coolant {
+	c := Coolant{
+		Name: "water-glycol-50",
+		Cp:   3400,
+		Rho:  1060,
+		K:    0.40,
+	}
+	return c.WithConductivityScaledH()
+}
+
+// FluorinertFC72 returns 3M FC-72, a dielectric coolant used where leaks
+// must not short electronics; markedly worse thermal properties.
+func FluorinertFC72() Coolant {
+	c := Coolant{
+		Name: "fc-72",
+		Cp:   1100,
+		Rho:  1680,
+		K:    0.057,
+	}
+	return c.WithConductivityScaledH()
+}
+
+// Validate checks the properties are physical.
+func (c Coolant) Validate() error {
+	if c.Cp <= 0 || c.Rho <= 0 || c.K <= 0 || c.H <= 0 {
+		return fmt.Errorf("microchannel: coolant %q has non-positive properties", c.Name)
+	}
+	return nil
+}
+
+// TransportCapacity returns ρ·cp·V̇, the heat absorbed per kelvin of
+// temperature rise at flow vdot (W/K).
+func (c Coolant) TransportCapacity(vdot units.CubicMeterPerSecond) float64 {
+	return c.Rho * c.Cp * float64(vdot)
+}
+
+// EffectiveHeatTransferCoeff is Eqn. 7 for this coolant.
+func (c Coolant) EffectiveHeatTransferCoeff() float64 {
+	return c.H * 2 * (ChannelWidth + ChannelHeight) / ChannelPitch
+}
+
+// RthHeat is Eqn. 5 for this coolant.
+func (c Coolant) RthHeat(aHeater float64, vdot units.CubicMeterPerSecond) float64 {
+	cap := c.TransportCapacity(vdot)
+	if cap <= 0 {
+		return math.Inf(1)
+	}
+	return aHeater / cap
+}
+
+// JunctionRise composes Eqn. 1 for this coolant.
+func (c Coolant) JunctionRise(q1, q2, aHeater float64, vdot units.CubicMeterPerSecond) float64 {
+	return DeltaTCond(q1) +
+		(q1+q2)*c.RthHeat(aHeater, vdot) +
+		(q1+q2)/c.EffectiveHeatTransferCoeff()
+}

@@ -1,0 +1,99 @@
+package microchannel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestWaterMatchesTableI(t *testing.T) {
+	w := Water()
+	if w.Cp != 4183 || w.Rho != 998 || w.H != 37132 {
+		t.Errorf("water properties drifted: %+v", w)
+	}
+	if err := w.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNusseltPlausible(t *testing.T) {
+	// Developed laminar rectangular-duct Nu is ~3-6; the paper's h and
+	// geometry must land inside that physical band.
+	nu := nusselt()
+	if nu < 3 || nu > 6 {
+		t.Errorf("implied Nusselt %v outside laminar band", nu)
+	}
+}
+
+func TestHydraulicDiameter(t *testing.T) {
+	// Dh = 2·50·100/(50+100) µm = 66.7 µm.
+	if units.RelativeError(hydraulicDiameter(), 66.67e-6) > 1e-3 {
+		t.Errorf("Dh = %v", hydraulicDiameter())
+	}
+}
+
+func TestAlternativeCoolantsValid(t *testing.T) {
+	for _, c := range []Coolant{Water(), WaterGlycol50(), FluorinertFC72()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	bad := Coolant{Name: "vacuum"}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero-property coolant")
+	}
+}
+
+func TestCoolantOrderingByMerit(t *testing.T) {
+	// At identical flow and flux, water outperforms glycol mix which
+	// outperforms FC-72 — the expected figure of merit ordering.
+	v := units.LitersPerMinute(0.5).ToSI()
+	q := 3e5
+	a := 1e-6
+	water := Water().JunctionRise(q, q, a, v)
+	glycol := WaterGlycol50().JunctionRise(q, q, a, v)
+	fc := FluorinertFC72().JunctionRise(q, q, a, v)
+	if !(water < glycol && glycol < fc) {
+		t.Errorf("merit ordering violated: water %v, glycol %v, fc72 %v", water, glycol, fc)
+	}
+}
+
+func TestWaterCoolantMatchesPackageFunctions(t *testing.T) {
+	// The Coolant path must agree exactly with the original Table I
+	// constant path for water.
+	v := units.LitersPerMinute(0.3).ToSI()
+	q1, q2, a := 2e5, 1e5, 1e-7
+	viaCoolant := Water().JunctionRise(q1, q2, a, v)
+	viaConsts := JunctionRise(q1, q2, a, v)
+	if units.RelativeError(viaCoolant, viaConsts) > 1e-12 {
+		t.Errorf("coolant path %v != constant path %v", viaCoolant, viaConsts)
+	}
+	if units.RelativeError(Water().EffectiveHeatTransferCoeff(), EffectiveHeatTransferCoeff()) > 1e-12 {
+		t.Error("h_eff mismatch")
+	}
+	if units.RelativeError(Water().RthHeat(a, v), RthHeat(a, v)) > 1e-12 {
+		t.Error("RthHeat mismatch")
+	}
+}
+
+func TestTransportCapacity(t *testing.T) {
+	v := units.LitersPerMinute(1).ToSI()
+	want := 998.0 * 4183.0 * float64(v)
+	if got := Water().TransportCapacity(v); units.RelativeError(got, want) > 1e-12 {
+		t.Errorf("capacity = %v, want %v", got, want)
+	}
+	if got := Water().RthHeat(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero-flow RthHeat = %v, want +Inf", got)
+	}
+}
+
+func TestConductivityScaledH(t *testing.T) {
+	// Scaling preserves Nu: h·Dh/k identical across fluids.
+	for _, c := range []Coolant{WaterGlycol50(), FluorinertFC72()} {
+		nu := c.H * hydraulicDiameter() / c.K
+		if units.RelativeError(nu, nusselt()) > 1e-9 {
+			t.Errorf("%s: Nu %v != water Nu %v", c.Name, nu, nusselt())
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/units"
+)
+
+func TestBreakdownFullLoad(t *testing.T) {
+	m := New(floorplan.NewT1Stack2(true))
+	blocks, err := m.BlockPowers(fullLoad(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := m.Breakdown(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if units.RelativeError(float64(bd[floorplan.KindCore]), 8*CoreActivePower) > 1e-12 {
+		t.Errorf("core total = %v, want %v", bd[floorplan.KindCore], 8*CoreActivePower)
+	}
+	if units.RelativeError(float64(bd[floorplan.KindL2]), 4*L2CachePower) > 1e-12 {
+		t.Errorf("L2 total = %v", bd[floorplan.KindL2])
+	}
+	// Breakdown sums to Total.
+	sum := units.Watt(0)
+	for _, v := range bd {
+		sum += v
+	}
+	if units.RelativeError(float64(sum), float64(Total(blocks))) > 1e-12 {
+		t.Errorf("breakdown sum %v != total %v", sum, Total(blocks))
+	}
+}
+
+func TestBreakdownValidation(t *testing.T) {
+	m := New(floorplan.NewT1Stack2(true))
+	if _, err := m.Breakdown([][]float64{{1}}); err == nil {
+		t.Error("expected layer-count error")
+	}
+	if _, err := m.Breakdown([][]float64{{1}, {1}}); err == nil {
+		t.Error("expected block-count error")
+	}
+}

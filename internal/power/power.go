@@ -1,0 +1,259 @@
+// Package power models the consumption of the UltraSPARC-T1-derived 3D
+// systems of Section V: per-core state-based dynamic power (the paper takes
+// instantaneous dynamic power equal to the per-state average), CACTI-derived
+// L2 cache power, activity-scaled crossbar power, and the
+// temperature-dependent polynomial leakage model of Su et al. [21].
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/units"
+)
+
+// CoreState is the power state of one core.
+type CoreState int
+
+// Core power states. The paper's DPM uses a fixed-timeout policy that puts
+// idle cores to sleep.
+const (
+	StateActive CoreState = iota
+	StateIdle
+	StateSleep
+)
+
+// String implements fmt.Stringer.
+func (s CoreState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateIdle:
+		return "idle"
+	case StateSleep:
+		return "sleep"
+	default:
+		return fmt.Sprintf("CoreState(%d)", int(s))
+	}
+}
+
+// Published power values (Section V and Table II context).
+const (
+	// CoreActivePower is the per-core active dynamic power (3 W [16]).
+	CoreActivePower = 3.0
+	// CoreIdlePower is the clock-gated idle power. The T1's fine-grained
+	// multithreading keeps idle power well below active; we use 1 W.
+	CoreIdlePower = 1.3
+	// CoreSleepPower is the paper's sleep-state power (0.02 W).
+	CoreSleepPower = 0.02
+	// L2CachePower is the per-L2 power computed by CACTI (1.28 W).
+	L2CachePower = 1.28
+	// L2StandbyFraction is the share of L2 power that does not scale
+	// with activity (clocks, decoders).
+	L2StandbyFraction = 0.3
+	// CrossbarMaxPower is the full-activity power of one layer's
+	// crossbar strip. The paper scales "the average power value
+	// according to the number of active cores and the memory accesses".
+	CrossbarMaxPower = 4.0
+	// CrossbarStandbyFraction mirrors L2StandbyFraction.
+	CrossbarStandbyFraction = 0.25
+	// MemCtrlPower is the per-memory-controller block power.
+	MemCtrlPower = 1.0
+)
+
+// Leakage models the temperature-dependent leakage of Su et al. [21]:
+// a polynomial factor on a reference leakage at TRef.
+type Leakage struct {
+	// RefFraction is leakage at TRef as a fraction of the block's peak
+	// dynamic power (90 nm class: ~25 %).
+	RefFraction float64
+	// TRef is the reference temperature.
+	TRef units.Celsius
+	// A1, A2 are the linear and quadratic polynomial coefficients
+	// (per kelvin and per kelvin²).
+	A1, A2 float64
+}
+
+// DefaultLeakage returns the calibrated 90 nm leakage model.
+func DefaultLeakage() Leakage {
+	return Leakage{RefFraction: 0.25, TRef: 45, A1: 0.012, A2: 0.0002}
+}
+
+// Factor returns the polynomial temperature factor at temperature t.
+func (l Leakage) Factor(t units.Celsius) float64 {
+	d := float64(t - l.TRef)
+	f := 1 + l.A1*d + l.A2*d*d
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Power returns the leakage power for a block with the given peak dynamic
+// power at temperature t.
+func (l Leakage) Power(peakDynamic float64, t units.Celsius) float64 {
+	return peakDynamic * l.RefFraction * l.Factor(t)
+}
+
+// Activity summarizes one scheduling interval for the power model.
+type Activity struct {
+	// CoreBusy is the fraction of the interval each core spent executing,
+	// indexed like floorplan.Stack.Cores().
+	CoreBusy []float64
+	// CoreState is the power state at the end of the interval (sleep
+	// gates leakage too).
+	CoreState []CoreState
+	// MemActivity in [0,1] scales cache, crossbar and memory-controller
+	// dynamic power; the workload package derives it from Table II's
+	// per-benchmark miss rates.
+	MemActivity float64
+}
+
+// Model computes per-block power for one stack.
+type Model struct {
+	Stack *floorplan.Stack
+	Leak  Leakage
+	// cores caches the stack's core references.
+	cores []floorplan.CoreRef
+}
+
+// New builds a power model for the stack.
+func New(s *floorplan.Stack) *Model {
+	return &Model{Stack: s, Leak: DefaultLeakage(), cores: s.Cores()}
+}
+
+// NumCores returns the core count.
+func (m *Model) NumCores() int { return len(m.cores) }
+
+// BlockPowers returns per-layer, per-block power (W) for the interval
+// described by act, evaluating leakage at the per-block temperatures
+// blockTemp (same indexing; may be nil to skip leakage).
+func (m *Model) BlockPowers(act Activity, blockTemp [][]units.Celsius) ([][]float64, error) {
+	if len(act.CoreBusy) != len(m.cores) || len(act.CoreState) != len(m.cores) {
+		return nil, fmt.Errorf("power: activity for %d/%d cores, want %d",
+			len(act.CoreBusy), len(act.CoreState), len(m.cores))
+	}
+	if act.MemActivity < 0 || act.MemActivity > 1 {
+		return nil, fmt.Errorf("power: memory activity %g outside [0,1]", act.MemActivity)
+	}
+	out := make([][]float64, len(m.Stack.Layers))
+	for li, layer := range m.Stack.Layers {
+		out[li] = make([]float64, len(layer.Blocks))
+	}
+
+	activeCores := 0
+	for ci, ref := range m.cores {
+		busy := act.CoreBusy[ci]
+		if busy < 0 || busy > 1 {
+			return nil, fmt.Errorf("power: core %d busy fraction %g outside [0,1]", ci, busy)
+		}
+		var dyn float64
+		switch act.CoreState[ci] {
+		case StateSleep:
+			dyn = CoreSleepPower
+		case StateIdle:
+			dyn = busy*CoreActivePower + (1-busy)*CoreIdlePower
+		case StateActive:
+			dyn = busy*CoreActivePower + (1-busy)*CoreIdlePower
+		default:
+			return nil, fmt.Errorf("power: core %d invalid state %v", ci, act.CoreState[ci])
+		}
+		if busy > 0 {
+			activeCores++
+		}
+		out[ref.Layer][ref.Block] = dyn
+	}
+	activeFrac := float64(activeCores) / float64(len(m.cores))
+
+	for li, layer := range m.Stack.Layers {
+		for bi, b := range layer.Blocks {
+			switch b.Kind {
+			case floorplan.KindL2:
+				out[li][bi] = L2CachePower *
+					(L2StandbyFraction + (1-L2StandbyFraction)*act.MemActivity)
+			case floorplan.KindCrossbar:
+				// Paper: scaled by active cores and memory accesses.
+				scale := CrossbarStandbyFraction +
+					(1-CrossbarStandbyFraction)*0.5*(activeFrac+act.MemActivity)
+				out[li][bi] = CrossbarMaxPower * scale
+			case floorplan.KindMemCtrl:
+				out[li][bi] = MemCtrlPower * (0.3 + 0.7*act.MemActivity)
+			}
+		}
+	}
+
+	// Leakage on top of dynamic, gated for sleeping cores.
+	if blockTemp != nil {
+		coreOf := map[[2]int]int{}
+		for ci, ref := range m.cores {
+			coreOf[[2]int{ref.Layer, ref.Block}] = ci
+		}
+		for li, layer := range m.Stack.Layers {
+			if len(blockTemp[li]) != len(layer.Blocks) {
+				return nil, fmt.Errorf("power: layer %d temps %d blocks, want %d",
+					li, len(blockTemp[li]), len(layer.Blocks))
+			}
+			for bi, b := range layer.Blocks {
+				peak := m.PeakDynamic(b.Kind)
+				if peak == 0 {
+					continue
+				}
+				if ci, isCore := coreOf[[2]int{li, bi}]; isCore && act.CoreState[ci] == StateSleep {
+					// Power-gated: negligible leakage, already covered
+					// by the 0.02 W sleep floor.
+					continue
+				}
+				out[li][bi] += m.Leak.Power(peak, blockTemp[li][bi])
+			}
+		}
+	}
+	return out, nil
+}
+
+// PeakDynamic returns the peak dynamic power for a block kind, the base
+// for the leakage fraction.
+func (m *Model) PeakDynamic(k floorplan.BlockKind) float64 {
+	switch k {
+	case floorplan.KindCore:
+		return CoreActivePower
+	case floorplan.KindL2:
+		return L2CachePower
+	case floorplan.KindCrossbar:
+		return CrossbarMaxPower
+	case floorplan.KindMemCtrl:
+		return MemCtrlPower
+	default:
+		return 0
+	}
+}
+
+// Breakdown sums a per-layer, per-block power map by block kind,
+// matching the stack the model was built for.
+func (m *Model) Breakdown(blocks [][]float64) (map[floorplan.BlockKind]units.Watt, error) {
+	if len(blocks) != len(m.Stack.Layers) {
+		return nil, fmt.Errorf("power: breakdown got %d layers, want %d",
+			len(blocks), len(m.Stack.Layers))
+	}
+	out := map[floorplan.BlockKind]units.Watt{}
+	for li, layer := range m.Stack.Layers {
+		if len(blocks[li]) != len(layer.Blocks) {
+			return nil, fmt.Errorf("power: breakdown layer %d got %d blocks, want %d",
+				li, len(blocks[li]), len(layer.Blocks))
+		}
+		for bi, b := range layer.Blocks {
+			out[b.Kind] += units.Watt(blocks[li][bi])
+		}
+	}
+	return out, nil
+}
+
+// Total sums a per-layer, per-block power map.
+func Total(blocks [][]float64) units.Watt {
+	s := 0.0
+	for _, layer := range blocks {
+		for _, p := range layer {
+			s += p
+		}
+	}
+	return units.Watt(s)
+}

@@ -1,0 +1,269 @@
+package power
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/units"
+)
+
+func fullLoad(n int) Activity {
+	act := Activity{
+		CoreBusy:    make([]float64, n),
+		CoreState:   make([]CoreState, n),
+		MemActivity: 1,
+	}
+	for i := range act.CoreBusy {
+		act.CoreBusy[i] = 1
+		act.CoreState[i] = StateActive
+	}
+	return act
+}
+
+func allSleep(n int) Activity {
+	act := Activity{
+		CoreBusy:  make([]float64, n),
+		CoreState: make([]CoreState, n),
+	}
+	for i := range act.CoreState {
+		act.CoreState[i] = StateSleep
+	}
+	return act
+}
+
+func TestFullLoadCorePower(t *testing.T) {
+	m := New(floorplan.NewT1Stack2(true))
+	p, err := m.BlockPowers(fullLoad(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range m.Stack.Cores() {
+		if got := p[ref.Layer][ref.Block]; got != CoreActivePower {
+			t.Errorf("core %s power = %v, want %v", ref.Name, got, CoreActivePower)
+		}
+	}
+}
+
+func TestFullLoadCachePower(t *testing.T) {
+	m := New(floorplan.NewT1Stack2(true))
+	p, err := m.BlockPowers(fullLoad(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, layer := range m.Stack.Layers {
+		for bi, b := range layer.Blocks {
+			if b.Kind == floorplan.KindL2 && p[li][bi] != L2CachePower {
+				t.Errorf("L2 %s power = %v, want %v (CACTI)", b.Name, p[li][bi], L2CachePower)
+			}
+		}
+	}
+}
+
+func TestSleepPowerIsFloor(t *testing.T) {
+	m := New(floorplan.NewT1Stack2(true))
+	p, err := m.BlockPowers(allSleep(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range m.Stack.Cores() {
+		if got := p[ref.Layer][ref.Block]; got != CoreSleepPower {
+			t.Errorf("sleeping core %s power = %v, want %v", ref.Name, got, CoreSleepPower)
+		}
+	}
+}
+
+func TestIdleBetweenSleepAndActive(t *testing.T) {
+	m := New(floorplan.NewT1Stack2(true))
+	act := allSleep(8)
+	for i := range act.CoreState {
+		act.CoreState[i] = StateIdle
+	}
+	p, err := m.BlockPowers(act, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := m.Stack.Cores()[0]
+	got := p[ref.Layer][ref.Block]
+	if got <= CoreSleepPower || got >= CoreActivePower {
+		t.Errorf("idle power %v not between sleep %v and active %v",
+			got, CoreSleepPower, CoreActivePower)
+	}
+}
+
+func TestBusyFractionInterpolates(t *testing.T) {
+	m := New(floorplan.NewT1Stack2(true))
+	act := fullLoad(8)
+	act.CoreBusy[0] = 0.5
+	p, err := m.BlockPowers(act, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := m.Stack.Cores()[0]
+	want := 0.5*CoreActivePower + 0.5*CoreIdlePower
+	if got := p[ref.Layer][ref.Block]; units.RelativeError(got, want) > 1e-12 {
+		t.Errorf("half-busy core power = %v, want %v", got, want)
+	}
+}
+
+func TestMemActivityScalesUncore(t *testing.T) {
+	m := New(floorplan.NewT1Stack2(true))
+	hi := fullLoad(8)
+	lo := fullLoad(8)
+	lo.MemActivity = 0
+	ph, err := m.BlockPowers(hi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := m.BlockPowers(lo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, layer := range m.Stack.Layers {
+		for bi, b := range layer.Blocks {
+			switch b.Kind {
+			case floorplan.KindL2, floorplan.KindCrossbar, floorplan.KindMemCtrl:
+				if ph[li][bi] <= pl[li][bi] {
+					t.Errorf("%s: power should rise with memory activity (%v vs %v)",
+						b.Name, ph[li][bi], pl[li][bi])
+				}
+			}
+		}
+	}
+}
+
+func TestLeakageRisesWithTemperature(t *testing.T) {
+	l := DefaultLeakage()
+	p60 := l.Power(3, 60)
+	p80 := l.Power(3, 80)
+	if p80 <= p60 {
+		t.Errorf("leakage at 80°C (%v) should exceed 60°C (%v)", p80, p60)
+	}
+	// Superlinear: the marginal increase grows with temperature.
+	d1 := l.Power(3, 70) - l.Power(3, 60)
+	d2 := l.Power(3, 90) - l.Power(3, 80)
+	if d2 <= d1 {
+		t.Errorf("leakage should be superlinear: Δ(80→90)=%v vs Δ(60→70)=%v", d2, d1)
+	}
+}
+
+func TestLeakageReferencePoint(t *testing.T) {
+	l := DefaultLeakage()
+	if got := l.Power(4, l.TRef); units.RelativeError(got, 4*l.RefFraction) > 1e-12 {
+		t.Errorf("leakage at TRef = %v, want %v", got, 4*l.RefFraction)
+	}
+	if l.Factor(l.TRef) != 1 {
+		t.Errorf("factor at TRef = %v, want 1", l.Factor(l.TRef))
+	}
+}
+
+func TestLeakageNeverNegative(t *testing.T) {
+	l := DefaultLeakage()
+	for _, temp := range []units.Celsius{-200, -60, 0, 45, 120} {
+		if l.Power(3, temp) < 0 {
+			t.Errorf("negative leakage at %v", temp)
+		}
+	}
+}
+
+func TestLeakageAppliedWithTemps(t *testing.T) {
+	m := New(floorplan.NewT1Stack2(true))
+	act := fullLoad(8)
+	temps := make([][]units.Celsius, len(m.Stack.Layers))
+	for li, layer := range m.Stack.Layers {
+		temps[li] = make([]units.Celsius, len(layer.Blocks))
+		for bi := range temps[li] {
+			temps[li][bi] = 80
+		}
+	}
+	withLeak, err := m.BlockPowers(act, temps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := m.BlockPowers(act, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Total(withLeak) <= Total(without) {
+		t.Errorf("leakage should raise total power: %v vs %v", Total(withLeak), Total(without))
+	}
+	ref := m.Stack.Cores()[0]
+	wantCore := CoreActivePower + m.Leak.Power(CoreActivePower, 80)
+	if got := withLeak[ref.Layer][ref.Block]; units.RelativeError(got, wantCore) > 1e-12 {
+		t.Errorf("core power with leakage = %v, want %v", got, wantCore)
+	}
+}
+
+func TestSleepGatesLeakage(t *testing.T) {
+	m := New(floorplan.NewT1Stack2(true))
+	act := allSleep(8)
+	temps := make([][]units.Celsius, len(m.Stack.Layers))
+	for li, layer := range m.Stack.Layers {
+		temps[li] = make([]units.Celsius, len(layer.Blocks))
+		for bi := range temps[li] {
+			temps[li][bi] = 80
+		}
+	}
+	p, err := m.BlockPowers(act, temps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range m.Stack.Cores() {
+		if got := p[ref.Layer][ref.Block]; got != CoreSleepPower {
+			t.Errorf("sleeping core leaks: %v, want %v", got, CoreSleepPower)
+		}
+	}
+}
+
+func TestBlockPowersValidation(t *testing.T) {
+	m := New(floorplan.NewT1Stack2(true))
+	if _, err := m.BlockPowers(Activity{CoreBusy: []float64{1}, CoreState: []CoreState{StateActive}}, nil); err == nil {
+		t.Error("expected error for wrong core count")
+	}
+	bad := fullLoad(8)
+	bad.CoreBusy[2] = 1.5
+	if _, err := m.BlockPowers(bad, nil); err == nil {
+		t.Error("expected error for busy > 1")
+	}
+	bad2 := fullLoad(8)
+	bad2.MemActivity = -0.1
+	if _, err := m.BlockPowers(bad2, nil); err == nil {
+		t.Error("expected error for negative memory activity")
+	}
+}
+
+func TestTotalFullLoad2Layer(t *testing.T) {
+	// 8 cores × 3 + 4 L2 × 1.28 + 2 crossbars × 4 + 2 MC × 1 ≈ 39.1 W
+	// at full activity without leakage.
+	m := New(floorplan.NewT1Stack2(true))
+	p, err := m.BlockPowers(fullLoad(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8*3.0 + 4*1.28 + 2*4.0 + 2*1.0
+	if got := float64(Total(p)); units.RelativeError(got, want) > 1e-9 {
+		t.Errorf("full-load total = %v W, want %v", got, want)
+	}
+}
+
+func TestCoreStateString(t *testing.T) {
+	for s, want := range map[CoreState]string{
+		StateActive: "active", StateIdle: "idle", StateSleep: "sleep",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+	if !strings.HasPrefix(CoreState(9).String(), "CoreState(") {
+		t.Error("unknown state string")
+	}
+}
+
+func TestNumCores(t *testing.T) {
+	if got := New(floorplan.NewT1Stack2(true)).NumCores(); got != 8 {
+		t.Errorf("2-layer cores = %d", got)
+	}
+	if got := New(floorplan.NewT1Stack4(true)).NumCores(); got != 16 {
+		t.Errorf("4-layer cores = %d", got)
+	}
+}

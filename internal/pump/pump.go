@@ -1,0 +1,121 @@
+// Package pump models the coolant pump of Section III.B: a Laing-DDC-class
+// 12 V DC impeller pump with five discrete flow-rate settings, power that
+// grows quadratically with flow (Fig. 3), a 50 % global delivery derating
+// for pump inefficiency and microchannel pressure losses, and a 250–300 ms
+// transition time between settings (Section IV).
+package pump
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Setting indexes one of the pump's discrete flow-rate operating points,
+// 0 (lowest) through NumSettings-1 (highest). The value -1 denotes "off".
+type Setting int
+
+// Off is the pump-disabled setting (flow and power zero); it is not used
+// by the paper's policies (liquid-cooled systems always pump) but supports
+// failure-injection experiments.
+const Off Setting = -1
+
+// NumSettings is the number of discrete operating points (Fig. 3 shows
+// five).
+const NumSettings = 5
+
+// settings tabulates Fig. 3: pump output flow in l/h and electrical power
+// in watts. The flow points are the figure's x-axis (75–375 l/h); power is
+// a quadratic fit to the DDC datasheet curve spanning the figure's 3–21 W
+// right axis.
+var settings = [NumSettings]struct {
+	flowLPH units.LitersPerHour
+	power   units.Watt
+}{
+	{75, 4.5},
+	{150, 6.5},
+	{225, 10.0},
+	{300, 14.7},
+	{375, 20.8},
+}
+
+// DeliveryEfficiency is the paper's global 50 % reduction "to account for
+// the loss due to all of these factors" (DC pump inefficiency plus the
+// higher pressure drop of the microchannels).
+const DeliveryEfficiency = 0.5
+
+// TransitionTime is how long the impeller takes to reach a new setting
+// (Section IV: "around 250-300 ms"); we use the midpoint.
+const TransitionTime units.Second = 0.275
+
+// PressureDropRangeMbar documents the 300–600 mbar pressure drop across
+// the settings quoted in Section III.B.
+var PressureDropRangeMbar = [2]float64{300, 600}
+
+// Pump models the shared pump feeding every cavity of one stack.
+type Pump struct {
+	// Cavities is the number of interlayer cavities fed in parallel.
+	Cavities int
+}
+
+// New returns a pump for a stack with the given cavity count.
+func New(cavities int) (*Pump, error) {
+	if cavities <= 0 {
+		return nil, fmt.Errorf("pump: cavity count %d", cavities)
+	}
+	return &Pump{Cavities: cavities}, nil
+}
+
+// Validate checks a setting is Off or in range.
+func Validate(s Setting) error {
+	if s != Off && (s < 0 || int(s) >= NumSettings) {
+		return fmt.Errorf("pump: setting %d out of range [0,%d)", s, NumSettings)
+	}
+	return nil
+}
+
+// OutputFlow returns the pump's nominal output flow at setting s.
+func OutputFlow(s Setting) units.LitersPerHour {
+	if s == Off {
+		return 0
+	}
+	return settings[s].flowLPH
+}
+
+// Power returns the electrical power drawn at setting s.
+func Power(s Setting) units.Watt {
+	if s == Off {
+		return 0
+	}
+	return settings[s].power
+}
+
+// PerCavityFlow returns the delivered flow per cavity at setting s:
+// nominal output × delivery efficiency, split equally among cavities
+// (Fig. 3's per-cavity series).
+func (p *Pump) PerCavityFlow(s Setting) units.LitersPerMinute {
+	if s == Off {
+		return 0
+	}
+	total := OutputFlow(s).ToLitersPerMinute()
+	return units.LitersPerMinute(float64(total) * DeliveryEfficiency / float64(p.Cavities))
+}
+
+// PerChannelFlow returns the delivered flow per microchannel at setting s
+// for cavities of n channels each.
+func (p *Pump) PerChannelFlow(s Setting, channelsPerCavity int) (units.CubicMeterPerSecond, error) {
+	if channelsPerCavity <= 0 {
+		return 0, fmt.Errorf("pump: channels per cavity %d", channelsPerCavity)
+	}
+	per := p.PerCavityFlow(s)
+	return units.CubicMeterPerSecond(float64(per.ToSI()) / float64(channelsPerCavity)), nil
+}
+
+// MaxSetting returns the highest (worst-case) setting, the paper's "Max"
+// baseline.
+func MaxSetting() Setting { return NumSettings - 1 }
+
+// Energy integrates pump power over an interval at a fixed setting.
+func Energy(s Setting, dt units.Second) units.Joule {
+	return units.Joule(float64(Power(s)) * float64(dt))
+}

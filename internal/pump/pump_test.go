@@ -1,0 +1,153 @@
+package pump
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestSettingsMonotone(t *testing.T) {
+	for s := Setting(1); s < NumSettings; s++ {
+		if OutputFlow(s) <= OutputFlow(s-1) {
+			t.Errorf("flow not increasing at setting %d", s)
+		}
+		if Power(s) <= Power(s-1) {
+			t.Errorf("power not increasing at setting %d", s)
+		}
+	}
+}
+
+func TestPowerSuperlinearInFlow(t *testing.T) {
+	// Section I: "the pump power increases quadratically with the increase
+	// in flow rate". Check power grows faster than linearly between the
+	// extreme settings: P4/P0 > F4/F0.
+	pRatio := float64(Power(4)) / float64(Power(0))
+	fRatio := float64(OutputFlow(4)) / float64(OutputFlow(0))
+	if pRatio <= fRatio*0.9 {
+		t.Errorf("power ratio %v vs flow ratio %v: not superlinear", pRatio, fRatio)
+	}
+}
+
+func TestFig3FlowAxis(t *testing.T) {
+	// Fig. 3 x-axis: 75, 150, 225, 300, 375 l/h.
+	want := []float64{75, 150, 225, 300, 375}
+	for s := 0; s < NumSettings; s++ {
+		if got := float64(OutputFlow(Setting(s))); got != want[s] {
+			t.Errorf("setting %d flow = %v l/h, want %v", s, got, want[s])
+		}
+	}
+}
+
+func TestFig3PowerRange(t *testing.T) {
+	// Fig. 3 right axis spans 3–21 W.
+	if p := float64(Power(0)); p < 3 || p > 6 {
+		t.Errorf("lowest power = %v W, want within Fig. 3 low end", p)
+	}
+	if p := float64(Power(MaxSetting())); p < 18 || p > 21 {
+		t.Errorf("highest power = %v W, want near 21 W", p)
+	}
+}
+
+func TestPerCavityFlowMatchesFig3(t *testing.T) {
+	// 2-layer system: 3 cavities. Max setting: 375 l/h = 6.25 l/min,
+	// × 0.5 efficiency / 3 ≈ 1042 ml/min (Fig. 3 tops out near 1050).
+	p2, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p2.PerCavityFlow(MaxSetting()).MilliLitersPerMinute()
+	if units.RelativeError(got, 1041.7) > 1e-3 {
+		t.Errorf("2-layer max per-cavity flow = %v ml/min, want ≈1042", got)
+	}
+	// 4-layer: 5 cavities, max ≈ 625 ml/min.
+	p4, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got4 := p4.PerCavityFlow(MaxSetting()).MilliLitersPerMinute()
+	if units.RelativeError(got4, 625) > 1e-3 {
+		t.Errorf("4-layer max per-cavity flow = %v ml/min, want 625", got4)
+	}
+}
+
+func TestPerCavityFlowWithinTableIRange(t *testing.T) {
+	// Table I: V̇ = 0.1–1 l/min per cavity. The 4-layer lowest setting
+	// (125 ml/min) and 2-layer highest (1042 ml/min) should straddle
+	// that range's interior.
+	for _, cavities := range []int{3, 5} {
+		p, _ := New(cavities)
+		lo := float64(p.PerCavityFlow(0))
+		hi := float64(p.PerCavityFlow(MaxSetting()))
+		if lo < 0.1 && cavities == 3 {
+			t.Errorf("%d cavities: lowest flow %v l/min below Table I range", cavities, lo)
+		}
+		if hi > 1.1 {
+			t.Errorf("%d cavities: highest flow %v l/min above Table I range", cavities, hi)
+		}
+	}
+}
+
+func TestPerChannelFlow(t *testing.T) {
+	p, _ := New(3)
+	v, err := p.PerChannelFlow(MaxSetting(), 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerCavity := p.PerCavityFlow(MaxSetting()).ToSI()
+	if units.RelativeError(float64(v)*65, float64(wantPerCavity)) > 1e-12 {
+		t.Errorf("per-channel × 65 = %v, want %v", float64(v)*65, wantPerCavity)
+	}
+	if _, err := p.PerChannelFlow(0, 0); err == nil {
+		t.Error("expected error for zero channels")
+	}
+}
+
+func TestOffSetting(t *testing.T) {
+	if OutputFlow(Off) != 0 || Power(Off) != 0 {
+		t.Error("Off setting should have zero flow and power")
+	}
+	p, _ := New(3)
+	if p.PerCavityFlow(Off) != 0 {
+		t.Error("Off per-cavity flow should be zero")
+	}
+	if err := Validate(Off); err != nil {
+		t.Errorf("Off should validate: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for s := 0; s < NumSettings; s++ {
+		if err := Validate(Setting(s)); err != nil {
+			t.Errorf("setting %d should validate: %v", s, err)
+		}
+	}
+	if err := Validate(NumSettings); err == nil {
+		t.Error("expected error for out-of-range setting")
+	}
+	if err := Validate(-2); err == nil {
+		t.Error("expected error for setting -2")
+	}
+}
+
+func TestNewRejectsBadCavities(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("expected error for zero cavities")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	e := Energy(MaxSetting(), 10)
+	want := float64(Power(MaxSetting())) * 10
+	if units.RelativeError(float64(e), want) > 1e-12 {
+		t.Errorf("Energy = %v, want %v", e, want)
+	}
+	if Energy(Off, 100) != 0 {
+		t.Error("Off energy should be zero")
+	}
+}
+
+func TestTransitionTimeInPaperRange(t *testing.T) {
+	if TransitionTime < 0.25 || TransitionTime > 0.3 {
+		t.Errorf("transition time %v s outside the paper's 250-300 ms", TransitionTime)
+	}
+}

@@ -1,0 +1,62 @@
+package rcnet
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/units"
+)
+
+// WriteFieldCSV exports the temperature field of one slab as a CSV matrix
+// (NY rows × NX columns, °C), directly loadable as a heatmap. Row 0 is
+// y = 0 (the bottom of the floorplan).
+func (m *Model) WriteFieldCSV(w io.Writer, slab int) error {
+	if slab < 0 || slab >= len(m.Grid.Slabs) {
+		return fmt.Errorf("rcnet: slab %d out of range [0,%d)", slab, len(m.Grid.Slabs))
+	}
+	cw := csv.NewWriter(w)
+	row := make([]string, m.Grid.NX)
+	for iy := 0; iy < m.Grid.NY; iy++ {
+		for ix := 0; ix < m.Grid.NX; ix++ {
+			c := float64(m.CellTemp(slab, iy, ix).ToCelsius())
+			row[ix] = strconv.FormatFloat(c, 'f', 3, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FieldStats summarizes one slab's temperature field.
+type FieldStats struct {
+	Min, Max, Mean units.Celsius
+}
+
+// SlabStats returns min/max/mean cell temperatures of a slab.
+func (m *Model) SlabStats(slab int) (FieldStats, error) {
+	if slab < 0 || slab >= len(m.Grid.Slabs) {
+		return FieldStats{}, fmt.Errorf("rcnet: slab %d out of range", slab)
+	}
+	off := slab * m.Grid.NumCells()
+	min, max, sum := m.temp[off], m.temp[off], 0.0
+	for i := 0; i < m.Grid.NumCells(); i++ {
+		v := m.temp[off+i]
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	n := float64(m.Grid.NumCells())
+	return FieldStats{
+		Min:  units.Kelvin(min).ToCelsius(),
+		Max:  units.Kelvin(max).ToCelsius(),
+		Mean: units.Kelvin(sum / n).ToCelsius(),
+	}, nil
+}

@@ -1,0 +1,87 @@
+package rcnet
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteFieldCSV(t *testing.T) {
+	m := testModel(t, true)
+	t1Power(t, m)
+	if err := m.SetFlow(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SteadyState(); err != nil {
+		t.Fatal(err)
+	}
+	dieSlab := m.Grid.DieSlab[0]
+	var buf bytes.Buffer
+	if err := m.WriteFieldCSV(&buf, dieSlab); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != m.Grid.NY {
+		t.Fatalf("rows = %d, want %d", len(rows), m.Grid.NY)
+	}
+	if len(rows[0]) != m.Grid.NX {
+		t.Fatalf("cols = %d, want %d", len(rows[0]), m.Grid.NX)
+	}
+	for iy, row := range rows {
+		for ix, cell := range row {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := float64(m.CellTemp(dieSlab, iy, ix).ToCelsius())
+			if diff := v - want; diff > 0.001 || diff < -0.001 {
+				t.Fatalf("(%d,%d) = %v, want %v", ix, iy, v, want)
+			}
+		}
+	}
+}
+
+func TestWriteFieldCSVBadSlab(t *testing.T) {
+	m := testModel(t, true)
+	var buf bytes.Buffer
+	if err := m.WriteFieldCSV(&buf, 99); err == nil {
+		t.Error("expected range error")
+	}
+	if err := m.WriteFieldCSV(&buf, -1); err == nil {
+		t.Error("expected range error")
+	}
+}
+
+func TestSlabStats(t *testing.T) {
+	m := testModel(t, true)
+	t1Power(t, m)
+	if err := m.SetFlow(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SteadyState(); err != nil {
+		t.Fatal(err)
+	}
+	dieSlab := m.Grid.DieSlab[0]
+	st, err := m.SlabStats(dieSlab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(st.Min <= st.Mean && st.Mean <= st.Max) {
+		t.Errorf("stats ordering violated: %+v", st)
+	}
+	if st.Max <= st.Min {
+		t.Errorf("powered die should have a spread: %+v", st)
+	}
+	// Die max equals the global hotspot when this die is hottest.
+	if float64(st.Max) > float64(m.MaxDieTemp().ToCelsius())+1e-9 {
+		t.Errorf("slab max %v exceeds global max %v", st.Max, m.MaxDieTemp().ToCelsius())
+	}
+	if _, err := m.SlabStats(-1); err == nil {
+		t.Error("expected range error")
+	}
+}

@@ -1,0 +1,134 @@
+package rcnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/floorplan"
+	"repro/internal/grid"
+	"repro/internal/units"
+)
+
+// TestQuickEnergyBalanceRandomPowerMaps checks first-law consistency: for
+// arbitrary non-negative block power maps, the steady state removes
+// exactly the injected power through the coolant.
+func TestQuickEnergyBalanceRandomPowerMaps(t *testing.T) {
+	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(12, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for li, layer := range g.Stack.Layers {
+			p := make([]float64, len(layer.Blocks))
+			for bi := range p {
+				p[bi] = 5 * rng.Float64()
+			}
+			if err := m.SetLayerPower(li, p); err != nil {
+				return false
+			}
+		}
+		flow := units.LitersPerMinute(0.15 + 0.85*rng.Float64())
+		if err := m.SetFlow(flow); err != nil {
+			return false
+		}
+		if err := m.SteadyState(); err != nil {
+			return false
+		}
+		in := float64(m.TotalPower())
+		out := float64(m.HeatRemovedByCoolant())
+		return units.RelativeError(out, in) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTemperatureAboveInlet checks the maximum principle: with
+// non-negative sources and the coolant as the only boundary, no node can
+// fall below the inlet temperature.
+func TestQuickTemperatureAboveInlet(t *testing.T) {
+	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(12, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlet := float64(m.Cfg.CoolantInlet)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for li, layer := range g.Stack.Layers {
+			p := make([]float64, len(layer.Blocks))
+			for bi := range p {
+				p[bi] = 4 * rng.Float64()
+			}
+			if err := m.SetLayerPower(li, p); err != nil {
+				return false
+			}
+		}
+		if err := m.SetFlow(units.LitersPerMinute(0.2 + 0.8*rng.Float64())); err != nil {
+			return false
+		}
+		if err := m.SteadyState(); err != nil {
+			return false
+		}
+		for _, temp := range m.Temps() {
+			if temp < inlet-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSuperposition checks linearity of the steady conduction
+// operator at fixed flow: doubling every block power doubles the
+// temperature rise above the inlet (the coolant march is linear in the
+// heat for a fixed flow).
+func TestQuickSuperposition(t *testing.T) {
+	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(12, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlet := float64(m.Cfg.CoolantInlet)
+	riseAt := func(scale float64, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		for li, layer := range g.Stack.Layers {
+			p := make([]float64, len(layer.Blocks))
+			for bi := range p {
+				p[bi] = 3 * rng.Float64() * scale
+			}
+			if err := m.SetLayerPower(li, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.SetFlow(0.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SteadyState(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(m.MaxDieTemp()) - inlet
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		r1 := riseAt(1, seed)
+		r2 := riseAt(2, seed)
+		if units.RelativeError(r2, 2*r1) > 0.02 {
+			t.Errorf("seed %d: rise(2P)=%v, want 2·rise(P)=%v", seed, r2, 2*r1)
+		}
+	}
+}

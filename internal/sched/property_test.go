@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// TestQuickNoThreadLost checks conservation: every generated thread is
+// eventually either completed or still queued, under any policy, random
+// arrival pattern and random rebalancing/migration interleaving.
+func TestQuickNoThreadLost(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		policy := Policy(rng.Intn(3))
+		n := 2 + rng.Intn(6)
+		s, err := New(policy, n)
+		if err != nil {
+			return false
+		}
+		if policy == TALB {
+			w := make([]float64, n)
+			for i := range w {
+				w[i] = 0.5 + rng.Float64()
+			}
+			if err := s.SetWeights(w); err != nil {
+				return false
+			}
+		}
+		total := 0
+		temps := make([]units.Celsius, n)
+		for tick := 0; tick < 50; tick++ {
+			k := rng.Intn(4)
+			ths := make([]workload.Thread, k)
+			for i := range ths {
+				l := units.Second(0.01 + 0.2*rng.Float64())
+				ths[i] = workload.Thread{ID: int64(tick*10 + i), Length: l, Remaining: l}
+			}
+			total += k
+			s.Assign(ths)
+			s.Rebalance()
+			for i := range temps {
+				temps[i] = units.Celsius(60 + 40*rng.Float64())
+			}
+			if err := s.ReactiveMigrate(temps); err != nil {
+				return false
+			}
+			s.Execute(0.1)
+			s.DecayRecent(0.1)
+		}
+		return int(s.Completed())+s.Pending() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBusyFractionBounds checks the busy fraction stays in [0, 1].
+func TestQuickBusyFractionBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := New(LB, 3)
+		if err != nil {
+			return false
+		}
+		for tick := 0; tick < 30; tick++ {
+			k := rng.Intn(5)
+			ths := make([]workload.Thread, k)
+			for i := range ths {
+				l := units.Second(0.01 + 0.3*rng.Float64())
+				ths[i] = workload.Thread{Length: l, Remaining: l}
+			}
+			s.Assign(ths)
+			s.Execute(units.Second(0.05 + 0.1*rng.Float64()))
+			for _, b := range s.BusyFractions() {
+				if b < 0 || b > 1+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRebalanceNeverIncreasesImbalance verifies rebalancing is
+// monotone on raw queue-length imbalance for LB.
+func TestQuickRebalanceNeverIncreasesImbalance(t *testing.T) {
+	imbalance := func(s *Scheduler) int {
+		lo, hi := s.Cores[0].Len(), s.Cores[0].Len()
+		for i := range s.Cores {
+			l := s.Cores[i].Len()
+			if l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+		return hi - lo
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := New(LB, 2+rng.Intn(5))
+		if err != nil {
+			return false
+		}
+		// Random skewed distribution.
+		for c := range s.Cores {
+			for k := rng.Intn(8); k > 0; k-- {
+				th := &workload.Thread{Length: 0.1, Remaining: 0.1}
+				s.Cores[c].Queue = append(s.Cores[c].Queue, th)
+			}
+		}
+		before := imbalance(s)
+		s.Rebalance()
+		return imbalance(s) <= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWeightedAssignmentRates checks that sustained assignment under
+// TALB distributes at rates roughly proportional to the inverse weights.
+func TestQuickWeightedAssignmentRates(t *testing.T) {
+	s, err := New(TALB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetWeights([]float64{2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	counts := [2]int{}
+	for tick := 0; tick < 400; tick++ {
+		before := [2]int{s.Cores[0].Len(), s.Cores[1].Len()}
+		s.Assign([]workload.Thread{{Length: 0.05, Remaining: 0.05}})
+		for c := 0; c < 2; c++ {
+			if s.Cores[c].Len() > before[c] {
+				counts[c]++
+			}
+		}
+		s.Execute(0.1)
+		s.DecayRecent(0.1)
+	}
+	// Core 1 (weight 1) should receive roughly twice core 0's threads.
+	ratio := float64(counts[1]) / float64(counts[0]+1)
+	if ratio < 1.3 {
+		t.Errorf("assignment ratio %v (counts %v), want ≈2 for weights [2 1]", ratio, counts)
+	}
+}

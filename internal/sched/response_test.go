@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestMeanResponseSingleThread(t *testing.T) {
+	s, _ := New(LB, 1)
+	th := workload.Thread{Arrival: 0.02, Length: 0.05, Remaining: 0.05}
+	s.Assign([]workload.Thread{th})
+	// Interval starts at t=0.1; thread completes 0.05 s in → response
+	// = 0.15 − 0.02 = 0.13.
+	if done := s.ExecuteAt(0.1, 0.1); done != 1 {
+		t.Fatalf("completed %d", done)
+	}
+	if got := s.MeanResponse(); units.RelativeError(float64(got), 0.13) > 1e-9 {
+		t.Errorf("mean response = %v, want 0.13", got)
+	}
+}
+
+func TestMeanResponseQueueingDelay(t *testing.T) {
+	// Two threads on one core: the second waits for the first.
+	s, _ := New(LB, 1)
+	s.Assign([]workload.Thread{
+		{Arrival: 0, Length: 0.05, Remaining: 0.05},
+		{Arrival: 0, Length: 0.05, Remaining: 0.05},
+	})
+	s.ExecuteAt(0, 0.2)
+	// Responses: 0.05 and 0.10 → mean 0.075.
+	if got := s.MeanResponse(); units.RelativeError(float64(got), 0.075) > 1e-9 {
+		t.Errorf("mean response = %v, want 0.075", got)
+	}
+}
+
+func TestMigrationPenaltyRaisesResponse(t *testing.T) {
+	run := func(migrate bool) units.Second {
+		s, _ := New(Migration, 2)
+		// One long thread on core 0, nothing on core 1.
+		s.Assign([]workload.Thread{{Arrival: 0, Length: 0.1, Remaining: 0.1}})
+		if migrate {
+			if err := s.ReactiveMigrate([]units.Celsius{95, 60}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for now := units.Second(0); s.Pending() > 0; now += 0.1 {
+			s.ExecuteAt(now, 0.1)
+		}
+		return s.MeanResponse()
+	}
+	base := run(false)
+	migrated := run(true)
+	if migrated <= base {
+		t.Errorf("migration should raise response: %v vs %v", migrated, base)
+	}
+	if units.RelativeError(float64(migrated-base), float64(MigrationPenalty)) > 0.5 {
+		t.Errorf("response delta %v not near the %v penalty", migrated-base, MigrationPenalty)
+	}
+}
+
+func TestExecuteWithoutClockRecordsNothing(t *testing.T) {
+	s, _ := New(LB, 1)
+	s.Assign([]workload.Thread{{Arrival: 0, Length: 0.01, Remaining: 0.01}})
+	s.Execute(0.1)
+	if s.MeanResponse() != 0 {
+		t.Errorf("clock-less Execute recorded response %v", s.MeanResponse())
+	}
+}

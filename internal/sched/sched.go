@@ -1,0 +1,343 @@
+// Package sched implements the multi-queue scheduler infrastructure of
+// Section V ("Modern OSes have a multi-queue structure, where each CPU core
+// is associated with a dispatch queue") and the three policies the paper
+// compares:
+//
+//   - LB: dynamic load balancing on thread counts, no thermal awareness.
+//   - Migration: load balancing plus reactive migration of the running
+//     thread away from any core exceeding a temperature threshold (85 °C).
+//   - TALB: the paper's temperature-aware weighted load balancing, where
+//     each core's queue length is multiplied by a thermal weight factor
+//     before balancing (Eqn. 8).
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Policy selects the scheduling algorithm.
+type Policy int
+
+// Policies compared in the paper.
+const (
+	// LB is dynamic load balancing.
+	LB Policy = iota
+	// Migration is LB plus reactive thread migration at the threshold.
+	Migration
+	// TALB is temperature-aware weighted load balancing (the paper's
+	// contribution).
+	TALB
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LB:
+		return "LB"
+	case Migration:
+		return "Mig"
+	case TALB:
+		return "TALB"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// MigrationThreshold is the reactive-migration trigger (Section V: 85 °C).
+const MigrationThreshold units.Celsius = 85
+
+// MigrationPenalty is the service-time overhead added to a migrated
+// running thread (cold caches, context transfer). The paper observes that
+// frequent temperature-triggered migrations reduce throughput.
+const MigrationPenalty units.Second = 0.02
+
+// BalanceThreshold is the queue-length difference that triggers thread
+// movement under LB ("if the difference in queue lengths is over a
+// threshold").
+const BalanceThreshold = 1
+
+// Core is one dispatch queue.
+type Core struct {
+	Queue []*workload.Thread
+	// LastBusy is the busy fraction of the most recent Execute interval.
+	LastBusy float64
+	// IdleTime is the continuously-idle duration (for DPM).
+	IdleTime units.Second
+	// Asleep marks the core sleeping under DPM. Sleeping cores still
+	// accept threads (and wake on execution).
+	Asleep bool
+}
+
+// Len returns the queue length in threads, the paper's workload metric
+// for short-thread server workloads.
+func (c *Core) Len() int { return len(c.Queue) }
+
+// Scheduler maintains the per-core queues and applies one policy.
+type Scheduler struct {
+	Policy  Policy
+	Cores   []Core
+	weights []float64
+
+	// recent is an exponentially decayed count of threads assigned to
+	// each core. It breaks argmin ties so that empty-queue assignment
+	// spreads threads at rates proportional to 1/weight instead of
+	// pinning every arrival to the single lowest-weight core (weighted
+	// fair sharing over time, which is what balancing temperature
+	// requires).
+	recent []float64
+
+	completed  int64
+	migrations int64
+	moved      int64
+
+	// responseSum accumulates thread sojourn times (completion −
+	// arrival) when Execute is driven through ExecuteAt with a clock.
+	responseSum units.Second
+	responded   int64
+}
+
+// recentHalfLife controls how fast the fair-share memory fades.
+const recentHalfLife units.Second = 1.0
+
+// New returns a scheduler for n cores with unit thermal weights.
+func New(policy Policy, n int) (*Scheduler, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sched: core count %d", n)
+	}
+	s := &Scheduler{
+		Policy:  policy,
+		Cores:   make([]Core, n),
+		weights: make([]float64, n),
+		recent:  make([]float64, n),
+	}
+	for i := range s.weights {
+		s.weights[i] = 1
+	}
+	return s, nil
+}
+
+// SetWeights installs the TALB thermal weight factors (Eqn. 8). Weights
+// must be positive; they are used only by the TALB policy.
+func (s *Scheduler) SetWeights(w []float64) error {
+	if len(w) != len(s.Cores) {
+		return fmt.Errorf("sched: %d weights for %d cores", len(w), len(s.Cores))
+	}
+	for i, v := range w {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("sched: invalid weight %g for core %d", v, i)
+		}
+	}
+	copy(s.weights, w)
+	return nil
+}
+
+// Weights returns a copy of the current thermal weights.
+func (s *Scheduler) Weights() []float64 {
+	return append([]float64(nil), s.weights...)
+}
+
+// effectiveLen returns the policy's view of core i's queue length
+// (weighted for TALB, raw otherwise), for a queue holding extra
+// additional threads.
+func (s *Scheduler) effectiveLen(i, extra int) float64 {
+	l := float64(s.Cores[i].Len() + extra)
+	if s.Policy == TALB {
+		return l * s.weights[i]
+	}
+	return l
+}
+
+// Assign places newly arrived threads onto queues: each thread goes to the
+// core with the smallest effective queue length, with the decayed
+// recent-assignment count as a fractional tie-breaker so sustained arrival
+// streams are shared at weight-fair rates rather than pinned to one core.
+func (s *Scheduler) Assign(threads []workload.Thread) {
+	for i := range threads {
+		best, bestScore := 0, math.Inf(1)
+		for c := range s.Cores {
+			score := s.effectiveLen(c, 1)
+			frac := s.recent[c] / (s.recent[c] + 1)
+			if s.Policy == TALB {
+				frac *= s.weights[c]
+			}
+			score += frac
+			if score < bestScore {
+				best, bestScore = c, score
+			}
+		}
+		th := threads[i]
+		s.Cores[best].Queue = append(s.Cores[best].Queue, &th)
+		s.recent[best]++
+	}
+}
+
+// DecayRecent ages the fair-share assignment memory; the simulator calls
+// it once per tick.
+func (s *Scheduler) DecayRecent(dt units.Second) {
+	f := math.Exp2(-float64(dt) / float64(recentHalfLife))
+	for i := range s.recent {
+		s.recent[i] *= f
+	}
+}
+
+// Rebalance moves waiting (non-head) threads from overloaded to
+// underloaded queues until the policy's imbalance is within
+// BalanceThreshold. The head thread is considered running and is never
+// moved by balancing (only reactive migration moves it).
+func (s *Scheduler) Rebalance() {
+	for iter := 0; iter < 64*len(s.Cores); iter++ {
+		hi, lo := -1, -1
+		hiLen, loLen := math.Inf(-1), math.Inf(1)
+		for c := range s.Cores {
+			l := s.effectiveLen(c, 0)
+			if l > hiLen {
+				hi, hiLen = c, l
+			}
+			if l < loLen {
+				lo, loLen = c, l
+			}
+		}
+		if hi == lo || s.Cores[hi].Len()-s.Cores[lo].Len() <= BalanceThreshold {
+			return
+		}
+		q := s.Cores[hi].Queue
+		if len(q) < 2 {
+			return
+		}
+		// Move the tail thread (most recently queued, not yet running).
+		th := q[len(q)-1]
+		s.Cores[hi].Queue = q[:len(q)-1]
+		s.Cores[lo].Queue = append(s.Cores[lo].Queue, th)
+		s.moved++
+	}
+}
+
+// ReactiveMigrate applies the Migration policy's thermal action: for every
+// core above MigrationThreshold, the currently running thread is moved to
+// the coolest core, paying MigrationPenalty. Other policies ignore it.
+func (s *Scheduler) ReactiveMigrate(coreTemp []units.Celsius) error {
+	if s.Policy != Migration {
+		return nil
+	}
+	if len(coreTemp) != len(s.Cores) {
+		return fmt.Errorf("sched: %d temps for %d cores", len(coreTemp), len(s.Cores))
+	}
+	coolest := 0
+	for c := range coreTemp {
+		if coreTemp[c] < coreTemp[coolest] {
+			coolest = c
+		}
+	}
+	for c := range s.Cores {
+		if coreTemp[c] <= MigrationThreshold || c == coolest || s.Cores[c].Len() == 0 {
+			continue
+		}
+		th := s.Cores[c].Queue[0]
+		s.Cores[c].Queue = s.Cores[c].Queue[1:]
+		th.Remaining += MigrationPenalty
+		th.Migrations++
+		s.Cores[coolest].Queue = append(s.Cores[coolest].Queue, th)
+		s.migrations++
+	}
+	return nil
+}
+
+// Execute runs every queue for dt without response-time accounting.
+func (s *Scheduler) Execute(dt units.Second) int {
+	return s.ExecuteAt(-1, dt)
+}
+
+// ExecuteAt runs every queue for dt, FIFO, consuming thread service time.
+// now is the simulation clock at the start of the interval; when
+// non-negative, completed threads contribute (completionTime − Arrival)
+// to the mean-response statistic, which is where migration and queueing
+// penalties become visible even when throughput is capacity-limited.
+// It updates per-core busy fractions and idle times and returns the
+// number of threads completed this interval.
+func (s *Scheduler) ExecuteAt(now, dt units.Second) int {
+	if dt <= 0 {
+		return 0
+	}
+	done := 0
+	for c := range s.Cores {
+		core := &s.Cores[c]
+		budget := dt
+		for budget > 0 && len(core.Queue) > 0 {
+			th := core.Queue[0]
+			if th.Remaining <= budget {
+				budget -= th.Remaining
+				th.Remaining = 0
+				core.Queue = core.Queue[1:]
+				s.completed++
+				done++
+				if now >= 0 {
+					finish := now + (dt - budget)
+					if resp := finish - th.Arrival; resp > 0 {
+						s.responseSum += resp
+						s.responded++
+					}
+				}
+			} else {
+				th.Remaining -= budget
+				budget = 0
+			}
+		}
+		core.LastBusy = float64(dt-budget) / float64(dt)
+		if core.LastBusy > 0 {
+			core.IdleTime = 0
+			core.Asleep = false
+		} else {
+			core.IdleTime += dt
+		}
+	}
+	return done
+}
+
+// MeanResponse returns the average thread sojourn time recorded through
+// ExecuteAt, or zero if none.
+func (s *Scheduler) MeanResponse() units.Second {
+	if s.responded == 0 {
+		return 0
+	}
+	return s.responseSum / units.Second(s.responded)
+}
+
+// BusyFractions returns the per-core busy fractions of the last Execute.
+func (s *Scheduler) BusyFractions() []float64 {
+	out := make([]float64, len(s.Cores))
+	for i := range s.Cores {
+		out[i] = s.Cores[i].LastBusy
+	}
+	return out
+}
+
+// QueueLengths returns the per-core thread counts.
+func (s *Scheduler) QueueLengths() []int {
+	out := make([]int, len(s.Cores))
+	for i := range s.Cores {
+		out[i] = s.Cores[i].Len()
+	}
+	return out
+}
+
+// Completed returns the total threads finished.
+func (s *Scheduler) Completed() int64 { return s.completed }
+
+// Migrations returns the number of reactive migrations performed.
+func (s *Scheduler) Migrations() int64 { return s.migrations }
+
+// BalanceMoves returns the number of load-balancing thread moves.
+func (s *Scheduler) BalanceMoves() int64 { return s.moved }
+
+// Pending returns the total queued (incomplete) threads.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for i := range s.Cores {
+		n += s.Cores[i].Len()
+	}
+	return n
+}

@@ -1,0 +1,258 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func mkThreads(n int, length units.Second) []workload.Thread {
+	out := make([]workload.Thread, n)
+	for i := range out {
+		out[i] = workload.Thread{ID: int64(i), Length: length, Remaining: length}
+	}
+	return out
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(LB, 0); err == nil {
+		t.Error("expected error for zero cores")
+	}
+	s, err := New(LB, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cores) != 4 {
+		t.Errorf("core count = %d", len(s.Cores))
+	}
+}
+
+func TestAssignBalancesCounts(t *testing.T) {
+	s, _ := New(LB, 4)
+	s.Assign(mkThreads(8, 0.1))
+	for i, l := range s.QueueLengths() {
+		if l != 2 {
+			t.Errorf("core %d queue = %d, want 2", i, l)
+		}
+	}
+}
+
+func TestAssignTALBRespectsWeights(t *testing.T) {
+	s, _ := New(TALB, 2)
+	// Core 0 thermally disadvantaged (weight 3): should receive fewer
+	// threads.
+	if err := s.SetWeights([]float64{3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Assign(mkThreads(8, 0.1))
+	l := s.QueueLengths()
+	if l[0] >= l[1] {
+		t.Errorf("weighted core got %d vs %d threads", l[0], l[1])
+	}
+}
+
+func TestWeightsIgnoredByLB(t *testing.T) {
+	s, _ := New(LB, 2)
+	if err := s.SetWeights([]float64{100, 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Assign(mkThreads(6, 0.1))
+	l := s.QueueLengths()
+	if l[0] != 3 || l[1] != 3 {
+		t.Errorf("LB should ignore weights: %v", l)
+	}
+}
+
+func TestSetWeightsValidation(t *testing.T) {
+	s, _ := New(TALB, 2)
+	if err := s.SetWeights([]float64{1}); err == nil {
+		t.Error("expected error for wrong length")
+	}
+	if err := s.SetWeights([]float64{0, 1}); err == nil {
+		t.Error("expected error for zero weight")
+	}
+	if err := s.SetWeights([]float64{math.NaN(), 1}); err == nil {
+		t.Error("expected error for NaN weight")
+	}
+}
+
+func TestExecuteCompletesThreads(t *testing.T) {
+	s, _ := New(LB, 2)
+	s.Assign(mkThreads(4, 0.05)) // 2 per core, 0.1 s work per core
+	done := s.Execute(0.1)
+	if done != 4 {
+		t.Errorf("completed %d, want 4", done)
+	}
+	if s.Completed() != 4 {
+		t.Errorf("Completed() = %d", s.Completed())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+}
+
+func TestExecutePartialProgress(t *testing.T) {
+	s, _ := New(LB, 1)
+	s.Assign(mkThreads(1, 0.25))
+	if done := s.Execute(0.1); done != 0 {
+		t.Errorf("completed %d, want 0", done)
+	}
+	th := s.Cores[0].Queue[0]
+	if units.RelativeError(float64(th.Remaining), 0.15) > 1e-9 {
+		t.Errorf("remaining = %v, want 0.15", th.Remaining)
+	}
+	if s.Cores[0].LastBusy != 1 {
+		t.Errorf("busy = %v, want 1", s.Cores[0].LastBusy)
+	}
+}
+
+func TestExecuteBusyFraction(t *testing.T) {
+	s, _ := New(LB, 1)
+	s.Assign(mkThreads(1, 0.03))
+	s.Execute(0.1)
+	if units.RelativeError(s.Cores[0].LastBusy, 0.3) > 1e-9 {
+		t.Errorf("busy = %v, want 0.3", s.Cores[0].LastBusy)
+	}
+}
+
+func TestIdleTimeAccumulates(t *testing.T) {
+	s, _ := New(LB, 1)
+	for i := 0; i < 3; i++ {
+		s.Execute(0.1)
+	}
+	if units.RelativeError(float64(s.Cores[0].IdleTime), 0.3) > 1e-9 {
+		t.Errorf("idle time = %v, want 0.3", s.Cores[0].IdleTime)
+	}
+	// Work resets idleness.
+	s.Assign(mkThreads(1, 0.05))
+	s.Execute(0.1)
+	if s.Cores[0].IdleTime != 0 {
+		t.Errorf("idle time after work = %v, want 0", s.Cores[0].IdleTime)
+	}
+}
+
+func TestRebalanceEvensQueues(t *testing.T) {
+	s, _ := New(LB, 2)
+	// Stack 6 threads on core 0 manually.
+	ths := mkThreads(6, 0.1)
+	for i := range ths {
+		s.Cores[0].Queue = append(s.Cores[0].Queue, &ths[i])
+	}
+	s.Rebalance()
+	l := s.QueueLengths()
+	if abs(l[0]-l[1]) > BalanceThreshold {
+		t.Errorf("queues unbalanced after rebalance: %v", l)
+	}
+	if s.BalanceMoves() == 0 {
+		t.Error("no balance moves recorded")
+	}
+}
+
+func TestRebalanceKeepsRunningThread(t *testing.T) {
+	s, _ := New(LB, 2)
+	ths := mkThreads(3, 0.1)
+	for i := range ths {
+		s.Cores[0].Queue = append(s.Cores[0].Queue, &ths[i])
+	}
+	head := s.Cores[0].Queue[0]
+	s.Rebalance()
+	if len(s.Cores[0].Queue) == 0 || s.Cores[0].Queue[0] != head {
+		t.Error("rebalance moved the running (head) thread")
+	}
+}
+
+func TestReactiveMigrationMovesHotThread(t *testing.T) {
+	s, _ := New(Migration, 2)
+	ths := mkThreads(2, 0.1)
+	s.Cores[0].Queue = append(s.Cores[0].Queue, &ths[0], &ths[1])
+	if err := s.ReactiveMigrate([]units.Celsius{90, 60}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Migrations() != 1 {
+		t.Errorf("migrations = %d, want 1", s.Migrations())
+	}
+	if len(s.Cores[1].Queue) != 1 {
+		t.Fatalf("cool core queue = %d, want 1", len(s.Cores[1].Queue))
+	}
+	th := s.Cores[1].Queue[0]
+	if th.Migrations != 1 {
+		t.Errorf("thread migrations = %d", th.Migrations)
+	}
+	if units.RelativeError(float64(th.Remaining), float64(0.1+MigrationPenalty)) > 1e-9 {
+		t.Errorf("migrated thread remaining = %v, want length+penalty", th.Remaining)
+	}
+}
+
+func TestReactiveMigrationBelowThresholdNoop(t *testing.T) {
+	s, _ := New(Migration, 2)
+	ths := mkThreads(1, 0.1)
+	s.Cores[0].Queue = append(s.Cores[0].Queue, &ths[0])
+	if err := s.ReactiveMigrate([]units.Celsius{84, 60}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Migrations() != 0 {
+		t.Error("migration below threshold")
+	}
+}
+
+func TestReactiveMigrationOtherPoliciesIgnore(t *testing.T) {
+	for _, p := range []Policy{LB, TALB} {
+		s, _ := New(p, 2)
+		ths := mkThreads(1, 0.1)
+		s.Cores[0].Queue = append(s.Cores[0].Queue, &ths[0])
+		if err := s.ReactiveMigrate([]units.Celsius{95, 60}); err != nil {
+			t.Fatal(err)
+		}
+		if s.Migrations() != 0 {
+			t.Errorf("%v: migrated", p)
+		}
+	}
+}
+
+func TestReactiveMigrationValidatesTemps(t *testing.T) {
+	s, _ := New(Migration, 2)
+	if err := s.ReactiveMigrate([]units.Celsius{90}); err == nil {
+		t.Error("expected error for wrong temp count")
+	}
+}
+
+func TestWorkConservedAcrossPolicies(t *testing.T) {
+	// Same offered work completes under every policy, eventually.
+	for _, p := range []Policy{LB, Migration, TALB} {
+		s, _ := New(p, 4)
+		s.Assign(mkThreads(40, 0.02))
+		total := 0
+		for i := 0; i < 100 && s.Pending() > 0; i++ {
+			s.Rebalance()
+			total += s.Execute(0.1)
+		}
+		if total != 40 {
+			t.Errorf("%v: completed %d of 40", p, total)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{LB: "LB", Migration: "Mig", TALB: "TALB"} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestBusyFractionsLength(t *testing.T) {
+	s, _ := New(LB, 3)
+	s.Execute(0.1)
+	if got := len(s.BusyFractions()); got != 3 {
+		t.Errorf("busy fractions length = %d", got)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestTracePlaybackMatchesGenerator(t *testing.T) {
+	// Capturing the generator's trace and replaying it must reproduce
+	// the generator-driven run exactly (same seed, same horizon).
+	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
+	genRun, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture over the full horizon including warm-up; the generator in
+	// the sim starts at -Warmup.
+	b, _ := workload.ByName("Web-med")
+	g := workload.NewGenerator(b, 8, cfg.Seed)
+	// The sim clock starts at -Warmup, so capture on [-warmup, duration).
+	tr := &workload.Trace{Bench: b, Threads: g.Arrivals(-cfg.Warmup, cfg.Duration+1)}
+
+	cfgTrace := cfg
+	cfgTrace.Arrivals = workload.NewTracePlayer(tr)
+	traceRun, err := Run(cfgTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genRun.Completed != traceRun.Completed ||
+		genRun.ChipEnergy != traceRun.ChipEnergy ||
+		genRun.MaxTemp != traceRun.MaxTemp {
+		t.Errorf("trace replay differs from generator run:\n gen:   %+v\n trace: %+v",
+			genRun.Report, traceRun.Report)
+	}
+}
+
+func TestSameTraceAcrossPolicies(t *testing.T) {
+	// The controlled-comparison workflow: one captured trace, several
+	// policies. Total offered work must be identical (completed +
+	// pending).
+	b, _ := workload.ByName("Database")
+	g := workload.NewGenerator(b, 8, 5)
+	tr := &workload.Trace{Bench: b, Threads: g.Arrivals(-3, 13)}
+
+	var offered []int64
+	for _, p := range []sched.Policy{sched.LB, sched.Migration, sched.TALB} {
+		cfg := quickCfg(t, LiquidMax, p, "Database")
+		player := workload.NewTracePlayer(tr)
+		cfg.Arrivals = player
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offered = append(offered, r.Completed+int64(r.PendingAtEnd))
+	}
+	if offered[0] != offered[1] || offered[1] != offered[2] {
+		t.Errorf("offered work differs across policies: %v", offered)
+	}
+}
+
+func TestUtilScheduleIgnoredForTraces(t *testing.T) {
+	b, _ := workload.ByName("gzip")
+	g := workload.NewGenerator(b, 8, 5)
+	tr := &workload.Trace{Bench: b, Threads: g.Arrivals(-3, 13)}
+	cfg := quickCfg(t, LiquidMax, sched.LB, "gzip")
+	cfg.Arrivals = workload.NewTracePlayer(tr)
+	cfg.UtilSchedule = func(units.Second) float64 { return 0 } // would zero a generator
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 {
+		t.Error("trace playback should ignore UtilSchedule")
+	}
+}

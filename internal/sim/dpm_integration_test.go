@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestDPMSavesEnergyAtLowUtilization(t *testing.T) {
+	// gzip leaves cores idle most of the time; the fixed-timeout sleep
+	// policy must cut chip energy.
+	cfg := quickCfg(t, LiquidMax, sched.LB, "gzip")
+	cfg.Duration = 20
+	awake, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DPMEnabled = true
+	sleeping, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sleeping.ChipEnergy >= awake.ChipEnergy {
+		t.Errorf("DPM chip energy %v not below no-DPM %v",
+			sleeping.ChipEnergy, awake.ChipEnergy)
+	}
+	// Work still completes: sleeping cores wake on arrivals.
+	if sleeping.Completed < awake.Completed*95/100 {
+		t.Errorf("DPM lost work: %d vs %d", sleeping.Completed, awake.Completed)
+	}
+}
+
+func TestDPMIncreasesThermalCycling(t *testing.T) {
+	// The paper evaluates thermal variations *with* DPM because sleep
+	// transitions swing temperatures; under air cooling the cycling
+	// metric must not decrease when DPM turns on.
+	cfg := quickCfg(t, Air, sched.LB, "Web-med")
+	cfg.Duration = 25
+	awake, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DPMEnabled = true
+	sleeping, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sleeping.CyclePct < awake.CyclePct-1e-9 {
+		t.Errorf("DPM reduced cycling: %v vs %v", sleeping.CyclePct, awake.CyclePct)
+	}
+}
+
+func TestWarmupExcludedFromMetrics(t *testing.T) {
+	// Identical configs with different warm-ups start measurement from
+	// different thermal states, but the sample count must reflect only
+	// the measured window.
+	cfg := quickCfg(t, LiquidMax, sched.LB, "Web-med")
+	cfg.Duration = 10
+	cfg.Warmup = 2
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSamples := int(float64(cfg.Duration) / float64(cfg.Tick))
+	if r.Samples != wantSamples {
+		t.Errorf("samples = %d, want %d (warm-up leaked into metrics)", r.Samples, wantSamples)
+	}
+	if d := float64(r.SimTime) - float64(cfg.Duration); d > 1e-9 || d < -1e-9 {
+		t.Errorf("sim time = %v, want %v", r.SimTime, cfg.Duration)
+	}
+}

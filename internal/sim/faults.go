@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/pump"
+	"repro/internal/units"
+)
+
+// Faults injects failure modes for robustness experiments (DESIGN.md §6).
+// All fault randomness is seeded from the run seed, so faulty runs are as
+// deterministic as healthy ones.
+type Faults struct {
+	// PumpStuck, when non-nil, pins the delivered flow to this setting
+	// regardless of the controller's decisions (a seized impeller or a
+	// failed driver). Pump *power* is also drawn at the stuck setting —
+	// the electronics still run the commanded duty cycle's real outcome.
+	PumpStuck *pump.Setting
+	// SensorNoiseStdDev adds zero-mean Gaussian noise (°C) to every
+	// temperature the controller and scheduling policies observe. Ground
+	// truth (and therefore the metrics) is unaffected.
+	SensorNoiseStdDev float64
+	// SensorDropoutProb is the per-tick probability that all sensors
+	// return their previous reading (a hung sensor bus).
+	SensorDropoutProb float64
+}
+
+// faultState carries the runtime side of fault injection.
+type faultState struct {
+	cfg Faults
+	rng *rand.Rand
+	// prevCore / prevTmax hold the last delivered observations for
+	// dropout replay.
+	prevCore []units.Celsius
+	prevTmax units.Celsius
+	valid    bool
+}
+
+func newFaultState(cfg Faults, seed int64, cores int) *faultState {
+	return &faultState{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(seed ^ 0x5eed)),
+		prevCore: make([]units.Celsius, cores),
+	}
+}
+
+// active reports whether any sensor fault is configured.
+func (f *faultState) sensorFaultsActive() bool {
+	return f.cfg.SensorNoiseStdDev > 0 || f.cfg.SensorDropoutProb > 0
+}
+
+// observe filters the true temperatures into what the policies see.
+// The returned slices are reused across ticks.
+func (f *faultState) observe(trueCore []units.Celsius, trueTmax units.Celsius) ([]units.Celsius, units.Celsius) {
+	if !f.sensorFaultsActive() {
+		return trueCore, trueTmax
+	}
+	if f.valid && f.cfg.SensorDropoutProb > 0 && f.rng.Float64() < f.cfg.SensorDropoutProb {
+		return f.prevCore, f.prevTmax
+	}
+	for i, v := range trueCore {
+		n := 0.0
+		if f.cfg.SensorNoiseStdDev > 0 {
+			n = f.rng.NormFloat64() * f.cfg.SensorNoiseStdDev
+		}
+		f.prevCore[i] = v + units.Celsius(n)
+	}
+	n := 0.0
+	if f.cfg.SensorNoiseStdDev > 0 {
+		n = f.rng.NormFloat64() * f.cfg.SensorNoiseStdDev
+	}
+	f.prevTmax = trueTmax + units.Celsius(n)
+	f.valid = true
+	return f.prevCore, f.prevTmax
+}
+
+// effectiveSetting applies the pump fault to a commanded setting.
+func (f *faultState) effectiveSetting(commanded pump.Setting) pump.Setting {
+	if f.cfg.PumpStuck != nil {
+		return *f.cfg.PumpStuck
+	}
+	return commanded
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/pump"
+	"repro/internal/sched"
+)
+
+func TestPumpStuckAtMinHeatsSystem(t *testing.T) {
+	// A pump seized at the minimum setting under a heavy workload must
+	// leave the system hotter than a healthy variable-flow run.
+	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-high")
+	cfg.Duration = 20
+	healthy, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stuck := pump.Setting(0)
+	cfg.Faults.PumpStuck = &stuck
+	faulty, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.MaxTemp <= healthy.MaxTemp {
+		t.Errorf("stuck-at-min Tmax %v not above healthy %v", faulty.MaxTemp, healthy.MaxTemp)
+	}
+	// Pump energy reflects the actual (stuck) operating point.
+	if faulty.PumpEnergy >= healthy.PumpEnergy {
+		t.Errorf("stuck-at-min pump energy %v should be below healthy %v",
+			faulty.PumpEnergy, healthy.PumpEnergy)
+	}
+}
+
+func TestPumpStuckAtMaxOvercools(t *testing.T) {
+	cfg := quickCfg(t, LiquidVar, sched.TALB, "gzip")
+	stuck := pump.MaxSetting()
+	cfg.Faults.PumpStuck = &stuck
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delivered flow is pinned at max: pump energy equals the max-flow
+	// baseline even though the controller commands lower settings.
+	cfgMax := quickCfg(t, LiquidMax, sched.TALB, "gzip")
+	rMax, err := Run(cfgMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PumpEnergy != rMax.PumpEnergy {
+		t.Errorf("stuck-at-max pump energy %v != max baseline %v", r.PumpEnergy, rMax.PumpEnergy)
+	}
+}
+
+func TestPumpStuckValidated(t *testing.T) {
+	cfg := quickCfg(t, LiquidVar, sched.TALB, "gzip")
+	bad := pump.Setting(17)
+	cfg.Faults.PumpStuck = &bad
+	if _, err := New(cfg); err == nil {
+		t.Error("expected error for invalid stuck setting")
+	}
+}
+
+func TestSensorNoiseKeepsSystemSafe(t *testing.T) {
+	// Moderate sensor noise must not break the temperature guarantee:
+	// the controller's hysteresis and reactive guard absorb it.
+	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-high")
+	cfg.Duration = 20
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults.SensorNoiseStdDev = 0.5
+	noisy, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.MaxTemp > clean.MaxTemp+1.5 {
+		t.Errorf("sensor noise raised Tmax from %v to %v", clean.MaxTemp, noisy.MaxTemp)
+	}
+}
+
+func TestSensorNoiseRaisesPumpEnergy(t *testing.T) {
+	// Noise makes the controller more conservative on average (upward
+	// excursions trigger immediate raises; downward ones are gated by
+	// hysteresis), so pump energy should not fall.
+	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
+	cfg.Duration = 25
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults.SensorNoiseStdDev = 1.0
+	noisy, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(noisy.PumpEnergy) < float64(clean.PumpEnergy)*0.95 {
+		t.Errorf("noisy pump energy %v well below clean %v", noisy.PumpEnergy, clean.PumpEnergy)
+	}
+}
+
+func TestSensorDropoutRuns(t *testing.T) {
+	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
+	cfg.Faults.SensorDropoutProb = 0.3
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Samples == 0 {
+		t.Error("no samples under dropout")
+	}
+	if r.MaxTemp > 85 {
+		t.Errorf("dropout destabilized control: Tmax %v", r.MaxTemp)
+	}
+}
+
+func TestFaultyRunsDeterministic(t *testing.T) {
+	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
+	cfg.Faults.SensorNoiseStdDev = 0.8
+	cfg.Faults.SensorDropoutProb = 0.1
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MaxTemp != r2.MaxTemp || r1.PumpEnergy != r2.PumpEnergy {
+		t.Error("faulty runs are not deterministic")
+	}
+}
+
+func TestGroundTruthMetricsUnaffectedByNoiseWhenPumpPinned(t *testing.T) {
+	// Under LiquidMax the controller is inert, so sensor noise must not
+	// change any recorded metric (metrics read ground truth).
+	cfg := quickCfg(t, LiquidMax, sched.LB, "gzip")
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults.SensorNoiseStdDev = 2
+	noisy, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.MaxTemp != noisy.MaxTemp || clean.ChipEnergy != noisy.ChipEnergy {
+		t.Errorf("noise leaked into ground-truth metrics: %v/%v vs %v/%v",
+			clean.MaxTemp, clean.ChipEnergy, noisy.MaxTemp, noisy.ChipEnergy)
+	}
+}

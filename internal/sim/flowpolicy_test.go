@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/sched"
+)
+
+func TestIncDecBaselineRuns(t *testing.T) {
+	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
+	base, err := controller.NewIncDec(controller.TargetTemp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FlowPolicy = base
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	// The baseline also keeps the system roughly in band.
+	if r.MaxTemp > 84 {
+		t.Errorf("inc/dec baseline Tmax = %v", r.MaxTemp)
+	}
+}
+
+func TestIncDecBaselineVsPaperController(t *testing.T) {
+	// On a varying workload the reactive baseline changes settings more
+	// often (dithers) than the hysteresis-guarded LUT controller; both
+	// must keep the temperature in band.
+	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web&DB")
+	cfg.Duration = 30
+	paper, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := controller.NewIncDec(controller.TargetTemp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cfg
+	cfgB.FlowPolicy = base
+	baseline, err := Run(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.MaxTemp > 82 || baseline.MaxTemp > 84 {
+		t.Errorf("temperatures out of band: paper %v, baseline %v",
+			paper.MaxTemp, baseline.MaxTemp)
+	}
+	// Energy: the paper's controller should not be materially worse
+	// than the baseline (it was designed to be at least as efficient
+	// while adding the guarantee and stability).
+	if float64(paper.PumpEnergy) > 1.35*float64(baseline.PumpEnergy) {
+		t.Errorf("paper controller pump energy %v vs baseline %v",
+			paper.PumpEnergy, baseline.PumpEnergy)
+	}
+}
+
+func TestFlowPolicyIgnoredForNonVarCooling(t *testing.T) {
+	cfg := quickCfg(t, LiquidMax, sched.LB, "gzip")
+	base, err := controller.NewIncDec(controller.TargetTemp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FlowPolicy = base
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LiquidMax pins the pump at max regardless of the policy object.
+	if r.MeanSetting != 4 {
+		t.Errorf("mean setting = %v, want 4", r.MeanSetting)
+	}
+}

@@ -1,0 +1,535 @@
+// Package sim is the integrating simulator: it couples the workload
+// generator, the multi-queue scheduler, DPM, the power model, the thermal
+// RC network and the flow-rate controller into the 100 ms tick loop of
+// Section V, and collects the evaluation metrics.
+//
+// One Run corresponds to one bar of the paper's figures: a (system,
+// cooling mode, policy, workload) combination simulated for a fixed
+// duration after a warm-up.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/dpm"
+	"repro/internal/floorplan"
+	"repro/internal/grid"
+	"repro/internal/power"
+	"repro/internal/pump"
+	"repro/internal/rcnet"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// CoolingMode selects the cooling configuration of a run.
+type CoolingMode int
+
+// Cooling modes compared in the paper's figures.
+const (
+	// Air is the conventional air-cooled package ("(Air)").
+	Air CoolingMode = iota
+	// LiquidMax runs the pump at the worst-case maximum setting
+	// ("(Max)").
+	LiquidMax
+	// LiquidVar uses the proactive flow-rate controller ("(Var)").
+	LiquidVar
+)
+
+// String implements fmt.Stringer.
+func (m CoolingMode) String() string {
+	switch m {
+	case Air:
+		return "Air"
+	case LiquidMax:
+		return "Max"
+	case LiquidVar:
+		return "Var"
+	default:
+		return fmt.Sprintf("CoolingMode(%d)", int(m))
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Layers selects the 2- or 4-layer T1 stack.
+	Layers int
+	// Cooling mode and scheduling policy.
+	Cooling CoolingMode
+	Policy  sched.Policy
+	// Bench is the Table II workload.
+	Bench workload.Benchmark
+	// Seed drives the workload generator.
+	Seed int64
+	// Duration is the measured simulation time; Warmup precedes it and
+	// is excluded from metrics.
+	Duration units.Second
+	Warmup   units.Second
+	// Tick is the sampling interval (paper: 100 ms).
+	Tick units.Second
+	// GridNX, GridNY set the thermal grid resolution.
+	GridNX, GridNY int
+	// DPMEnabled turns the fixed-timeout sleep policy on (Fig. 7 runs
+	// with DPM).
+	DPMEnabled bool
+	// RC overrides the thermal boundary configuration; zero value means
+	// rcnet.DefaultConfig().
+	RC *rcnet.Config
+	// ControllerCfg overrides the flow controller configuration (used by
+	// the ablation benches); nil means controller.DefaultConfig().
+	ControllerCfg *controller.Config
+	// UtilSchedule, if non-nil, rescales workload intensity over time
+	// (e.g. day/night shifts). It receives the time since measurement
+	// start (warm-up has t < 0) and returns a utilization scale.
+	UtilSchedule func(t units.Second) float64
+	// LUT and Weights allow reuse of precomputed tables across runs of
+	// the same system (they depend only on stack + cooling, not on
+	// policy or workload). Nil means build internally.
+	LUT     *controller.LUT
+	Weights *controller.WeightTable
+	// Faults injects failure modes (robustness experiments).
+	Faults Faults
+	// FlowPolicy overrides the flow controller for LiquidVar runs
+	// (e.g. controller.IncDec, the prior-work reactive baseline). Nil
+	// selects the paper's LUT controller.
+	FlowPolicy FlowPolicy
+	// Arrivals overrides the thread source (e.g. a captured
+	// workload.TracePlayer for bit-identical cross-tool workloads). Nil
+	// selects a workload.Generator seeded with Seed. UtilSchedule only
+	// applies to the generator.
+	Arrivals ArrivalSource
+}
+
+// ArrivalSource produces the thread arrivals of consecutive windows.
+// *workload.Generator and *workload.TracePlayer both implement it.
+type ArrivalSource interface {
+	Arrivals(from, to units.Second) []workload.Thread
+}
+
+// FlowPolicy is the decision interface of a variable-flow controller.
+// controller.Controller (the paper's) and controller.IncDec (the
+// prior-work baseline) both implement it.
+type FlowPolicy interface {
+	Observe(units.Celsius)
+	Decide() pump.Setting
+}
+
+// DefaultConfig returns a 2-layer liquid-variable TALB run of Web-med.
+func DefaultConfig() Config {
+	b, _ := workload.ByName("Web-med")
+	return Config{
+		Layers:     2,
+		Cooling:    LiquidVar,
+		Policy:     sched.TALB,
+		Bench:      b,
+		Seed:       1,
+		Duration:   60,
+		Warmup:     5,
+		Tick:       0.1,
+		GridNX:     23,
+		GridNY:     20,
+		DPMEnabled: false,
+	}
+}
+
+// Result bundles the metrics of one run.
+type Result struct {
+	stats.Report
+	// Migrations and BalanceMoves from the scheduler.
+	Migrations   int64
+	BalanceMoves int64
+	// Refits is the number of ARMA reconstructions.
+	Refits int
+	// PendingAtEnd is the backlog left in the queues.
+	PendingAtEnd int
+	// MeanFlowLPM is the time-averaged per-cavity flow (ml/min
+	// conversions are up to the caller).
+	MeanFlowLPM float64
+	// MeanResponse is the average thread sojourn time (s) — where
+	// migration overhead shows even when throughput is slack-absorbed.
+	MeanResponse units.Second
+}
+
+// Sim is a stepped simulation; Run drives it to completion, and the
+// examples use Step directly for custom scenarios.
+type Sim struct {
+	Cfg    Config
+	Stack  *floorplan.Stack
+	Model  *rcnet.Model
+	Pump   *pump.Pump
+	Sched  *sched.Scheduler
+	Power  *power.Model
+	Gen    *workload.Generator // nil when Cfg.Arrivals overrides
+	Source ArrivalSource
+	DPM    *dpm.Policy
+	Ctrl   *controller.Controller // the paper's controller (nil when overridden)
+	Flow   FlowPolicy             // active flow policy for LiquidVar
+	WTab   *controller.WeightTable
+	Stats  *stats.Collector
+
+	// The clock is tick-counted so a 100 ms step never accumulates
+	// floating-point drift: time = tick0 + steps·Tick.
+	tick0      units.Second // −Warmup
+	steps      int
+	time       units.Second // cached Time() (tick0 + steps·Tick)
+	applied    pump.Setting // commanded (post-transition) setting
+	delivered  pump.Setting // flow actually reaching the cavities
+	pending    pump.Setting
+	pendingAt  units.Second
+	inFlight   bool
+	faults     *faultState
+	coreTemps  []units.Celsius
+	blockTemps [][]units.Celsius // per-block mean (leakage evaluation)
+	unitTemps  []units.Celsius   // per-block hottest cell (gradient metric)
+	lastTmax   units.Celsius
+	flowTime   float64 // ∫ flow dt for MeanFlowLPM
+}
+
+// New assembles a simulation.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Tick <= 0 {
+		return nil, fmt.Errorf("sim: non-positive tick")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("sim: non-positive duration")
+	}
+	var stack *floorplan.Stack
+	liquid := cfg.Cooling != Air
+	switch cfg.Layers {
+	case 2:
+		stack = floorplan.NewT1Stack2(liquid)
+	case 4:
+		stack = floorplan.NewT1Stack4(liquid)
+	default:
+		return nil, fmt.Errorf("sim: unsupported layer count %d", cfg.Layers)
+	}
+	g, err := grid.Build(stack, grid.DefaultParams(cfg.GridNX, cfg.GridNY))
+	if err != nil {
+		return nil, err
+	}
+	rcCfg := rcnet.DefaultConfig()
+	if cfg.RC != nil {
+		rcCfg = *cfg.RC
+	}
+	model, err := rcnet.New(g, rcCfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{Cfg: cfg, Stack: stack, Model: model}
+
+	s.Sched, err = sched.New(cfg.Policy, len(stack.Cores()))
+	if err != nil {
+		return nil, err
+	}
+	s.Power = power.New(stack)
+	if cfg.Arrivals != nil {
+		s.Source = cfg.Arrivals
+	} else {
+		s.Gen = workload.NewGenerator(cfg.Bench, len(stack.Cores()), cfg.Seed)
+		s.Source = s.Gen
+	}
+	if cfg.DPMEnabled {
+		s.DPM = dpm.New()
+	} else {
+		s.DPM = dpm.Disabled()
+	}
+	s.Stats, err = stats.NewCollector(len(stack.Cores()))
+	if err != nil {
+		return nil, err
+	}
+
+	if liquid {
+		s.Pump, err = pump.New(stack.NumCavities())
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Controller LUT and TALB weights come from steady-state analyses on
+	// a scratch model so the run model's state is untouched.
+	if cfg.Cooling == LiquidVar {
+		if cfg.FlowPolicy != nil {
+			s.Flow = cfg.FlowPolicy
+		} else {
+			lut := cfg.LUT
+			if lut == nil {
+				scratch, err := rcnet.New(g, rcCfg)
+				if err != nil {
+					return nil, err
+				}
+				lut, err = controller.BuildLUT(scratch, s.Pump, FullLoadPowers(stack),
+					controller.TargetTemp, controller.DefaultLadder())
+				if err != nil {
+					return nil, err
+				}
+			}
+			ctrlCfg := controller.DefaultConfig()
+			if cfg.ControllerCfg != nil {
+				ctrlCfg = *cfg.ControllerCfg
+			}
+			// Start at the max setting; the controller steps down as it
+			// learns the workload (safe-side initialization).
+			s.Ctrl, err = controller.New(lut, ctrlCfg, pump.MaxSetting())
+			if err != nil {
+				return nil, err
+			}
+			s.Flow = s.Ctrl
+		}
+	}
+	if cfg.Policy == sched.TALB {
+		wt := cfg.Weights
+		if wt == nil {
+			scratch, err := rcnet.New(g, rcCfg)
+			if err != nil {
+				return nil, err
+			}
+			wt, err = controller.BuildWeights(scratch, s.Pump, power.CoreActivePower)
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.WTab = wt
+	}
+
+	s.faults = newFaultState(cfg.Faults, cfg.Seed, len(stack.Cores()))
+	if cfg.Faults.PumpStuck != nil {
+		if err := pump.Validate(*cfg.Faults.PumpStuck); err != nil {
+			return nil, err
+		}
+	}
+
+	// Initial cooling state.
+	switch cfg.Cooling {
+	case LiquidMax, LiquidVar:
+		s.applied = pump.MaxSetting()
+		s.delivered = s.faults.effectiveSetting(s.applied)
+		if err := model.SetFlow(s.Pump.PerCavityFlow(s.delivered)); err != nil {
+			return nil, err
+		}
+	case Air:
+		s.applied = pump.Off
+		s.delivered = pump.Off
+	}
+
+	s.coreTemps = make([]units.Celsius, len(stack.Cores()))
+	s.blockTemps = make([][]units.Celsius, len(stack.Layers))
+	nblocks := 0
+	for li, layer := range stack.Layers {
+		s.blockTemps[li] = make([]units.Celsius, len(layer.Blocks))
+		nblocks += len(layer.Blocks)
+	}
+	s.unitTemps = make([]units.Celsius, nblocks)
+	s.tick0 = -cfg.Warmup
+	s.time = s.tick0
+	s.readTemps()
+	return s, nil
+}
+
+// FullLoadPowers returns the per-layer per-block reference power map used
+// by the LUT sweep: full utilization with leakage evaluated at the target
+// temperature.
+func FullLoadPowers(stack *floorplan.Stack) [][]float64 {
+	pm := power.New(stack)
+	n := len(stack.Cores())
+	act := power.Activity{
+		CoreBusy:    make([]float64, n),
+		CoreState:   make([]power.CoreState, n),
+		MemActivity: 1,
+	}
+	for i := range act.CoreBusy {
+		act.CoreBusy[i] = 1
+		act.CoreState[i] = power.StateActive
+	}
+	temps := make([][]units.Celsius, len(stack.Layers))
+	for li, layer := range stack.Layers {
+		temps[li] = make([]units.Celsius, len(layer.Blocks))
+		for bi := range temps[li] {
+			temps[li][bi] = controller.TargetTemp
+		}
+	}
+	blocks, err := pm.BlockPowers(act, temps)
+	if err != nil {
+		// Construction of act above satisfies every precondition.
+		panic(err)
+	}
+	return blocks
+}
+
+// readTemps refreshes the cached per-core and per-block temperatures from
+// the thermal model.
+func (s *Sim) readTemps() {
+	for i, c := range s.Stack.Cores() {
+		s.coreTemps[i] = s.Model.BlockMaxTemp(c.Layer, c.Block).ToCelsius()
+	}
+	u := 0
+	for li, layer := range s.Stack.Layers {
+		for bi, b := range layer.Blocks {
+			s.blockTemps[li][bi] = s.Model.BlockTemp(li, bi).ToCelsius()
+			// Unit sensors: cores report their hot spot (where the
+			// thermal sensor sits), uniform blocks their mean.
+			if b.Kind == floorplan.KindCore {
+				s.unitTemps[u] = s.Model.BlockMaxTemp(li, bi).ToCelsius()
+			} else {
+				s.unitTemps[u] = s.blockTemps[li][bi]
+			}
+			u++
+		}
+	}
+	s.lastTmax = s.Model.MaxDieTemp().ToCelsius()
+}
+
+// Step advances one tick.
+func (s *Sim) Step() error {
+	dt := s.Cfg.Tick
+	from := s.time
+	to := s.tick0 + units.Second(s.steps+1)*dt
+
+	// Workload arrivals (UtilSchedule may modulate generator intensity).
+	if s.Cfg.UtilSchedule != nil && s.Gen != nil {
+		s.Gen.UtilScale = s.Cfg.UtilSchedule(s.time)
+	}
+	arrivals := s.Source.Arrivals(from, to)
+
+	// Policies act on observed (possibly faulty) temperatures; metrics
+	// later use ground truth.
+	obsCore, obsTmax := s.faults.observe(s.coreTemps, s.lastTmax)
+
+	// Scheduling.
+	if s.Cfg.Policy == sched.TALB && s.WTab != nil {
+		if err := s.Sched.SetWeights(s.WTab.Lookup(obsTmax)); err != nil {
+			return err
+		}
+	}
+	s.Sched.DecayRecent(dt)
+	s.Sched.Assign(arrivals)
+	s.Sched.Rebalance()
+	if err := s.Sched.ReactiveMigrate(obsCore); err != nil {
+		return err
+	}
+	completed := s.Sched.ExecuteAt(from, dt)
+
+	// DPM.
+	idle := make([]units.Second, len(s.Sched.Cores))
+	for i := range s.Sched.Cores {
+		idle[i] = s.Sched.Cores[i].IdleTime
+	}
+	states, err := s.DPM.States(s.Sched.BusyFractions(), idle)
+	if err != nil {
+		return err
+	}
+	for i := range states {
+		s.Sched.Cores[i].Asleep = states[i] == power.StateSleep
+	}
+
+	// Power.
+	act := power.Activity{
+		CoreBusy:    s.Sched.BusyFractions(),
+		CoreState:   states,
+		MemActivity: s.Cfg.Bench.MemActivity(),
+	}
+	blocks, err := s.Power.BlockPowers(act, s.blockTemps)
+	if err != nil {
+		return err
+	}
+	for li := range blocks {
+		if err := s.Model.SetLayerPower(li, blocks[li]); err != nil {
+			return err
+		}
+	}
+
+	// Flow control.
+	if s.Cfg.Cooling == LiquidVar {
+		s.Flow.Observe(obsTmax)
+		desired := s.Flow.Decide()
+		if desired != s.applied && !s.inFlight {
+			s.pending = desired
+			s.pendingAt = to + pump.TransitionTime
+			s.inFlight = true
+		}
+		if s.inFlight && to >= s.pendingAt {
+			s.applied = s.pending
+			s.inFlight = false
+		}
+	}
+	if s.Cfg.Cooling != Air {
+		if eff := s.faults.effectiveSetting(s.applied); eff != s.delivered {
+			s.delivered = eff
+			if err := s.Model.SetFlow(s.Pump.PerCavityFlow(s.delivered)); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Thermal step.
+	if err := s.Model.Step(dt); err != nil {
+		return err
+	}
+	s.readTemps()
+	s.steps++
+	s.time = to
+
+	// Metrics (measurement window only).
+	if from >= 0 {
+		var pumpPower units.Watt
+		setting := -1
+		if s.Cfg.Cooling != Air {
+			pumpPower = pump.Power(s.delivered)
+			setting = int(s.delivered)
+			s.flowTime += float64(s.Pump.PerCavityFlow(s.delivered)) * float64(dt)
+		}
+		chip := power.Total(blocks)
+		if err := s.Stats.Sample(s.lastTmax, s.coreTemps, s.unitTemps,
+			chip, pumpPower, setting, dt, completed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Time returns the simulation clock (negative during warm-up).
+func (s *Sim) Time() units.Second { return s.time }
+
+// Tmax returns the latest sampled maximum die temperature.
+func (s *Sim) Tmax() units.Celsius { return s.lastTmax }
+
+// AppliedSetting returns the pump setting currently delivering flow.
+func (s *Sim) AppliedSetting() pump.Setting { return s.applied }
+
+// CoreTemperatures returns a copy of the latest per-core temperatures.
+func (s *Sim) CoreTemperatures() []units.Celsius {
+	return append([]units.Celsius(nil), s.coreTemps...)
+}
+
+// Run executes warm-up plus the measured duration and reports the metrics.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for s.time < cfg.Duration {
+		if err := s.Step(); err != nil {
+			return nil, fmt.Errorf("sim: step at t=%v: %w", s.time, err)
+		}
+	}
+	return s.Result(), nil
+}
+
+// Result finalizes metrics for the elapsed measurement window.
+func (s *Sim) Result() *Result {
+	r := &Result{
+		Report:       s.Stats.Report(),
+		Migrations:   s.Sched.Migrations(),
+		BalanceMoves: s.Sched.BalanceMoves(),
+		PendingAtEnd: s.Sched.Pending(),
+		MeanResponse: s.Sched.MeanResponse(),
+	}
+	if s.Ctrl != nil {
+		r.Refits = s.Ctrl.Refits()
+	}
+	if secs := float64(r.SimTime); secs > 0 {
+		r.MeanFlowLPM = s.flowTime / secs
+	}
+	return r
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/units"
+)
+
+// TraceRecorder streams per-tick simulation state as CSV: time, maximum
+// temperature, per-core temperatures, applied pump setting, chip power.
+// Attach one to a Sim and call Record after each Step; the output loads
+// directly into any plotting tool.
+type TraceRecorder struct {
+	w     *csv.Writer
+	sim   *Sim
+	wrote bool
+}
+
+// NewTraceRecorder binds a recorder to a simulation and destination.
+func NewTraceRecorder(s *Sim, dst io.Writer) *TraceRecorder {
+	return &TraceRecorder{w: csv.NewWriter(dst), sim: s}
+}
+
+// Record appends one row (writing the header first if needed).
+func (t *TraceRecorder) Record() error {
+	if !t.wrote {
+		header := []string{"t_s", "tmax_c", "setting", "flow_mlmin"}
+		for i := range t.sim.coreTemps {
+			header = append(header, fmt.Sprintf("core%d_c", i))
+		}
+		if err := t.w.Write(header); err != nil {
+			return err
+		}
+		t.wrote = true
+	}
+	var flow units.LitersPerMinute
+	if t.sim.Pump != nil {
+		flow = t.sim.Pump.PerCavityFlow(t.sim.delivered)
+	}
+	row := []string{
+		strconv.FormatFloat(float64(t.sim.time), 'f', 3, 64),
+		strconv.FormatFloat(float64(t.sim.lastTmax), 'f', 3, 64),
+		strconv.Itoa(int(t.sim.delivered)),
+		strconv.FormatFloat(flow.MilliLitersPerMinute(), 'f', 1, 64),
+	}
+	for _, c := range t.sim.coreTemps {
+		row = append(row, strconv.FormatFloat(float64(c), 'f', 3, 64))
+	}
+	if err := t.w.Write(row); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Flush finalizes the CSV stream.
+func (t *TraceRecorder) Flush() error {
+	t.w.Flush()
+	return t.w.Error()
+}

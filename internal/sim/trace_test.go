@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestTraceRecorderOutput(t *testing.T) {
+	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := NewTraceRecorder(s, &buf)
+	steps := 0
+	for s.Time() < 2 {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Record(); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != steps+1 {
+		t.Fatalf("rows = %d, want %d + header", len(rows), steps)
+	}
+	header := rows[0]
+	if header[0] != "t_s" || header[1] != "tmax_c" {
+		t.Errorf("header = %v", header[:4])
+	}
+	// 4 fixed columns + 8 cores.
+	if len(header) != 12 {
+		t.Errorf("header width = %d, want 12", len(header))
+	}
+	// Values parse and are plausible.
+	for _, row := range rows[1:] {
+		tmax, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tmax < 40 || tmax > 110 {
+			t.Errorf("implausible tmax %v", tmax)
+		}
+		setting, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if setting < 0 || setting > 4 {
+			t.Errorf("setting %d out of range", setting)
+		}
+	}
+}
+
+func TestTraceRecorderAirCooled(t *testing.T) {
+	cfg := quickCfg(t, Air, sched.LB, "gzip")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := NewTraceRecorder(s, &buf)
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Record(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Air: setting -1 (Off), flow 0.
+	if rows[1][2] != "-1" || rows[1][3] != "0.0" {
+		t.Errorf("air trace setting/flow = %v/%v", rows[1][2], rows[1][3])
+	}
+}

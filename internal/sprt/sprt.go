@@ -1,0 +1,107 @@
+// Package sprt implements the sequential probability ratio test of Gross
+// and Humenik [10] as the paper uses it: a logarithmic likelihood test on
+// the ARMA predictor's residual sequence that decides whether the error
+// between predicted and measured series is diverging from zero — i.e.
+// whether the predictor no longer fits the workload and must be
+// reconstructed.
+//
+// The detector runs two one-sided tests (positive and negative mean shift)
+// on Gaussian residuals. Each test accumulates the log-likelihood ratio
+//
+//	Λ += (μ₁/σ²)·(x − μ₁/2)
+//
+// and reports drift when Λ crosses ln((1−β)/α); it resets on crossing
+// ln(β/(1−α)).
+package sprt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config parameterizes the detector.
+type Config struct {
+	// Sigma is the residual standard deviation under the null
+	// hypothesis (take it from the fitted ARMA model).
+	Sigma float64
+	// ShiftSigmas is the magnitude of the mean shift to detect, in
+	// units of Sigma (the classic SMART/SPRT setting uses ~1σ–2σ).
+	ShiftSigmas float64
+	// Alpha is the false-alarm probability bound.
+	Alpha float64
+	// Beta is the missed-detection probability bound.
+	Beta float64
+}
+
+// DefaultConfig returns the detector settings used by the controller.
+func DefaultConfig(sigma float64) Config {
+	return Config{Sigma: sigma, ShiftSigmas: 2, Alpha: 0.01, Beta: 0.01}
+}
+
+// Detector is a two-sided SPRT drift detector.
+type Detector struct {
+	cfg       Config
+	upper     float64 // acceptance threshold for H1
+	lower     float64 // acceptance threshold for H0 (reset)
+	mu1       float64 // positive shift magnitude
+	llrPos    float64
+	llrNeg    float64
+	triggered bool
+	samples   int
+}
+
+// New returns a detector; Sigma must be positive.
+func New(cfg Config) (*Detector, error) {
+	if cfg.Sigma <= 0 || math.IsNaN(cfg.Sigma) {
+		return nil, fmt.Errorf("sprt: sigma %g must be positive", cfg.Sigma)
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha >= 1 || cfg.Beta <= 0 || cfg.Beta >= 1 {
+		return nil, fmt.Errorf("sprt: alpha %g and beta %g must be in (0,1)", cfg.Alpha, cfg.Beta)
+	}
+	if cfg.ShiftSigmas <= 0 {
+		return nil, fmt.Errorf("sprt: shift %g must be positive", cfg.ShiftSigmas)
+	}
+	return &Detector{
+		cfg:   cfg,
+		upper: math.Log((1 - cfg.Beta) / cfg.Alpha),
+		lower: math.Log(cfg.Beta / (1 - cfg.Alpha)),
+		mu1:   cfg.ShiftSigmas * cfg.Sigma,
+	}, nil
+}
+
+// Observe feeds one residual and reports whether drift has been detected
+// (latched until Reset).
+func (d *Detector) Observe(residual float64) bool {
+	if d.triggered {
+		return true
+	}
+	d.samples++
+	s2 := d.cfg.Sigma * d.cfg.Sigma
+	// Positive-shift test.
+	d.llrPos += d.mu1 / s2 * (residual - d.mu1/2)
+	// Negative-shift test.
+	d.llrNeg += -d.mu1 / s2 * (residual + d.mu1/2)
+	if d.llrPos < d.lower {
+		d.llrPos = d.lower
+	}
+	if d.llrNeg < d.lower {
+		d.llrNeg = d.lower
+	}
+	if d.llrPos >= d.upper || d.llrNeg >= d.upper {
+		d.triggered = true
+	}
+	return d.triggered
+}
+
+// Triggered reports the latched drift decision.
+func (d *Detector) Triggered() bool { return d.triggered }
+
+// Samples returns the number of residuals observed since the last reset.
+func (d *Detector) Samples() int { return d.samples }
+
+// Reset clears the detector (after the ARMA model has been rebuilt).
+func (d *Detector) Reset() {
+	d.llrPos, d.llrNeg = 0, 0
+	d.triggered = false
+	d.samples = 0
+}

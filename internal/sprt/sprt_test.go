@@ -1,0 +1,131 @@
+package sprt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Sigma: 0, ShiftSigmas: 1, Alpha: 0.01, Beta: 0.01}); err == nil {
+		t.Error("expected error for zero sigma")
+	}
+	if _, err := New(Config{Sigma: 1, ShiftSigmas: 1, Alpha: 0, Beta: 0.01}); err == nil {
+		t.Error("expected error for alpha=0")
+	}
+	if _, err := New(Config{Sigma: 1, ShiftSigmas: 1, Alpha: 0.01, Beta: 1}); err == nil {
+		t.Error("expected error for beta=1")
+	}
+	if _, err := New(Config{Sigma: 1, ShiftSigmas: 0, Alpha: 0.01, Beta: 0.01}); err == nil {
+		t.Error("expected error for zero shift")
+	}
+}
+
+func TestNoFalseAlarmOnNullResiduals(t *testing.T) {
+	d, err := New(DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		if d.Observe(rng.NormFloat64()) {
+			t.Fatalf("false alarm at sample %d", i)
+		}
+	}
+}
+
+func TestDetectsPositiveShift(t *testing.T) {
+	d, _ := New(DefaultConfig(1))
+	rng := rand.New(rand.NewSource(2))
+	// Null period.
+	for i := 0; i < 200; i++ {
+		d.Observe(rng.NormFloat64())
+	}
+	// Shifted residuals: mean 2σ.
+	detected := false
+	for i := 0; i < 100; i++ {
+		if d.Observe(2 + rng.NormFloat64()) {
+			detected = true
+			break
+		}
+	}
+	if !detected {
+		t.Error("2σ shift not detected within 100 samples")
+	}
+}
+
+func TestDetectsNegativeShift(t *testing.T) {
+	d, _ := New(DefaultConfig(1))
+	rng := rand.New(rand.NewSource(3))
+	detected := false
+	for i := 0; i < 100; i++ {
+		if d.Observe(-2 + rng.NormFloat64()) {
+			detected = true
+			break
+		}
+	}
+	if !detected {
+		t.Error("-2σ shift not detected within 100 samples")
+	}
+}
+
+func TestDetectionLatches(t *testing.T) {
+	d, _ := New(DefaultConfig(1))
+	for i := 0; i < 200 && !d.Observe(3); i++ {
+	}
+	if !d.Triggered() {
+		t.Fatal("detector did not trigger")
+	}
+	// Clean residuals do not clear the latch.
+	if !d.Observe(0) || !d.Triggered() {
+		t.Error("latch cleared without Reset")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	d, _ := New(DefaultConfig(1))
+	for i := 0; i < 200 && !d.Observe(3); i++ {
+	}
+	d.Reset()
+	if d.Triggered() {
+		t.Error("triggered after reset")
+	}
+	if d.Samples() != 0 {
+		t.Error("samples not reset")
+	}
+	// Works again after reset.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		if d.Observe(rng.NormFloat64() * 0.5) {
+			t.Fatal("false alarm after reset")
+		}
+	}
+}
+
+func TestQuickDetectionTimeScalesWithShift(t *testing.T) {
+	// Bigger shifts should be detected (weakly) faster.
+	detectIn := func(shift float64) int {
+		d, _ := New(DefaultConfig(1))
+		rng := rand.New(rand.NewSource(7))
+		for i := 1; i <= 10000; i++ {
+			if d.Observe(shift + rng.NormFloat64()) {
+				return i
+			}
+		}
+		return 10000
+	}
+	small := detectIn(1.5)
+	large := detectIn(4)
+	if large > small {
+		t.Errorf("4σ shift took %d samples vs %d for 1.5σ", large, small)
+	}
+}
+
+func TestSamplesCounts(t *testing.T) {
+	d, _ := New(DefaultConfig(1))
+	for i := 0; i < 10; i++ {
+		d.Observe(0)
+	}
+	if d.Samples() != 10 {
+		t.Errorf("samples = %d, want 10", d.Samples())
+	}
+}

@@ -1,0 +1,281 @@
+// Package stats collects the evaluation metrics of Section V:
+//
+//   - Hot spots: percentage of sampling intervals with the maximum
+//     temperature above the 85 °C threshold (Fig. 6).
+//   - Spatial gradients: percentage of intervals where the maximum
+//     temperature difference among units exceeds 15 °C (Fig. 7).
+//   - Thermal cycles: per-core peak/valley swings exceeding 20 °C,
+//     detected over a sliding history (Fig. 7).
+//   - Energy: chip and pump energy integrated over time (Figs. 6 and 8).
+//   - Throughput: threads completed per unit time (Fig. 8).
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Paper thresholds.
+const (
+	HotSpotThreshold  units.Celsius = 85
+	GradientThreshold units.Celsius = 15
+	CycleThreshold    units.Celsius = 20
+)
+
+// cycleTracker detects peak/valley thermal cycles on one core's
+// temperature history.
+type cycleTracker struct {
+	initialized bool
+	lastExt     float64 // last confirmed extreme
+	prev        float64
+	dir         int // +1 rising, -1 falling, 0 unknown
+	cycles      int
+}
+
+// hysteresisEps filters sensor noise out of direction changes.
+const hysteresisEps = 0.25
+
+func (c *cycleTracker) observe(v float64, threshold float64) {
+	if !c.initialized {
+		c.initialized = true
+		c.lastExt = v
+		c.prev = v
+		return
+	}
+	// prev tracks the running extreme of the current excursion; a
+	// reversal by more than the noise band confirms it as a peak or
+	// valley.
+	switch c.dir {
+	case 0:
+		if v > c.prev+hysteresisEps {
+			c.dir = +1
+			c.prev = v
+		} else if v < c.prev-hysteresisEps {
+			c.dir = -1
+			c.prev = v
+		}
+	case +1:
+		if v > c.prev {
+			c.prev = v
+		} else if v < c.prev-hysteresisEps {
+			// Peak confirmed at prev: swing from the last valley.
+			if c.prev-c.lastExt >= threshold {
+				c.cycles++
+			}
+			c.lastExt = c.prev
+			c.dir = -1
+			c.prev = v
+		}
+	case -1:
+		if v < c.prev {
+			c.prev = v
+		} else if v > c.prev+hysteresisEps {
+			// Valley confirmed at prev.
+			if c.lastExt-c.prev >= threshold {
+				c.cycles++
+			}
+			c.lastExt = c.prev
+			c.dir = +1
+			c.prev = v
+		}
+	}
+}
+
+// Collector accumulates metrics over a run.
+type Collector struct {
+	HotThreshold   units.Celsius
+	GradThreshold  units.Celsius
+	CycleThreshold units.Celsius
+
+	// CycleWindow is the sliding-history length (samples) for the
+	// window-range cycle metric (the paper keeps "a sliding history
+	// window for each core"). Default 50 samples = 5 s at 100 ms ticks.
+	CycleWindow int
+
+	samples     int
+	hotSamples  int
+	gradSamples int
+	trackers    []cycleTracker
+	rings       [][]float64 // per-core sliding windows
+	ringPos     int
+	ringFill    int
+	cycleHits   int // (core, sample) pairs inside a >threshold window
+
+	chipEnergy units.Joule
+	pumpEnergy units.Joule
+	simTime    units.Second
+	completed  int64
+
+	maxTmax  float64
+	sumTmax  float64
+	sumGrad  float64
+	above80  int
+	settings map[int]units.Second
+}
+
+// NewCollector returns a collector for n cores with the paper thresholds.
+func NewCollector(n int) (*Collector, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: core count %d", n)
+	}
+	c := &Collector{
+		HotThreshold:   HotSpotThreshold,
+		GradThreshold:  GradientThreshold,
+		CycleThreshold: CycleThreshold,
+		CycleWindow:    50,
+		trackers:       make([]cycleTracker, n),
+		rings:          make([][]float64, n),
+		maxTmax:        math.Inf(-1),
+		settings:       map[int]units.Second{},
+	}
+	return c, nil
+}
+
+// Sample records one tick. unitTemps is the per-unit (block) temperature
+// set used for the spatial-gradient metric; coreTemps drives the per-core
+// cycle trackers; tmax is the global die maximum.
+func (c *Collector) Sample(tmax units.Celsius, coreTemps, unitTemps []units.Celsius,
+	chipPower, pumpPower units.Watt, setting int, dt units.Second, completed int) error {
+	if len(coreTemps) != len(c.trackers) {
+		return fmt.Errorf("stats: %d core temps for %d trackers", len(coreTemps), len(c.trackers))
+	}
+	if dt <= 0 {
+		return fmt.Errorf("stats: non-positive dt")
+	}
+	c.samples++
+	c.simTime += dt
+	if tmax > c.HotThreshold {
+		c.hotSamples++
+	}
+	if tmax > 80 {
+		c.above80++
+	}
+	if float64(tmax) > c.maxTmax {
+		c.maxTmax = float64(tmax)
+	}
+	c.sumTmax += float64(tmax)
+
+	if len(unitTemps) > 0 {
+		lo, hi := unitTemps[0], unitTemps[0]
+		for _, v := range unitTemps {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		c.sumGrad += float64(hi - lo)
+		if hi-lo > c.GradThreshold {
+			c.gradSamples++
+		}
+	}
+	for i, v := range coreTemps {
+		c.trackers[i].observe(float64(v), float64(c.CycleThreshold))
+	}
+	// Sliding-window range metric: a (core, sample) pair counts as
+	// cycling when the core's recent history spans more than the
+	// threshold.
+	for i, v := range coreTemps {
+		if c.rings[i] == nil {
+			c.rings[i] = make([]float64, c.CycleWindow)
+		}
+		c.rings[i][c.ringPos] = float64(v)
+	}
+	c.ringPos = (c.ringPos + 1) % c.CycleWindow
+	if c.ringFill < c.CycleWindow {
+		c.ringFill++
+	}
+	for i := range c.rings {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for k := 0; k < c.ringFill; k++ {
+			w := c.rings[i][k]
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+		if hi-lo > float64(c.CycleThreshold) {
+			c.cycleHits++
+		}
+	}
+	c.chipEnergy += units.Joule(float64(chipPower) * float64(dt))
+	c.pumpEnergy += units.Joule(float64(pumpPower) * float64(dt))
+	c.settings[setting] += dt
+	c.completed += int64(completed)
+	return nil
+}
+
+// Report is the final metric set.
+type Report struct {
+	Samples int
+	// HotSpotPct is the percentage of time above the 85 °C threshold.
+	HotSpotPct float64
+	// Above80Pct is the percentage of time above the 80 °C target.
+	Above80Pct float64
+	// GradientPct is the percentage of time with spatial gradients above
+	// 15 °C.
+	GradientPct float64
+	// CyclePct is the percentage of (core, sample) pairs whose sliding
+	// history window spans more than 20 °C (Fig. 7's presentation).
+	CyclePct float64
+	// CycleEvents is the total count of confirmed peak/valley swings
+	// above the threshold (rainflow-style, a complementary view).
+	CycleEvents int
+	// MeanGradient is the average spatial gradient (°C).
+	MeanGradient float64
+	// MaxTemp and MeanTemp summarize the Tmax trace (°C).
+	MaxTemp, MeanTemp float64
+	// ChipEnergy and PumpEnergy in joules; TotalEnergy their sum.
+	ChipEnergy, PumpEnergy, TotalEnergy units.Joule
+	// Throughput is completed threads per second.
+	Throughput float64
+	// Completed is the total thread count.
+	Completed int64
+	// SimTime is the simulated duration.
+	SimTime units.Second
+	// MeanSetting is the time-weighted average pump setting.
+	MeanSetting float64
+}
+
+// Report finalizes the metrics.
+func (c *Collector) Report() Report {
+	r := Report{
+		Samples:    c.samples,
+		ChipEnergy: c.chipEnergy,
+		PumpEnergy: c.pumpEnergy,
+		Completed:  c.completed,
+		SimTime:    c.simTime,
+	}
+	r.TotalEnergy = r.ChipEnergy + r.PumpEnergy
+	if c.samples == 0 {
+		return r
+	}
+	n := float64(c.samples)
+	r.HotSpotPct = 100 * float64(c.hotSamples) / n
+	r.Above80Pct = 100 * float64(c.above80) / n
+	r.GradientPct = 100 * float64(c.gradSamples) / n
+	r.MeanGradient = c.sumGrad / n
+	r.MaxTemp = c.maxTmax
+	r.MeanTemp = c.sumTmax / n
+	for i := range c.trackers {
+		r.CycleEvents += c.trackers[i].cycles
+	}
+	r.CyclePct = 100 * float64(c.cycleHits) / (n * float64(len(c.trackers)))
+	if c.simTime > 0 {
+		r.Throughput = float64(c.completed) / float64(c.simTime)
+	}
+	var wsum, wtot float64
+	for s, d := range c.settings {
+		wsum += float64(s) * float64(d)
+		wtot += float64(d)
+	}
+	if wtot > 0 {
+		r.MeanSetting = wsum / wtot
+	}
+	return r
+}

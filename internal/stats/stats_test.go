@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func sampleN(t *testing.T, c *Collector, tmax units.Celsius, n int) {
+	t.Helper()
+	cores := make([]units.Celsius, len(c.trackers))
+	for i := range cores {
+		cores[i] = tmax
+	}
+	for i := 0; i < n; i++ {
+		if err := c.Sample(tmax, cores, cores, 40, 10, 2, 0.1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNewCollectorValidation(t *testing.T) {
+	if _, err := NewCollector(0); err == nil {
+		t.Error("expected error for zero cores")
+	}
+}
+
+func TestHotSpotPercentage(t *testing.T) {
+	c, _ := NewCollector(2)
+	sampleN(t, c, 90, 25) // above 85
+	sampleN(t, c, 70, 75) // below
+	r := c.Report()
+	if math.Abs(r.HotSpotPct-25) > 1e-9 {
+		t.Errorf("hot spot %% = %v, want 25", r.HotSpotPct)
+	}
+	if math.Abs(r.Above80Pct-25) > 1e-9 {
+		t.Errorf("above-80 %% = %v, want 25", r.Above80Pct)
+	}
+}
+
+func TestGradientPercentage(t *testing.T) {
+	c, _ := NewCollector(2)
+	cores := []units.Celsius{70, 70}
+	// Gradient 20 > 15 for 10 samples.
+	for i := 0; i < 10; i++ {
+		if err := c.Sample(90, cores, []units.Celsius{70, 90}, 40, 10, 0, 0.1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Gradient 5 for 30 samples.
+	for i := 0; i < 30; i++ {
+		if err := c.Sample(75, cores, []units.Celsius{70, 75}, 40, 10, 0, 0.1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := c.Report()
+	if math.Abs(r.GradientPct-25) > 1e-9 {
+		t.Errorf("gradient %% = %v, want 25", r.GradientPct)
+	}
+	wantMean := (10*20.0 + 30*5.0) / 40
+	if math.Abs(r.MeanGradient-wantMean) > 1e-9 {
+		t.Errorf("mean gradient = %v, want %v", r.MeanGradient, wantMean)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	c, _ := NewCollector(1)
+	// One core swinging 60→85→60→85: two >20 °C upswings confirmed, plus
+	// downswings; each confirmed extreme with swing ≥20 counts once.
+	trace := []float64{60, 70, 85, 75, 60, 70, 85, 75, 60}
+	for _, v := range trace {
+		temp := units.Celsius(v)
+		if err := c.Sample(temp, []units.Celsius{temp}, nil, 40, 10, 0, 0.1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := c.Report()
+	// Rainflow view: 3 confirmed extremes with ≥20 swing (peak 85,
+	// valley 60, peak 85); the final descent is unconfirmed.
+	if r.CycleEvents != 3 {
+		t.Errorf("cycle events = %v, want 3", r.CycleEvents)
+	}
+	// Window view: from the third sample on, the sliding window spans
+	// 60..85 (> 20 °C) — 7 of the 9 samples.
+	got := r.CyclePct * float64(r.Samples) / 100
+	if math.Abs(got-7) > 1e-9 {
+		t.Errorf("cycling samples = %v, want 7", got)
+	}
+}
+
+func TestSmallSwingsIgnored(t *testing.T) {
+	c, _ := NewCollector(1)
+	for i := 0; i < 200; i++ {
+		v := units.Celsius(70 + 5*math.Sin(float64(i)/5)) // 10 °C swings
+		if err := c.Sample(v, []units.Celsius{v}, nil, 40, 10, 0, 0.1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := c.Report(); r.CyclePct != 0 {
+		t.Errorf("sub-threshold swings counted: %v", r.CyclePct)
+	}
+}
+
+func TestNoiseDoesNotCreateCycles(t *testing.T) {
+	c, _ := NewCollector(1)
+	vals := []float64{70, 70.1, 69.9, 70.05, 70.02, 69.95}
+	for _, v := range vals {
+		temp := units.Celsius(v)
+		if err := c.Sample(temp, []units.Celsius{temp}, nil, 40, 10, 0, 0.1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := c.Report(); r.CyclePct != 0 {
+		t.Errorf("noise created cycles: %v", r.CyclePct)
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	c, _ := NewCollector(1)
+	for i := 0; i < 10; i++ {
+		if err := c.Sample(70, []units.Celsius{70}, nil, 40, 20.8, 4, 0.1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := c.Report()
+	if units.RelativeError(float64(r.ChipEnergy), 40) > 1e-9 {
+		t.Errorf("chip energy = %v, want 40 J", r.ChipEnergy)
+	}
+	if units.RelativeError(float64(r.PumpEnergy), 20.8) > 1e-9 {
+		t.Errorf("pump energy = %v, want 20.8 J", r.PumpEnergy)
+	}
+	if units.RelativeError(float64(r.TotalEnergy), 60.8) > 1e-9 {
+		t.Errorf("total energy = %v", r.TotalEnergy)
+	}
+	if r.MeanSetting != 4 {
+		t.Errorf("mean setting = %v, want 4", r.MeanSetting)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	c, _ := NewCollector(1)
+	for i := 0; i < 50; i++ {
+		if err := c.Sample(70, []units.Celsius{70}, nil, 40, 10, 0, 0.1, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := c.Report()
+	if r.Completed != 150 {
+		t.Errorf("completed = %d, want 150", r.Completed)
+	}
+	if units.RelativeError(r.Throughput, 30) > 1e-9 {
+		t.Errorf("throughput = %v, want 30/s", r.Throughput)
+	}
+}
+
+func TestMaxAndMeanTemp(t *testing.T) {
+	c, _ := NewCollector(1)
+	sampleN(t, c, 70, 5)
+	sampleN(t, c, 90, 5)
+	r := c.Report()
+	if r.MaxTemp != 90 {
+		t.Errorf("max temp = %v", r.MaxTemp)
+	}
+	if math.Abs(r.MeanTemp-80) > 1e-9 {
+		t.Errorf("mean temp = %v, want 80", r.MeanTemp)
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	c, _ := NewCollector(2)
+	if err := c.Sample(70, []units.Celsius{70}, nil, 1, 1, 0, 0.1, 0); err == nil {
+		t.Error("expected error for wrong core count")
+	}
+	if err := c.Sample(70, []units.Celsius{70, 70}, nil, 1, 1, 0, 0, 0); err == nil {
+		t.Error("expected error for zero dt")
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	c, _ := NewCollector(1)
+	r := c.Report()
+	if r.Samples != 0 || r.HotSpotPct != 0 || r.Throughput != 0 {
+		t.Errorf("empty report not zeroed: %+v", r)
+	}
+}
+
+func TestMeanSettingWeighted(t *testing.T) {
+	c, _ := NewCollector(1)
+	for i := 0; i < 30; i++ {
+		_ = c.Sample(70, []units.Celsius{70}, nil, 1, 1, 0, 0.1, 0)
+	}
+	for i := 0; i < 10; i++ {
+		_ = c.Sample(70, []units.Celsius{70}, nil, 1, 1, 4, 0.1, 0)
+	}
+	r := c.Report()
+	want := (30*0.0 + 10*4.0) / 40
+	if math.Abs(r.MeanSetting-want) > 1e-9 {
+		t.Errorf("mean setting = %v, want %v", r.MeanSetting, want)
+	}
+}

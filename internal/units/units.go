@@ -1,0 +1,165 @@
+// Package units defines the physical quantities used throughout the
+// liquid-cooling simulator and conversions between the unit systems that
+// appear in the paper (SI internally; litres/minute, mm, µm, °C at the API
+// surface).
+//
+// All internal computation is done in SI base units: metres, kilograms,
+// seconds, kelvin, watts. The types below are thin named float64s so that
+// signatures document themselves without any runtime cost.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kelvin is an absolute temperature in kelvin.
+type Kelvin float64
+
+// Celsius is a temperature in degrees Celsius.
+type Celsius float64
+
+// Watt is power in watts.
+type Watt float64
+
+// Joule is energy in joules.
+type Joule float64
+
+// Meter is a length in metres.
+type Meter float64
+
+// SquareMeter is an area in square metres.
+type SquareMeter float64
+
+// CubicMeterPerSecond is a volumetric flow rate in m³/s.
+type CubicMeterPerSecond float64
+
+// LitersPerMinute is a volumetric flow rate in l/min, the unit the paper
+// quotes per-cavity flow rates in.
+type LitersPerMinute float64
+
+// LitersPerHour is a volumetric flow rate in l/h, the unit the pump
+// datasheet (Fig. 3 x-axis) uses.
+type LitersPerHour float64
+
+// KelvinPerWatt is a thermal resistance.
+type KelvinPerWatt float64
+
+// JoulePerKelvin is a thermal capacitance.
+type JoulePerKelvin float64
+
+// WattPerMeterKelvin is a thermal conductivity.
+type WattPerMeterKelvin float64
+
+// MeterKelvinPerWatt is a thermal resistivity (the reciprocal of
+// conductivity); Table III quotes the interlayer material in mK/W.
+type MeterKelvinPerWatt float64
+
+// WattPerSquareMeterKelvin is a heat-transfer coefficient.
+type WattPerSquareMeterKelvin float64
+
+// WattPerSquareCentimeter is a heat flux as the paper quotes it (W/cm²).
+type WattPerSquareCentimeter float64
+
+// Second is a duration in seconds. The simulator uses plain float64 seconds
+// rather than time.Duration because thermal time constants are continuous
+// quantities fed into exponentials.
+type Second float64
+
+// ZeroCelsiusInKelvin is the offset between the Celsius and Kelvin scales.
+const ZeroCelsiusInKelvin = 273.15
+
+// ToKelvin converts a Celsius temperature to Kelvin.
+func (c Celsius) ToKelvin() Kelvin { return Kelvin(float64(c) + ZeroCelsiusInKelvin) }
+
+// ToCelsius converts a Kelvin temperature to Celsius.
+func (k Kelvin) ToCelsius() Celsius { return Celsius(float64(k) - ZeroCelsiusInKelvin) }
+
+// String implements fmt.Stringer.
+func (c Celsius) String() string { return fmt.Sprintf("%.2f°C", float64(c)) }
+
+// String implements fmt.Stringer.
+func (k Kelvin) String() string { return fmt.Sprintf("%.2fK", float64(k)) }
+
+// String implements fmt.Stringer.
+func (w Watt) String() string { return fmt.Sprintf("%.3fW", float64(w)) }
+
+// ToSI converts l/min to m³/s.
+func (v LitersPerMinute) ToSI() CubicMeterPerSecond {
+	return CubicMeterPerSecond(float64(v) * 1e-3 / 60.0)
+}
+
+// ToLitersPerMinute converts m³/s to l/min.
+func (v CubicMeterPerSecond) ToLitersPerMinute() LitersPerMinute {
+	return LitersPerMinute(float64(v) * 60.0 * 1e3)
+}
+
+// ToLitersPerMinute converts l/h to l/min.
+func (v LitersPerHour) ToLitersPerMinute() LitersPerMinute {
+	return LitersPerMinute(float64(v) / 60.0)
+}
+
+// ToLitersPerHour converts l/min to l/h.
+func (v LitersPerMinute) ToLitersPerHour() LitersPerHour {
+	return LitersPerHour(float64(v) * 60.0)
+}
+
+// MilliLitersPerMinute reports the flow rate in ml/min, the unit Fig. 3 and
+// Fig. 5 use for per-cavity flow.
+func (v LitersPerMinute) MilliLitersPerMinute() float64 { return float64(v) * 1e3 }
+
+// Micron converts micrometres to Meter.
+func Micron(um float64) Meter { return Meter(um * 1e-6) }
+
+// Millimeter converts millimetres to Meter.
+func Millimeter(mm float64) Meter { return Meter(mm * 1e-3) }
+
+// SquareMillimeter converts mm² to SquareMeter.
+func SquareMillimeter(mm2 float64) SquareMeter { return SquareMeter(mm2 * 1e-6) }
+
+// ToSI converts a W/cm² heat flux to W/m².
+func (q WattPerSquareCentimeter) ToSI() float64 { return float64(q) * 1e4 }
+
+// FromSIHeatFlux converts a W/m² heat flux to W/cm².
+func FromSIHeatFlux(wPerM2 float64) WattPerSquareCentimeter {
+	return WattPerSquareCentimeter(wPerM2 * 1e-4)
+}
+
+// Resistivity reciprocates a conductivity into a resistivity.
+func (k WattPerMeterKelvin) Resistivity() MeterKelvinPerWatt {
+	return MeterKelvinPerWatt(1.0 / float64(k))
+}
+
+// Conductivity reciprocates a resistivity into a conductivity.
+func (r MeterKelvinPerWatt) Conductivity() WattPerMeterKelvin {
+	return WattPerMeterKelvin(1.0 / float64(r))
+}
+
+// AlmostEqual reports whether a and b are within tol of each other. It is
+// used pervasively in tests and in convergence checks.
+func AlmostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// RelativeError returns |a-b| / max(|b|, eps). A zero reference value falls
+// back to absolute error.
+func RelativeError(a, b float64) float64 {
+	const eps = 1e-30
+	d := math.Abs(a - b)
+	m := math.Abs(b)
+	if m < eps {
+		return d
+	}
+	return d / m
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,173 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCelsiusKelvinRoundTrip(t *testing.T) {
+	cases := []float64{-273.15, -40, 0, 25, 80, 100, 1000}
+	for _, c := range cases {
+		k := Celsius(c).ToKelvin()
+		back := k.ToCelsius()
+		if !AlmostEqual(float64(back), c, 1e-12) {
+			t.Errorf("round trip %v°C -> %v -> %v", c, k, back)
+		}
+	}
+}
+
+func TestCelsiusToKelvinKnownValues(t *testing.T) {
+	if got := Celsius(0).ToKelvin(); got != 273.15 {
+		t.Errorf("0°C = %v K, want 273.15", got)
+	}
+	if got := Celsius(80).ToKelvin(); !AlmostEqual(float64(got), 353.15, 1e-12) {
+		t.Errorf("80°C = %v K, want 353.15", got)
+	}
+}
+
+func TestFlowRateConversions(t *testing.T) {
+	// 1 l/min = 1e-3 m³ / 60 s.
+	si := LitersPerMinute(1).ToSI()
+	if !AlmostEqual(float64(si), 1e-3/60, 1e-18) {
+		t.Errorf("1 l/min = %v m³/s, want %v", si, 1e-3/60)
+	}
+	// Round trip.
+	for _, lpm := range []float64{0.1, 0.5, 1, 2.5} {
+		back := LitersPerMinute(lpm).ToSI().ToLitersPerMinute()
+		if !AlmostEqual(float64(back), lpm, 1e-12) {
+			t.Errorf("round trip %v l/min -> %v", lpm, back)
+		}
+	}
+}
+
+func TestLitersPerHourConversion(t *testing.T) {
+	// Fig. 3 x-axis: 75 l/h = 1.25 l/min.
+	got := LitersPerHour(75).ToLitersPerMinute()
+	if !AlmostEqual(float64(got), 1.25, 1e-12) {
+		t.Errorf("75 l/h = %v l/min, want 1.25", got)
+	}
+	back := got.ToLitersPerHour()
+	if !AlmostEqual(float64(back), 75, 1e-12) {
+		t.Errorf("round trip = %v l/h, want 75", back)
+	}
+}
+
+func TestMilliLitersPerMinute(t *testing.T) {
+	if got := LitersPerMinute(0.625).MilliLitersPerMinute(); !AlmostEqual(got, 625, 1e-9) {
+		t.Errorf("0.625 l/min = %v ml/min, want 625", got)
+	}
+}
+
+func TestLengthHelpers(t *testing.T) {
+	if got := Micron(100); !AlmostEqual(float64(got), 100e-6, 1e-18) {
+		t.Errorf("100 µm = %v m", got)
+	}
+	if got := Millimeter(0.15); !AlmostEqual(float64(got), 150e-6, 1e-18) {
+		t.Errorf("0.15 mm = %v m", got)
+	}
+	if got := SquareMillimeter(115); !AlmostEqual(float64(got), 115e-6, 1e-15) {
+		t.Errorf("115 mm² = %v m²", got)
+	}
+}
+
+func TestHeatFluxConversions(t *testing.T) {
+	// 200 W/cm² (the paper's interlayer heat-removal figure) = 2e6 W/m².
+	if got := WattPerSquareCentimeter(200).ToSI(); !AlmostEqual(got, 2e6, 1e-6) {
+		t.Errorf("200 W/cm² = %v W/m²", got)
+	}
+	if got := FromSIHeatFlux(2e6); !AlmostEqual(float64(got), 200, 1e-9) {
+		t.Errorf("2e6 W/m² = %v W/cm²", got)
+	}
+}
+
+func TestResistivityConductivityReciprocal(t *testing.T) {
+	k := WattPerMeterKelvin(2.25) // kBEOL from Table I
+	r := k.Resistivity()
+	if !AlmostEqual(float64(r), 1/2.25, 1e-15) {
+		t.Errorf("resistivity of 2.25 = %v", r)
+	}
+	if got := r.Conductivity(); !AlmostEqual(float64(got), 2.25, 1e-12) {
+		t.Errorf("round trip conductivity = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 10, 0},
+		{10, 0, 10, 10},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(1.1, 1.0); !AlmostEqual(got, 0.1, 1e-12) {
+		t.Errorf("RelativeError(1.1, 1.0) = %v", got)
+	}
+	// Zero reference falls back to absolute.
+	if got := RelativeError(0.5, 0); !AlmostEqual(got, 0.5, 1e-12) {
+		t.Errorf("RelativeError(0.5, 0) = %v", got)
+	}
+}
+
+func TestQuickCelsiusKelvinInverse(t *testing.T) {
+	f := func(c float64) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		// Guard magnitude so addition of 273.15 stays exact enough.
+		c = math.Mod(c, 1e6)
+		back := float64(Celsius(c).ToKelvin().ToCelsius())
+		return AlmostEqual(back, c, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFlowConversionInverse(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		v = math.Abs(math.Mod(v, 1e3))
+		back := float64(LitersPerMinute(v).ToSI().ToLitersPerMinute())
+		return AlmostEqual(back, v, 1e-9*math.Max(1, v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClampWithinBounds(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		got := Clamp(v, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if got := Celsius(80).String(); got != "80.00°C" {
+		t.Errorf("Celsius String = %q", got)
+	}
+	if got := Kelvin(353.15).String(); got != "353.15K" {
+		t.Errorf("Kelvin String = %q", got)
+	}
+	if got := Watt(9.5).String(); got != "9.500W" {
+		t.Errorf("Watt String = %q", got)
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/units"
+)
+
+// Trace is a fixed, replayable arrival sequence — the equivalent of the
+// mpstat/DTrace recordings the paper collects on real hardware. Capture
+// one from a Generator (or import a CSV) and feed it to a TracePlayer for
+// bit-identical workloads across experiments and tools.
+type Trace struct {
+	Bench   Benchmark
+	Threads []Thread
+}
+
+// Capture materializes the generator's arrivals over [0, horizon).
+func Capture(g *Generator, horizon units.Second) *Trace {
+	return &Trace{Bench: g.Bench, Threads: g.Arrivals(0, horizon)}
+}
+
+// WriteCSV serializes the trace (one thread per row).
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "arrival_s", "length_s"}); err != nil {
+		return err
+	}
+	for _, th := range t.Threads {
+		if err := cw.Write([]string{
+			strconv.FormatInt(th.ID, 10),
+			strconv.FormatFloat(float64(th.Arrival), 'g', -1, 64),
+			strconv.FormatFloat(float64(th.Length), 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV trace. Threads must be in arrival order.
+func ReadTrace(r io.Reader, bench Benchmark) (*Trace, error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	t := &Trace{Bench: bench}
+	prev := units.Second(-1)
+	for i, row := range rows[1:] {
+		if len(row) < 3 {
+			return nil, fmt.Errorf("workload: trace row %d has %d fields", i+2, len(row))
+		}
+		id, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d id: %v", i+2, err)
+		}
+		arr, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d arrival: %v", i+2, err)
+		}
+		length, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d length: %v", i+2, err)
+		}
+		if length <= 0 {
+			return nil, fmt.Errorf("workload: trace row %d non-positive length", i+2)
+		}
+		if units.Second(arr) < prev {
+			return nil, fmt.Errorf("workload: trace row %d out of order", i+2)
+		}
+		prev = units.Second(arr)
+		t.Threads = append(t.Threads, Thread{
+			ID:        id,
+			Arrival:   units.Second(arr),
+			Length:    units.Second(length),
+			Remaining: units.Second(length),
+		})
+	}
+	return t, nil
+}
+
+// TracePlayer replays a trace through the Generator-compatible Arrivals
+// interface.
+type TracePlayer struct {
+	trace *Trace
+	pos   int
+}
+
+// NewTracePlayer starts replay from the beginning.
+func NewTracePlayer(t *Trace) *TracePlayer { return &TracePlayer{trace: t} }
+
+// Arrivals returns the threads arriving in [from, to).
+func (p *TracePlayer) Arrivals(from, to units.Second) []Thread {
+	var out []Thread
+	for p.pos < len(p.trace.Threads) {
+		th := p.trace.Threads[p.pos]
+		if th.Arrival >= to {
+			break
+		}
+		if th.Arrival >= from {
+			th.Remaining = th.Length
+			out = append(out, th)
+		}
+		p.pos++
+	}
+	return out
+}
+
+// Rewind restarts the replay.
+func (p *TracePlayer) Rewind() { p.pos = 0 }
+
+// OfferedUtilization returns the trace's total work divided by
+// (horizon × cores) — the measured counterpart of Table II's Avg Util.
+func (t *Trace) OfferedUtilization(horizon units.Second, cores int) float64 {
+	if horizon <= 0 || cores <= 0 {
+		return 0
+	}
+	work := 0.0
+	for _, th := range t.Threads {
+		work += float64(th.Length)
+	}
+	return work / (float64(horizon) * float64(cores))
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func capture(t *testing.T) *Trace {
+	t.Helper()
+	b, err := ByName("Web-med")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Capture(NewGenerator(b, 8, 42), 20)
+}
+
+func TestCaptureNonEmpty(t *testing.T) {
+	tr := capture(t)
+	if len(tr.Threads) == 0 {
+		t.Fatal("empty capture")
+	}
+	if tr.Bench.Name != "Web-med" {
+		t.Errorf("bench = %v", tr.Bench.Name)
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	tr := capture(t)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf, tr.Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Threads) != len(tr.Threads) {
+		t.Fatalf("thread count %d != %d", len(back.Threads), len(tr.Threads))
+	}
+	for i := range tr.Threads {
+		a, b := tr.Threads[i], back.Threads[i]
+		if a.ID != b.ID || a.Arrival != b.Arrival || a.Length != b.Length {
+			t.Fatalf("thread %d differs: %+v vs %+v", i, a, b)
+		}
+		if b.Remaining != b.Length {
+			t.Fatalf("thread %d remaining not reset", i)
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	bench, _ := ByName("gzip")
+	cases := map[string]string{
+		"empty":        "",
+		"short row":    "id,arrival_s,length_s\n1,0.5\n",
+		"bad id":       "id,arrival_s,length_s\nx,0.5,0.1\n",
+		"bad arrival":  "id,arrival_s,length_s\n1,x,0.1\n",
+		"bad length":   "id,arrival_s,length_s\n1,0.5,x\n",
+		"zero length":  "id,arrival_s,length_s\n1,0.5,0\n",
+		"out of order": "id,arrival_s,length_s\n1,0.5,0.1\n2,0.4,0.1\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadTrace(strings.NewReader(src), bench); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestTracePlayerMatchesGenerator(t *testing.T) {
+	b, _ := ByName("Database")
+	g := NewGenerator(b, 8, 7)
+	tr := Capture(g, 15)
+
+	// Replaying in windows reproduces the capture exactly.
+	p := NewTracePlayer(tr)
+	var replayed []Thread
+	for w := 0; w < 150; w++ {
+		from := units.Second(float64(w) * 0.1)
+		replayed = append(replayed, p.Arrivals(from, from+0.1)...)
+	}
+	if len(replayed) != len(tr.Threads) {
+		t.Fatalf("replayed %d of %d", len(replayed), len(tr.Threads))
+	}
+	for i := range replayed {
+		if replayed[i].ID != tr.Threads[i].ID {
+			t.Fatalf("order differs at %d", i)
+		}
+	}
+}
+
+func TestTracePlayerRewind(t *testing.T) {
+	tr := capture(t)
+	p := NewTracePlayer(tr)
+	first := p.Arrivals(0, 20)
+	if len(first) != len(tr.Threads) {
+		t.Fatalf("first pass %d", len(first))
+	}
+	if got := p.Arrivals(0, 20); len(got) != 0 {
+		t.Errorf("exhausted player returned %d threads", len(got))
+	}
+	p.Rewind()
+	if got := p.Arrivals(0, 20); len(got) != len(tr.Threads) {
+		t.Errorf("after rewind got %d", len(got))
+	}
+}
+
+func TestOfferedUtilization(t *testing.T) {
+	b, _ := ByName("Web-high")
+	g := NewGenerator(b, 8, 3)
+	tr := Capture(g, 120) // two modulation periods
+	u := tr.OfferedUtilization(120, 8)
+	target := b.UtilFraction()
+	if u < target*0.7 || u > target*1.3 {
+		t.Errorf("offered utilization %v vs target %v", u, target)
+	}
+	if tr.OfferedUtilization(0, 8) != 0 || tr.OfferedUtilization(10, 0) != 0 {
+		t.Error("degenerate utilization should be 0")
+	}
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestTableIIComplete(t *testing.T) {
+	if len(TableII) != 8 {
+		t.Fatalf("Table II has %d rows, want 8", len(TableII))
+	}
+	for i, b := range TableII {
+		if b.ID != i+1 {
+			t.Errorf("row %d has ID %d", i, b.ID)
+		}
+		if b.AvgUtil <= 0 || b.AvgUtil > 100 {
+			t.Errorf("%s: utilization %v out of range", b.Name, b.AvgUtil)
+		}
+	}
+}
+
+func TestTableIIKnownValues(t *testing.T) {
+	// Spot-check the extremes the paper highlights.
+	wh, err := ByName("Web-high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wh.AvgUtil != 92.87 || wh.L2IMiss != 67.6 || wh.L2DMiss != 288.7 {
+		t.Errorf("Web-high row mismatch: %+v", wh)
+	}
+	gz, err := ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gz.AvgUtil != 9 || gz.FPInstr != 0.2 {
+		t.Errorf("gzip row mismatch: %+v", gz)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestMemActivityNormalized(t *testing.T) {
+	for _, b := range TableII {
+		a := b.MemActivity()
+		if a < 0 || a > 1 {
+			t.Errorf("%s: memory activity %v outside [0,1]", b.Name, a)
+		}
+	}
+	// Web-high is the most memory-intensive and defines the max.
+	wh, _ := ByName("Web-high")
+	if units.RelativeError(wh.MemActivity(), 1) > 1e-12 {
+		t.Errorf("Web-high activity = %v, want 1", wh.MemActivity())
+	}
+	gz, _ := ByName("gzip")
+	if gz.MemActivity() >= 0.5 {
+		t.Errorf("gzip activity = %v, expected low", gz.MemActivity())
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	b, _ := ByName("Web-med")
+	g1 := NewGenerator(b, 8, 42)
+	g2 := NewGenerator(b, 8, 42)
+	a1 := g1.Arrivals(0, 10)
+	a2 := g2.Arrivals(0, 10)
+	if len(a1) != len(a2) {
+		t.Fatalf("lengths differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("thread %d differs: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	b, _ := ByName("Web-med")
+	a1 := NewGenerator(b, 8, 1).Arrivals(0, 5)
+	a2 := NewGenerator(b, 8, 2).Arrivals(0, 5)
+	if len(a1) == len(a2) {
+		same := true
+		for i := range a1 {
+			if a1[i].Arrival != a2[i].Arrival {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestThreadLengthsWithinPaperRange(t *testing.T) {
+	b, _ := ByName("Web-high")
+	g := NewGenerator(b, 8, 7)
+	for _, th := range g.Arrivals(0, 30) {
+		if th.Length < MinThreadLen || th.Length > MaxThreadLen {
+			t.Fatalf("thread length %v outside [%v, %v]", th.Length, MinThreadLen, MaxThreadLen)
+		}
+		if th.Remaining != th.Length {
+			t.Fatalf("fresh thread remaining %v != length %v", th.Remaining, th.Length)
+		}
+	}
+}
+
+func TestGeneratedUtilizationMatchesTarget(t *testing.T) {
+	// Offered load over a long window ≈ avg util × cores (modulation
+	// averages out over full periods).
+	for _, name := range []string{"Web-high", "Web-med", "gzip"} {
+		b, _ := ByName(name)
+		g := NewGenerator(b, 8, 11)
+		horizon := units.Second(600) // ten modulation periods
+		var work float64
+		for _, th := range g.Arrivals(0, horizon) {
+			work += float64(th.Length)
+		}
+		offered := work / (float64(horizon) * 8)
+		target := b.UtilFraction()
+		if math.Abs(offered-target) > 0.15*target+0.01 {
+			t.Errorf("%s: offered utilization %.4f vs target %.4f", name, offered, target)
+		}
+	}
+}
+
+func TestArrivalsOrderedAndWithinWindow(t *testing.T) {
+	b, _ := ByName("Database")
+	g := NewGenerator(b, 8, 3)
+	prev := units.Second(-1)
+	for _, th := range g.Arrivals(0, 20) {
+		if th.Arrival < 0 || th.Arrival >= 20 {
+			t.Fatalf("arrival %v outside window", th.Arrival)
+		}
+		if th.Arrival < prev {
+			t.Fatalf("arrivals out of order: %v after %v", th.Arrival, prev)
+		}
+		prev = th.Arrival
+	}
+}
+
+func TestArrivalsConsecutiveWindows(t *testing.T) {
+	b, _ := ByName("Web&DB")
+	g := NewGenerator(b, 8, 9)
+	ids := map[int64]bool{}
+	for w := 0; w < 50; w++ {
+		from := units.Second(float64(w) * 0.1)
+		to := from + 0.1
+		for _, th := range g.Arrivals(from, to) {
+			if ids[th.ID] {
+				t.Fatalf("thread %d delivered twice", th.ID)
+			}
+			ids[th.ID] = true
+			if th.Arrival < from || th.Arrival >= to {
+				t.Fatalf("thread %d arrival %v outside [%v,%v)", th.ID, th.Arrival, from, to)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		t.Error("no threads generated")
+	}
+}
+
+func TestUtilScaleChangesLoad(t *testing.T) {
+	b, _ := ByName("Web-med")
+	gHi := NewGenerator(b, 8, 5)
+	gLo := NewGenerator(b, 8, 5)
+	gLo.UtilScale = 0.25
+	nHi := len(gHi.Arrivals(0, 120))
+	nLo := len(gLo.Arrivals(0, 120))
+	if nLo >= nHi {
+		t.Errorf("scaled-down generator produced %d vs %d threads", nLo, nHi)
+	}
+}
+
+func TestModulationCreatesVariation(t *testing.T) {
+	// Thread counts in opposite half-periods of the modulation should
+	// differ noticeably.
+	b, _ := ByName("Web-med")
+	g := NewGenerator(b, 8, 13)
+	// Peak half [0,30) vs trough half [30,60) of the 60 s period.
+	peak := len(g.Arrivals(0, 30))
+	trough := len(g.Arrivals(30, 60))
+	if peak <= trough {
+		t.Errorf("modulation missing: peak %d, trough %d", peak, trough)
+	}
+}
+
+func TestZeroUtilScaleProducesNoThreads(t *testing.T) {
+	b, _ := ByName("gzip")
+	g := NewGenerator(b, 8, 1)
+	g.UtilScale = 0
+	if n := len(g.Arrivals(0, 30)); n != 0 {
+		t.Errorf("zero-scale generator produced %d threads", n)
+	}
+}
