@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/arma"
@@ -118,6 +120,32 @@ func BenchmarkFig8(b *testing.B) {
 		perf = res[len(res)-1].NormPerf
 	}
 	b.ReportMetric(perf, "perf-var-vs-lbair")
+}
+
+// --- Experiment engine ------------------------------------------------------
+
+// BenchmarkExperimentsParallel measures the worker-pool experiment engine
+// on the Fig. 8 matrix (5 combos × 2 workloads = 10 scenario runs per
+// iteration). workers=1 is the serial baseline; the wall-clock speedup at
+// workers=N is bounded by min(N, NumCPU) because scenario runs are
+// CPU-bound. Output is byte-identical across worker counts (see
+// experiments.TestParallelMatrixDeterminism), so the sub-benchmarks are
+// directly comparable.
+func BenchmarkExperimentsParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			if workers > 1 && runtime.NumCPU() == 1 {
+				b.Logf("single-CPU host: workers=%d cannot speed up, timing is parity-only", workers)
+			}
+			o := benchOptions()
+			o.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig8(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Ablations (DESIGN.md §6) ----------------------------------------------

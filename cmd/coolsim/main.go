@@ -1,9 +1,14 @@
-// Command coolsim runs one (system, cooling, policy, workload) simulation
-// and prints its thermal, energy and performance report.
+// Command coolsim runs one or more (system, cooling, policy, workload)
+// simulations and prints their thermal, energy and performance reports.
 //
 // Usage:
 //
 //	coolsim -layers 2 -cooling var -policy talb -workload Web-high -duration 60
+//	coolsim -workload Web-high,Web-med,gzip -workers 4   # parallel batch
+//
+// A comma-separated -workload list runs one simulation per benchmark on a
+// worker pool (-workers, default NumCPU); reports print in list order and
+// are identical to running each workload on its own.
 package main
 
 import (
@@ -21,15 +26,46 @@ func main() {
 	flag.StringVar(&sc.Cooling, "cooling", sc.Cooling, "cooling mode: air|max|var")
 	flag.StringVar(&sc.Policy, "policy", sc.Policy, "scheduling policy: lb|mig|talb")
 	flag.StringVar(&sc.Workload, "workload", sc.Workload,
-		"Table II benchmark: "+strings.Join(core.Workloads(), "|"))
+		"Table II benchmark (comma-separated for a parallel batch): "+strings.Join(core.Workloads(), "|"))
 	flag.Float64Var(&sc.Duration, "duration", sc.Duration, "measured simulation seconds")
 	flag.Float64Var(&sc.Warmup, "warmup", sc.Warmup, "warm-up seconds (excluded from metrics)")
 	flag.Int64Var(&sc.Seed, "seed", sc.Seed, "workload trace seed")
 	flag.BoolVar(&sc.DPM, "dpm", sc.DPM, "enable fixed-timeout dynamic power management")
 	flag.IntVar(&sc.GridNX, "nx", 23, "thermal grid cells in x")
 	flag.IntVar(&sc.GridNY, "ny", 20, "thermal grid cells in y")
-	trace := flag.String("trace", "", "write a per-tick CSV trace to this file")
+	trace := flag.String("trace", "", "write a per-tick CSV trace to this file (single workload only)")
+	workers := flag.Int("workers", 0, "worker goroutines for a multi-workload batch (0 = NumCPU)")
 	flag.Parse()
+
+	var names []string
+	for _, name := range strings.Split(sc.Workload, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 1 {
+		sc.Workload = names[0]
+	}
+	if len(names) > 1 {
+		if *trace != "" {
+			fmt.Fprintln(os.Stderr, "coolsim: -trace requires a single -workload")
+			os.Exit(1)
+		}
+		scs := make([]core.Scenario, len(names))
+		for i, name := range names {
+			scs[i] = sc
+			scs[i].Workload = name
+		}
+		reports, err := core.RunMany(scs, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coolsim:", err)
+			os.Exit(1)
+		}
+		for _, r := range reports {
+			r.WriteSummary(os.Stdout)
+		}
+		return
+	}
 
 	if *trace != "" {
 		f, err := os.Create(*trace)

@@ -24,8 +24,10 @@ func main() {
 	var (
 		exp = flag.String("exp", "all",
 			"experiments to run (comma-separated): tab1,tab2,tab3,fig3,fig5,fig6,fig7,fig8 or all; extensions: fig6x4, inlet")
-		quick  = flag.Bool("quick", false, "reduced fidelity (coarser grid, shorter runs, 3 workloads)")
-		csvDir = flag.String("csv", "", "also write machine-readable CSV files into this directory")
+		quick   = flag.Bool("quick", false, "reduced fidelity (coarser grid, shorter runs, 3 workloads)")
+		csvDir  = flag.String("csv", "", "also write machine-readable CSV files into this directory")
+		workers = flag.Int("workers", 0,
+			"scenario-level worker goroutines (0 = NumCPU); output is byte-identical for any value")
 	)
 	flag.Parse()
 
@@ -33,6 +35,7 @@ func main() {
 	if *quick {
 		opt = experiments.QuickOptions()
 	}
+	opt.Workers = *workers
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

@@ -6,7 +6,9 @@
 // with temperature-aware weighted load balancing, and the proactive
 // variable-flow pump controller the paper contributes.
 //
-// See README.md for the layout, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the per-figure reproduction record. The benchmark
-// harness in bench_test.go regenerates every table and figure.
+// See README.md for the build/test/bench quickstart, the layout, the
+// parallel experiment engine (the -workers flag on cmd/repro and
+// cmd/coolsim, experiments.Options.Workers, sim.RunAll) and the
+// allocation-free solver fast path. The benchmark harness in
+// bench_test.go regenerates every table and figure.
 package repro

@@ -117,6 +117,30 @@ func Run(sc Scenario) (*Report, error) {
 	return report(sc, r), nil
 }
 
+// RunMany executes several scenarios on a worker pool (workers ≤ 0 means
+// runtime.NumCPU()) and returns the reports in input order. Every scenario
+// owns its simulator state and RNG seeding, so the reports are identical
+// to running the scenarios serially, for any worker count.
+func RunMany(scs []Scenario, workers int) ([]*Report, error) {
+	cfgs := make([]sim.Config, len(scs))
+	for i, sc := range scs {
+		cfg, err := sc.simConfig()
+		if err != nil {
+			return nil, err
+		}
+		cfgs[i] = cfg
+	}
+	results, err := sim.RunAll(cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*Report, len(scs))
+	for i, r := range results {
+		reports[i] = report(scs[i], r)
+	}
+	return reports, nil
+}
+
 // RunTraced executes a scenario while streaming a per-tick CSV trace of
 // temperatures and pump state to dst.
 func RunTraced(sc Scenario, dst io.Writer) (*Report, error) {

@@ -10,6 +10,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/controller"
 	"repro/internal/floorplan"
@@ -33,6 +34,12 @@ type Options struct {
 	Seed int64
 	// Workloads restricts the benchmark set (nil = all of Table II).
 	Workloads []string
+	// Workers bounds the scenario-level worker pool of the experiment
+	// engine; ≤ 0 selects runtime.NumCPU(). Every scenario owns its model
+	// and RNG (seeded from Seed, not from the worker), and results are
+	// collected in input order, so tables, figures and CSV output are
+	// byte-identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions reproduces the figures at full fidelity (minutes of CPU).
@@ -65,8 +72,12 @@ func (o Options) benchmarks() ([]workload.Benchmark, error) {
 }
 
 // tables reuses the expensive LUT/weight analyses across the runs of one
-// experiment matrix.
+// experiment matrix. Access is serialized by a mutex so scenario workers
+// can share one instance; runMatrix additionally pre-builds every table it
+// will need before fanning out, keeping the build order (and therefore the
+// analyses themselves) deterministic.
 type tables struct {
+	mu      sync.Mutex
 	lut     map[int]*controller.LUT            // by layer count
 	weights map[string]*controller.WeightTable // by layers+cooling
 }
@@ -111,6 +122,8 @@ func (o Options) modelFor(layers int, liquid bool) (*rcnet.Model, *pump.Pump, er
 
 // lutFor builds (or reuses) the flow LUT for a layer count.
 func (o Options) lutFor(t *tables, layers int) (*controller.LUT, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if l, ok := t.lut[layers]; ok {
 		return l, nil
 	}
@@ -131,6 +144,8 @@ func (o Options) lutFor(t *tables, layers int) (*controller.LUT, error) {
 // weightsFor builds (or reuses) the TALB weights for a configuration.
 func (o Options) weightsFor(t *tables, layers int, liquid bool) (*controller.WeightTable, error) {
 	key := fmt.Sprintf("%d-%v", layers, liquid)
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if w, ok := t.weights[key]; ok {
 		return w, nil
 	}
@@ -144,6 +159,25 @@ func (o Options) weightsFor(t *tables, layers int, liquid bool) (*controller.Wei
 	}
 	t.weights[key] = w
 	return w, nil
+}
+
+// prebuild constructs every LUT and weight table the given combos will
+// need, serially and in combo order, so the parallel fan-out only ever
+// reads the shared tables.
+func (o Options) prebuild(t *tables, layers int, combos []Combo) error {
+	for _, combo := range combos {
+		if combo.Cooling == sim.LiquidVar {
+			if _, err := o.lutFor(t, layers); err != nil {
+				return err
+			}
+		}
+		if combo.Policy == sched.TALB {
+			if _, err := o.weightsFor(t, layers, combo.Cooling != sim.Air); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Combo names one policy/cooling configuration as the paper labels them.

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/controller"
+	"repro/internal/par"
 	"repro/internal/pump"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -38,18 +39,21 @@ type Fig5Result struct {
 }
 
 // Fig5 regenerates the flow-requirement analysis for the 2- and 4-layer
-// systems.
+// systems. The two stacks are independent bisection studies (each owns its
+// model and LUT), so they run as parallel jobs with per-index result slots.
 func Fig5(o Options) ([]Fig5Result, error) {
-	var out []Fig5Result
-	for _, layers := range []int{2, 4} {
+	stacks := []int{2, 4}
+	out := make([]Fig5Result, len(stacks))
+	err := par.ForEach(o.Workers, len(stacks), func(si int) error {
+		layers := stacks[si]
 		m, pm, err := o.modelFor(layers, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t := o.newTables()
 		lut, err := o.lutFor(t, layers)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		full := sim.FullLoadPowers(m.Grid.Stack)
 		res := Fig5Result{Layers: layers}
@@ -65,7 +69,7 @@ func Fig5(o Options) ([]Fig5Result, error) {
 					scaled[li][bi] = full[li][bi] * lambda
 				}
 				if err := m.SetLayerPower(li, scaled[li]); err != nil {
-					return nil, err
+					return err
 				}
 			}
 			tmaxAt := func(flowLPM float64) (units.Celsius, error) {
@@ -80,7 +84,7 @@ func Fig5(o Options) ([]Fig5Result, error) {
 			}
 			required, err := bisectFlow(tmaxAt, lut.Target, 0.005, maxFlow)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row := Fig5Row{
 				PowerScale:      lambda,
@@ -95,7 +99,11 @@ func Fig5(o Options) ([]Fig5Result, error) {
 			}
 			res.Rows = append(res.Rows, row)
 		}
-		out = append(out, res)
+		out[si] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -185,21 +193,39 @@ type ComboResult struct {
 	NormChip, NormPump, NormPerf float64
 }
 
-// runMatrix executes a combo × workload matrix and aggregates.
+// runMatrix executes a combo × workload matrix on the engine's worker
+// pool and aggregates. The shared LUT/weight tables are pre-built
+// serially, every (combo, workload) cell then runs as an independent job,
+// and results land in per-index slots, so aggregation order — and hence
+// every rendered table and CSV byte — is identical for any worker count.
 func (o Options) runMatrix(layers int, combos []Combo, dpmOn bool) ([]ComboResult, error) {
 	benches, err := o.benchmarks()
 	if err != nil {
 		return nil, err
 	}
 	t := o.newTables()
+	if err := o.prebuild(t, layers, combos); err != nil {
+		return nil, err
+	}
+	nb := len(benches)
+	runs := make([]*sim.Result, len(combos)*nb)
+	err = par.ForEach(o.Workers, len(runs), func(i int) error {
+		combo, b := combos[i/nb], benches[i%nb]
+		r, err := o.run(t, layers, combo, b, dpmOn)
+		if err != nil {
+			return fmt.Errorf("experiments: %s on %s: %w", combo.Label, b.Name, err)
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make([]ComboResult, 0, len(combos))
-	for _, combo := range combos {
+	for ci, combo := range combos {
 		cr := ComboResult{Combo: combo, MaxHotPct: 0}
-		for _, b := range benches {
-			r, err := o.run(t, layers, combo, b, dpmOn)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %s: %w", combo.Label, b.Name, err)
-			}
+		for bi := range benches {
+			r := runs[ci*nb+bi]
 			cr.PerWorkload = append(cr.PerWorkload, r)
 			cr.AvgHotPct += r.HotSpotPct
 			cr.MaxHotPct = math.Max(cr.MaxHotPct, r.HotSpotPct)

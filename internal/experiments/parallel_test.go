@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// tinyOptions is the smallest configuration that still exercises every
+// cooling mode and policy of the Fig. 8 matrix.
+func tinyOptions(workers int) Options {
+	return Options{
+		GridNX: 10, GridNY: 8, Duration: 4, Warmup: 1, Seed: 1,
+		Workloads: []string{"gzip"},
+		Workers:   workers,
+	}
+}
+
+// TestParallelMatrixDeterminism is the engine's core guarantee: the CSV
+// bytes of a figure matrix are identical for workers=1 and workers=N, so
+// parallelism can never change a published number. Run with -race this
+// also shakes out unsynchronized sharing across scenario workers.
+func TestParallelMatrixDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	var serial bytes.Buffer
+	if err := Fig8CSV(&serial, tinyOptions(1)); err != nil {
+		t.Fatal(err)
+	}
+	var parallel bytes.Buffer
+	if err := Fig8CSV(&parallel, tinyOptions(4)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("CSV output differs between workers=1 and workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	if serial.Len() == 0 {
+		t.Fatal("empty CSV output")
+	}
+}
+
+// TestParallelSweepDeterminism covers the fan-out sweep path (one job per
+// inlet temperature) the same way.
+func TestParallelSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	run := func(workers int) []InletSweepRow {
+		o := tinyOptions(workers)
+		rows, err := InletSweep(o, "gzip", []float64{60, 70})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := run(1)
+	parallel := run(3)
+	if len(serial) != len(parallel) {
+		t.Fatalf("row count differs: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d differs: serial %+v parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/grid"
+	"repro/internal/par"
 	"repro/internal/pump"
 	"repro/internal/rcnet"
 	"repro/internal/sched"
@@ -41,32 +42,36 @@ func InletSweep(o Options, bench string, inletsC []float64) ([]InletSweepRow, er
 	if err != nil {
 		return nil, err
 	}
-	var out []InletSweepRow
-	for _, inlet := range inletsC {
+	// Each inlet temperature is a self-contained study (its own thermal
+	// model, LUT and pair of runs), so the sweep fans out one job per
+	// inlet; rows land in per-index slots to keep the output order fixed.
+	out := make([]InletSweepRow, len(inletsC))
+	err = par.ForEach(o.Workers, len(inletsC), func(ii int) error {
+		inlet := inletsC[ii]
 		rcCfg := rcnet.DefaultConfig()
 		rcCfg.CoolantInlet = units.Celsius(inlet).ToKelvin()
 
 		// Feasibility + LUT from the steady-state sweep.
 		stack, err := o.stackFor(2, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		g, err := grid.Build(stack, grid.DefaultParams(o.GridNX, o.GridNY))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m, err := rcnet.New(g, rcCfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pm, err := pump.New(stack.NumCavities())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		lut, err := controller.BuildLUT(m, pm, sim.FullLoadPowers(stack),
 			controller.TargetTemp, controller.DefaultLadder())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fullIdx := 0
 		for k, l := range lut.Ladder {
@@ -96,11 +101,11 @@ func InletSweep(o Options, bench string, inletsC []float64) ([]InletSweepRow, er
 		}
 		vr, err := run(sim.LiquidVar)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: inlet %v var: %w", inlet, err)
+			return fmt.Errorf("experiments: inlet %v var: %w", inlet, err)
 		}
 		mx, err := run(sim.LiquidMax)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: inlet %v max: %w", inlet, err)
+			return fmt.Errorf("experiments: inlet %v max: %w", inlet, err)
 		}
 		row.MeanSetting = vr.MeanSetting
 		row.MaxTemp = vr.MaxTemp
@@ -110,7 +115,11 @@ func InletSweep(o Options, bench string, inletsC []float64) ([]InletSweepRow, er
 		if tot := float64(mx.TotalEnergy); tot > 0 {
 			row.TotalSavedPct = 100 * (1 - float64(vr.TotalEnergy)/tot)
 		}
-		out = append(out, row)
+		out[ii] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -97,6 +97,11 @@ type Grid struct {
 	HotspotCells [][][]int
 	// DieSlab[layer] is the slab index of stack layer `layer`.
 	DieSlab []int
+
+	// cavitySlabs caches the liquid interlayer slab indices so per-tick
+	// callers (the coolant march runs every thermal step) don't rebuild
+	// the list.
+	cavitySlabs []int
 }
 
 // Params controls discretization and the stackup dimensions.
@@ -294,6 +299,11 @@ func Build(s *floorplan.Stack, p Params) (*Grid, error) {
 			}
 		}
 	}
+	for i, slab := range g.Slabs {
+		if slab.Kind == SlabInterlayer && slab.Liquid {
+			g.cavitySlabs = append(g.cavitySlabs, i)
+		}
+	}
 	return g, nil
 }
 
@@ -314,15 +324,9 @@ func (g *Grid) NodeIndex(slab, iy, ix int) int {
 }
 
 // CavitySlabs returns the indices of liquid interlayer slabs, bottom to
-// top.
+// top. The slice is cached and shared; callers must not modify it.
 func (g *Grid) CavitySlabs() []int {
-	var out []int
-	for i, s := range g.Slabs {
-		if s.Kind == SlabInterlayer && s.Liquid {
-			out = append(out, i)
-		}
-	}
-	return out
+	return g.cavitySlabs
 }
 
 // SpreadBlockPower distributes per-block power (indexed like

@@ -1,0 +1,164 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSPD builds a random diagonally dominant symmetric (hence SPD)
+// matrix of dimension n with full diagonal.
+func randomSPD(n int, seed int64) *CSR {
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	rowSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.25 {
+				v := -r.Float64()
+				b.Add(i, j, v)
+				b.Add(j, i, v)
+				rowSum[i] += -v
+				rowSum[j] += -v
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.Add(i, i, rowSum[i]+1+r.Float64())
+	}
+	return b.Build()
+}
+
+func residual(m *CSR, x, b []float64) float64 {
+	ax := make([]float64, m.N)
+	m.MulVec(ax, x)
+	for i := range ax {
+		ax[i] = b[i] - ax[i]
+	}
+	return Norm2(ax) / Norm2(b)
+}
+
+func TestSolveCGSSORMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{4, 17, 60} {
+		m := randomSPD(n, int64(n))
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xj := make([]float64, n)
+		rj, err := SolveCG(m, xj, b, CGOptions{Tol: 1e-12})
+		if err != nil {
+			t.Fatalf("n=%d jacobi: %v", n, err)
+		}
+		xs := make([]float64, n)
+		rs, err := SolveCG(m, xs, b, CGOptions{Tol: 1e-12, Precond: PrecondSSOR})
+		if err != nil {
+			t.Fatalf("n=%d ssor: %v", n, err)
+		}
+		for i := range xj {
+			if math.Abs(xj[i]-xs[i]) > 1e-8*(1+math.Abs(xj[i])) {
+				t.Fatalf("n=%d: solutions differ at %d: %g vs %g", n, i, xj[i], xs[i])
+			}
+		}
+		if res := residual(m, xs, b); res > 1e-11 {
+			t.Errorf("n=%d: SSOR residual %g above tolerance", n, res)
+		}
+		if rs.Iterations > rj.Iterations {
+			t.Errorf("n=%d: SSOR took %d iterations, Jacobi %d — preconditioner not helping",
+				n, rs.Iterations, rj.Iterations)
+		}
+	}
+}
+
+func TestSolveCGSSOROmega(t *testing.T) {
+	m := laplacian1D(40)
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = 1
+	}
+	for _, omega := range []float64{0.8, 1.0, 1.5} {
+		x := make([]float64, 40)
+		if _, err := SolveCG(m, x, b, CGOptions{Tol: 1e-11, Precond: PrecondSSOR, Omega: omega}); err != nil {
+			t.Fatalf("omega=%g: %v", omega, err)
+		}
+		if res := residual(m, x, b); res > 1e-10 {
+			t.Errorf("omega=%g: residual %g", omega, res)
+		}
+	}
+	x := make([]float64, 40)
+	if _, err := SolveCG(m, x, b, CGOptions{Precond: PrecondSSOR, Omega: 2.5}); err == nil {
+		t.Error("expected error for omega outside (0,2)")
+	}
+}
+
+func TestCGWorkspaceReuse(t *testing.T) {
+	// One workspace must serve consecutive solves of different systems and
+	// sizes, and give bitwise the same answers as throwaway workspaces.
+	var w CGWorkspace
+	for _, tc := range []struct {
+		n    int
+		seed int64
+	}{{30, 1}, {30, 2}, {12, 3}, {45, 4}} {
+		m := randomSPD(tc.n, tc.seed)
+		b := make([]float64, tc.n)
+		rng := rand.New(rand.NewSource(tc.seed))
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		for _, pc := range []Preconditioner{PrecondJacobi, PrecondSSOR} {
+			opt := CGOptions{Tol: 1e-11, Precond: pc}
+			xw := make([]float64, tc.n)
+			if _, err := w.Solve(m, xw, b, opt); err != nil {
+				t.Fatalf("n=%d %v reused: %v", tc.n, pc, err)
+			}
+			xf := make([]float64, tc.n)
+			if _, err := SolveCG(m, xf, b, opt); err != nil {
+				t.Fatalf("n=%d %v fresh: %v", tc.n, pc, err)
+			}
+			for i := range xw {
+				if xw[i] != xf[i] {
+					t.Fatalf("n=%d %v: reused workspace diverged at %d: %g vs %g",
+						tc.n, pc, i, xw[i], xf[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCGWorkspaceSolveAllocFree(t *testing.T) {
+	m := laplacian1D(200)
+	b := make([]float64, 200)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, 200)
+	var w CGWorkspace
+	for _, pc := range []Preconditioner{PrecondJacobi, PrecondSSOR} {
+		opt := CGOptions{Tol: 1e-10, Precond: pc}
+		// Prime the workspace (first call sizes the buffers).
+		if _, err := w.Solve(m, x, b, opt); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			for i := range x {
+				x[i] = 0
+			}
+			if _, err := w.Solve(m, x, b, opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v: %v allocs per warm solve, want 0", pc, allocs)
+		}
+	}
+}
+
+func TestPreconditionerString(t *testing.T) {
+	if PrecondJacobi.String() != "jacobi" || PrecondSSOR.String() != "ssor" {
+		t.Error("unexpected Preconditioner names")
+	}
+	if Preconditioner(9).String() == "" {
+		t.Error("unknown preconditioner must still format")
+	}
+}

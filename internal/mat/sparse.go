@@ -1,6 +1,7 @@
 // Package mat provides the small amount of numerical linear algebra the
-// thermal solver needs: compressed-sparse-row matrices, a Jacobi-
-// preconditioned conjugate-gradient solver for the symmetric positive
+// thermal solver needs: compressed-sparse-row matrices, a preconditioned
+// conjugate-gradient solver (Jacobi or SSOR, with reusable scratch
+// workspaces for allocation-free tick loops) for the symmetric positive
 // definite systems that arise from RC thermal networks, and a dense LU
 // fallback used by tests and tiny systems.
 //
@@ -12,7 +13,6 @@
 package mat
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -154,6 +154,29 @@ func (m *CSR) Diagonal(dst []float64) {
 	}
 }
 
+// DiagIndex writes the position of each row's diagonal entry within Val
+// into dst (length N), so callers updating only the diagonal of a
+// fixed-sparsity matrix can skip the per-row column scan. It errors if any
+// row has no stored diagonal.
+func (m *CSR) DiagIndex(dst []int) error {
+	if len(dst) != m.N {
+		panic("mat: DiagIndex dimension mismatch")
+	}
+	for r := 0; r < m.N; r++ {
+		dst[r] = -1
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			if m.Col[k] == r {
+				dst[r] = k
+				break
+			}
+		}
+		if dst[r] < 0 {
+			return fmt.Errorf("mat: row %d has no stored diagonal entry", r)
+		}
+	}
+	return nil
+}
+
 // Clone returns a deep copy sharing no storage with m.
 func (m *CSR) Clone() *CSR {
 	c := &CSR{
@@ -176,106 +199,6 @@ func (m *CSR) IsSymmetric(tol float64) bool {
 		}
 	}
 	return true
-}
-
-// ErrNoConvergence is returned when an iterative solver exhausts its
-// iteration budget without reaching the requested tolerance.
-var ErrNoConvergence = errors.New("mat: iterative solver did not converge")
-
-// CGOptions configures the conjugate-gradient solver.
-type CGOptions struct {
-	// Tol is the relative residual tolerance ‖b-Ax‖/‖b‖. Zero means 1e-10.
-	Tol float64
-	// MaxIter bounds iterations. Zero means 4·N.
-	MaxIter int
-}
-
-// CGResult reports solver diagnostics.
-type CGResult struct {
-	Iterations int
-	Residual   float64
-}
-
-// SolveCG solves A·x = b for symmetric positive definite A using Jacobi-
-// preconditioned conjugate gradient. x is used as the starting guess and
-// holds the solution on return.
-func SolveCG(a *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
-	n := a.N
-	if len(x) != n || len(b) != n {
-		panic("mat: SolveCG dimension mismatch")
-	}
-	tol := opt.Tol
-	if tol == 0 {
-		tol = 1e-10
-	}
-	maxIter := opt.MaxIter
-	if maxIter == 0 {
-		maxIter = 4 * n
-	}
-
-	diag := make([]float64, n)
-	a.Diagonal(diag)
-	invDiag := make([]float64, n)
-	for i, d := range diag {
-		if d <= 0 {
-			return CGResult{}, fmt.Errorf("mat: non-positive diagonal %g at %d; matrix not SPD", d, i)
-		}
-		invDiag[i] = 1 / d
-	}
-
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
-
-	a.MulVec(r, x)
-	for i := range r {
-		r[i] = b[i] - r[i]
-	}
-	bnorm := Norm2(b)
-	if bnorm == 0 {
-		// Solution of Ax=0 for SPD A is x=0.
-		for i := range x {
-			x[i] = 0
-		}
-		return CGResult{Iterations: 0, Residual: 0}, nil
-	}
-
-	for i := range z {
-		z[i] = invDiag[i] * r[i]
-	}
-	copy(p, z)
-	rz := Dot(r, z)
-
-	res := Norm2(r) / bnorm
-	var it int
-	for it = 0; it < maxIter && res > tol; it++ {
-		a.MulVec(ap, p)
-		pap := Dot(p, ap)
-		if pap <= 0 {
-			return CGResult{Iterations: it, Residual: res},
-				fmt.Errorf("mat: p·Ap = %g ≤ 0; matrix not SPD", pap)
-		}
-		alpha := rz / pap
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-		}
-		for i := range z {
-			z[i] = invDiag[i] * r[i]
-		}
-		rzNew := Dot(r, z)
-		beta := rzNew / rz
-		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
-		res = Norm2(r) / bnorm
-	}
-	if res > tol {
-		return CGResult{Iterations: it, Residual: res}, ErrNoConvergence
-	}
-	return CGResult{Iterations: it, Residual: res}, nil
 }
 
 // Dot returns the inner product of a and b.

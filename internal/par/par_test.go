@@ -1,0 +1,88 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-5); got != runtime.NumCPU() {
+		t.Errorf("Workers(-5) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 100
+		seen := make([]atomic.Int64, n)
+		if err := ForEach(workers, n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if c := seen[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	want := errors.New("boom-3")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEach(workers, 10, func(i int) error {
+			ran.Add(1)
+			if i == 3 || i == 7 {
+				return fmt.Errorf("boom-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != want.Error() {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, want)
+		}
+		if ran.Load() != 10 {
+			t.Errorf("workers=%d: ran %d jobs, want all 10", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEachDeterministicResults(t *testing.T) {
+	// The same job set must fill the same slots regardless of worker count.
+	run := func(workers int) []int {
+		out := make([]int, 50)
+		if err := ForEach(workers, len(out), func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

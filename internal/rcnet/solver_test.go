@@ -1,0 +1,123 @@
+package rcnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/grid"
+	"repro/internal/mat"
+	"repro/internal/units"
+)
+
+func TestTempsCopyDoesNotAlias(t *testing.T) {
+	m := testModel(t, true)
+	snap := m.TempsCopy()
+	if len(snap) != len(m.Temps()) {
+		t.Fatalf("TempsCopy length %d, want %d", len(snap), len(m.Temps()))
+	}
+	for i := range snap {
+		if snap[i] != m.Temps()[i] {
+			t.Fatalf("TempsCopy differs at %d before mutation", i)
+		}
+	}
+	snap[0] += 100
+	if m.Temps()[0] == snap[0] {
+		t.Error("mutating the copy reached the model's internal state")
+	}
+	before := snap[1]
+	m.SetUniformTemp(units.Celsius(99).ToKelvin())
+	if snap[1] != before {
+		t.Error("model mutation reached the copy")
+	}
+}
+
+// TestSSORPrecondMatchesJacobi steps identically configured models with
+// the two preconditioners through a flow change and checks the trajectories
+// agree to solver tolerance — both the reusable-workspace fast path and the
+// SSOR option must reproduce the reference solution.
+func TestSSORPrecondMatchesJacobi(t *testing.T) {
+	build := func(pc mat.Preconditioner) *Model {
+		g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(12, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Precond = pc
+		m, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t1Power(t, m)
+		if err := m.SetFlow(0.5); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	mj := build(mat.PrecondJacobi)
+	ms := build(mat.PrecondSSOR)
+	step := func(m *Model) {
+		for i := 0; i < 20; i++ {
+			if i == 10 {
+				if err := m.SetFlow(0.2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := m.Step(0.1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	step(mj)
+	step(ms)
+	tj, ts := mj.Temps(), ms.Temps()
+	for i := range tj {
+		if d := math.Abs(tj[i] - ts[i]); d > 1e-5 {
+			t.Fatalf("node %d: Jacobi %g vs SSOR %g (Δ=%g)", i, tj[i], ts[i], d)
+		}
+	}
+
+	// Steady state must agree too.
+	if err := mj.SteadyState(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.SteadyState(); err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(float64(mj.MaxDieTemp() - ms.MaxDieTemp())); d > 1e-4 {
+		t.Errorf("steady Tmax differs by %g K between preconditioners", d)
+	}
+}
+
+// TestStepAllocFree pins the reusable-preconditioner fast path: after the
+// first step, the per-tick transient solve must not allocate — no CG
+// scratch, no matrix copy, no coolant-march buffers.
+func TestStepAllocFree(t *testing.T) {
+	for _, pc := range []mat.Preconditioner{mat.PrecondJacobi, mat.PrecondSSOR} {
+		g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(12, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Precond = pc
+		m, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t1Power(t, m)
+		if err := m.SetFlow(0.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Step(0.1); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			if err := m.Step(0.1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v: Step allocates %v objects per tick, want 0", pc, allocs)
+		}
+	}
+}

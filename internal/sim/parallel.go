@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"repro/internal/par"
+)
+
+// RunAll executes one Run per config on a worker pool and returns the
+// results in input order. workers ≤ 0 selects runtime.NumCPU().
+//
+// Scenario runs are embarrassingly parallel: every Run builds its own
+// thermal model, scheduler, pump and workload generator, and each
+// generator (and fault injector) is seeded from its own Config.Seed, so
+// results are bit-identical to a serial loop for every worker count. When
+// several configs share a LUT or WeightTable pointer those tables are read
+// concurrently, which is safe — they are immutable after construction.
+// On failure the error of the lowest-index config is returned; results of
+// the configs that did succeed are still filled in.
+func RunAll(cfgs []Config, workers int) ([]*Result, error) {
+	out := make([]*Result, len(cfgs))
+	err := par.ForEach(workers, len(cfgs), func(i int) error {
+		r, err := Run(cfgs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	return out, err
+}

@@ -13,6 +13,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/units"
 )
@@ -269,8 +270,17 @@ func (c *Collector) Report() Report {
 	if c.simTime > 0 {
 		r.Throughput = float64(c.completed) / float64(c.simTime)
 	}
+	// Accumulate in sorted key order: map iteration order is randomized
+	// and would perturb the floating-point sum's low bits from run to run,
+	// breaking the engine's byte-identical-output guarantee.
+	keys := make([]int, 0, len(c.settings))
+	for s := range c.settings {
+		keys = append(keys, s)
+	}
+	sort.Ints(keys)
 	var wsum, wtot float64
-	for s, d := range c.settings {
+	for _, s := range keys {
+		d := c.settings[s]
 		wsum += float64(s) * float64(d)
 		wtot += float64(d)
 	}
