@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race bench bench-json vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep (figures + substrate), human-readable.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Substrate benchmark snapshot (ThermalStepCoarse/PaperResolution incl.
+# the CG reference, SteadyState, SimTick) as BENCH_<date>.json — the
+# per-PR performance trajectory artifact CI archives.
+bench-json:
+	$(GO) run ./cmd/benchjson

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/arma"
+	"repro/internal/benchutil"
 	"repro/internal/controller"
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
@@ -269,65 +270,30 @@ func BenchmarkAblationWeighting(b *testing.B) {
 
 // --- Substrate micro-benchmarks ---------------------------------------------
 
-func benchModel(b *testing.B, nx, ny int) *rcnet.Model {
-	b.Helper()
-	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(nx, ny))
-	if err != nil {
-		b.Fatal(err)
-	}
-	m, err := rcnet.New(g, rcnet.DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	for li, layer := range g.Stack.Layers {
-		p := make([]float64, len(layer.Blocks))
-		for bi, blk := range layer.Blocks {
-			if blk.Kind == floorplan.KindCore {
-				p[bi] = 3
-			} else {
-				p[bi] = 1
-			}
-		}
-		if err := m.SetLayerPower(li, p); err != nil {
-			b.Fatal(err)
-		}
-	}
-	if err := m.SetFlow(0.5); err != nil {
-		b.Fatal(err)
-	}
-	return m
-}
+// The substrate benchmark bodies live in internal/benchutil, shared with
+// cmd/benchjson so `go test -bench` and the BENCH_<date>.json snapshots
+// always measure the identical regime (same model setup, same warm-up
+// tick, same varying-power step loop).
 
 func BenchmarkThermalStepCoarse(b *testing.B) {
-	m := benchModel(b, 23, 20)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := m.Step(0.1); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchutil.ThermalStep(23, 20, rcnet.SolverAuto)(b)
 }
 
 func BenchmarkThermalStepPaperResolution(b *testing.B) {
 	// The paper's 100 µm grid: 115×100 cells per slab, 5 slabs.
-	m := benchModel(b, 115, 100)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := m.Step(0.1); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchutil.ThermalStep(115, 100, rcnet.SolverAuto)(b)
+}
+
+// BenchmarkThermalStepPaperResolutionCG is the iterative-solver reference
+// for BenchmarkThermalStepPaperResolution: the same per-tick loop on the
+// PR 1 CG (SSOR) path, for tracking the direct-vs-iterative gap in the
+// BENCH_*.json trajectory.
+func BenchmarkThermalStepPaperResolutionCG(b *testing.B) {
+	benchutil.ThermalStep(115, 100, rcnet.SolverCG)(b)
 }
 
 func BenchmarkSteadyState(b *testing.B) {
-	m := benchModel(b, 23, 20)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.SetUniformTemp(units.Celsius(60).ToKelvin())
-		if err := m.SteadyState(); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchutil.SteadyState(b)
 }
 
 func BenchmarkLUTBuild(b *testing.B) {
@@ -395,23 +361,5 @@ func BenchmarkControllerDecide(b *testing.B) {
 }
 
 func BenchmarkSimTick(b *testing.B) {
-	bench, err := workload.ByName("Web-med")
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg := sim.DefaultConfig()
-	cfg.Bench = bench
-	cfg.Duration = 1e9 // stepped manually
-	cfg.Warmup = 0
-	cfg.GridNX, cfg.GridNY = 23, 20
-	s, err := sim.New(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := s.Step(); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchutil.SimTick(b)
 }

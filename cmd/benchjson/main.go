@@ -1,0 +1,104 @@
+// Command benchjson runs the substrate micro-benchmarks (the thermal hot
+// paths that dominate every figure and table run) with memory statistics
+// and writes a machine-readable BENCH_<date>.json snapshot, so the
+// per-PR performance trajectory can be tracked and archived by CI.
+//
+// Usage:
+//
+//	benchjson            # writes BENCH_<yyyy-mm-dd>.json in the cwd
+//	benchjson -o out.json
+//
+// The benchmark bodies are the ones bench_test.go runs (shared through
+// internal/benchutil): ThermalStepCoarse, ThermalStepPaperResolution plus
+// its CG reference, SteadyState and SimTick — per-tick loops with varying
+// power, the regime real runs are in, with model construction and the
+// first factorizing tick as setup so op times measure the steady
+// cached-factor path.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchutil"
+	"repro/internal/rcnet"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MsPerOp     float64 `json:"ms_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the emitted file layout.
+type Snapshot struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default BENCH_<yyyy-mm-dd>.json)")
+	flag.Parse()
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"ThermalStepCoarse", benchutil.ThermalStep(23, 20, rcnet.SolverAuto)},
+		{"ThermalStepPaperResolution", benchutil.ThermalStep(115, 100, rcnet.SolverAuto)},
+		{"ThermalStepPaperResolutionCG", benchutil.ThermalStep(115, 100, rcnet.SolverCG)},
+		{"SteadyState", benchutil.SteadyState},
+		{"SimTick", benchutil.SimTick},
+	}
+
+	snap := Snapshot{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, bench := range benches {
+		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", bench.name)
+		r := testing.Benchmark(bench.fn)
+		snap.Benchmarks = append(snap.Benchmarks, Result{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			MsPerOp:     float64(r.NsPerOp()) / 1e6,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "benchjson: %s %d ops, %.3f ms/op, %d B/op, %d allocs/op\n",
+			bench.name, r.N, float64(r.NsPerOp())/1e6, r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", snap.Date)
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(path)
+}

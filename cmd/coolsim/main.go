@@ -33,6 +33,8 @@ func main() {
 	flag.BoolVar(&sc.DPM, "dpm", sc.DPM, "enable fixed-timeout dynamic power management")
 	flag.IntVar(&sc.GridNX, "nx", 23, "thermal grid cells in x")
 	flag.IntVar(&sc.GridNY, "ny", 20, "thermal grid cells in y")
+	flag.StringVar(&sc.Solver, "solver", "auto",
+		"thermal linear solver: auto (cached LDLT direct, CG fallback)|direct|cg")
 	trace := flag.String("trace", "", "write a per-tick CSV trace to this file (single workload only)")
 	workers := flag.Int("workers", 0, "worker goroutines for a multi-workload batch (0 = NumCPU)")
 	flag.Parse()

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/rcnet"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write machine-readable CSV files into this directory")
 		workers = flag.Int("workers", 0,
 			"scenario-level worker goroutines (0 = NumCPU); output is byte-identical for any value")
+		solver = flag.String("solver", "auto",
+			"thermal linear solver: auto (cached LDLT direct, CG fallback)|direct|cg")
 	)
 	flag.Parse()
 
@@ -36,6 +39,12 @@ func main() {
 		opt = experiments.QuickOptions()
 	}
 	opt.Workers = *workers
+	sk, err := rcnet.ParseSolver(*solver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	opt.Solver = sk
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

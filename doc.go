@@ -8,7 +8,13 @@
 //
 // See README.md for the build/test/bench quickstart, the layout, the
 // parallel experiment engine (the -workers flag on cmd/repro and
-// cmd/coolsim, experiments.Options.Workers, sim.RunAll) and the
-// allocation-free solver fast path. The benchmark harness in
-// bench_test.go regenerates every table and figure.
+// cmd/coolsim, experiments.Options.Workers, sim.RunAll) and the thermal
+// solver: a cached sparse LDLᵀ direct factorization (symbolic analysis
+// once per model, numeric factors cached per flow setting and time step,
+// two allocation-free triangular sweeps per tick) with preconditioned CG
+// as the selectable cross-check and automatic fallback (-solver,
+// rcnet.Config.Solver). EXPERIMENTS.md documents the experiment knobs and
+// calibration; cmd/benchjson snapshots the substrate benchmarks to
+// BENCH_<date>.json per PR. The benchmark harness in bench_test.go
+// regenerates every table and figure.
 package repro

@@ -1,0 +1,140 @@
+// Package benchutil holds the substrate benchmark bodies shared by the
+// go-test harness (bench_test.go) and the JSON snapshot tool
+// (cmd/benchjson), so the two always measure the identical regime: the
+// same model setup, the same warm-up, the same varying-power tick loop.
+package benchutil
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/grid"
+	"repro/internal/rcnet"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// StepModel builds the benchmark thermal model: the 2-layer liquid T1
+// stack at nx×ny with full-load block powers and mid (0.5 l/min) flow,
+// warmed by one tick so the timed loop measures the steady per-tick path
+// — with the default direct solver the first Step pays the one-time
+// symbolic analysis and factorization that every later tick reuses from
+// the (flow, dt) cache.
+func StepModel(nx, ny int, solver rcnet.SolverKind) (*rcnet.Model, error) {
+	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(nx, ny))
+	if err != nil {
+		return nil, err
+	}
+	cfg := rcnet.DefaultConfig()
+	cfg.Solver = solver
+	m, err := rcnet.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for li, layer := range g.Stack.Layers {
+		p := make([]float64, len(layer.Blocks))
+		for bi, blk := range layer.Blocks {
+			if blk.Kind == floorplan.KindCore {
+				p[bi] = 3
+			} else {
+				p[bi] = 1
+			}
+		}
+		if err := m.SetLayerPower(li, p); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.SetFlow(0.5); err != nil {
+		return nil, err
+	}
+	if err := m.Step(0.1); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// StepLoop is the timed per-tick loop with a per-tick power update, the
+// regime every real simulation run is in. (With constant power the
+// temperature field settles and the warm-started CG reference converges
+// in a couple of iterations — a flattering, unrepresentative special
+// case; varying power is what the 100 ms tick loop actually does.)
+func StepLoop(b *testing.B, m *rcnet.Model) {
+	b.Helper()
+	layers := m.Grid.Stack.Layers
+	power := make([][]float64, len(layers))
+	for li, layer := range layers {
+		power[li] = make([]float64, len(layer.Blocks))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scale := 0.5 + 0.5*float64(i%10)/10
+		for li, layer := range layers {
+			for bi, blk := range layer.Blocks {
+				if blk.Kind == floorplan.KindCore {
+					power[li][bi] = 3 * scale
+				} else {
+					power[li][bi] = 1 * scale
+				}
+			}
+			if err := m.SetLayerPower(li, power[li]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := m.Step(0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ThermalStep returns the varying-power per-tick benchmark at one grid
+// resolution and solver.
+func ThermalStep(nx, ny int, solver rcnet.SolverKind) func(b *testing.B) {
+	return func(b *testing.B) {
+		m, err := StepModel(nx, ny, solver)
+		if err != nil {
+			b.Fatal(err)
+		}
+		StepLoop(b, m)
+	}
+}
+
+// SteadyState benchmarks the steady-state fixed point on the coarse grid,
+// re-converging from a uniform 60 °C field each iteration.
+func SteadyState(b *testing.B) {
+	m, err := StepModel(23, 20, rcnet.SolverAuto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SetUniformTemp(units.Celsius(60).ToKelvin())
+		if err := m.SteadyState(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SimTick benchmarks one full simulator tick (workload, scheduling, DPM,
+// power, flow control, thermal step, metrics) on the coarse grid.
+func SimTick(b *testing.B) {
+	bench, err := workload.ByName("Web-med")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Bench = bench
+	cfg.Duration = 1e9 // stepped manually
+	cfg.Warmup = 0
+	cfg.GridNX, cfg.GridNY = 23, 20
+	s, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

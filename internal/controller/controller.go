@@ -60,6 +60,12 @@ func DefaultLadder() []float64 {
 // fullLoad is the per-layer per-block reference power map (typically the
 // stack's full-utilization power including leakage at the target
 // temperature); ladder scales it.
+//
+// The sweep leans on the model's factorization cache: the steady-state
+// system matrix depends only on the pump setting, so with the default
+// direct solver each of the pump.NumSettings settings is factored exactly
+// once and all len(ladder) power points at that setting (and their inner
+// fixed-point iterations) reuse the cached factors.
 func BuildLUT(m *rcnet.Model, pm *pump.Pump, fullLoad [][]float64, target units.Celsius, ladder []float64) (*LUT, error) {
 	if len(ladder) < 2 {
 		return nil, fmt.Errorf("controller: ladder needs ≥2 points")

@@ -54,6 +54,17 @@ func buildLUT(t *testing.T) (*LUT, *rcnet.Model, *pump.Pump) {
 	return lut, m, pm
 }
 
+// TestBuildLUTFactorsOncePerSetting pins the sweep's use of the thermal
+// model's factorization cache: 5 pump settings × 15 ladder points of
+// steady-state solves must factor the system exactly once per setting.
+func TestBuildLUTFactorsOncePerSetting(t *testing.T) {
+	_, m, _ := buildLUT(t)
+	if got := m.Factorizations(); got != pump.NumSettings {
+		t.Errorf("BuildLUT performed %d factorizations, want %d (one per pump setting)",
+			got, pump.NumSettings)
+	}
+}
+
 func TestBuildLUTValidation(t *testing.T) {
 	_, m, pm := buildLUT(t)
 	fl := fullLoadMap(m.Grid.Stack)

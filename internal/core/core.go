@@ -84,6 +84,9 @@ type Scenario struct {
 	DPM bool
 	// GridNX, GridNY default to 23×20 when zero.
 	GridNX, GridNY int
+	// Solver selects the thermal linear solver: "auto" (default, cached
+	// LDLᵀ direct with CG fallback), "direct", or "cg".
+	Solver string
 }
 
 // DefaultScenario is a 2-layer TALB(Var) run of Web-med.
@@ -212,6 +215,11 @@ func (sc Scenario) simConfig() (sim.Config, error) {
 		cfg.GridNX, cfg.GridNY = sc.GridNX, sc.GridNY
 	}
 	cfg.DPMEnabled = sc.DPM
+	solver, err := rcnet.ParseSolver(sc.Solver)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.Solver = solver
 	return cfg, nil
 }
 

@@ -40,6 +40,11 @@ type Options struct {
 	// collected in input order, so tables, figures and CSV output are
 	// byte-identical for every worker count.
 	Workers int
+	// Solver selects the thermal linear solver for every model an
+	// experiment builds (simulation runs and LUT/weight analyses). The
+	// zero value rcnet.SolverAuto is the cached-LDLᵀ direct solver;
+	// rcnet.SolverCG reproduces the iterative path as a cross-check.
+	Solver rcnet.SolverKind
 }
 
 // DefaultOptions reproduces the figures at full fidelity (minutes of CPU).
@@ -106,7 +111,9 @@ func (o Options) modelFor(layers int, liquid bool) (*rcnet.Model, *pump.Pump, er
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := rcnet.New(g, rcnet.DefaultConfig())
+	rcCfg := rcnet.DefaultConfig()
+	rcCfg.Solver = o.Solver
+	m, err := rcnet.New(g, rcCfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -225,6 +232,7 @@ func (o Options) run(t *tables, layers int, combo Combo,
 	cfg.Warmup = o.Warmup
 	cfg.GridNX, cfg.GridNY = o.GridNX, o.GridNY
 	cfg.DPMEnabled = dpmOn
+	cfg.Solver = o.Solver
 	if combo.Cooling == sim.LiquidVar {
 		lut, err := o.lutFor(t, layers)
 		if err != nil {

@@ -50,6 +50,7 @@ func InletSweep(o Options, bench string, inletsC []float64) ([]InletSweepRow, er
 		inlet := inletsC[ii]
 		rcCfg := rcnet.DefaultConfig()
 		rcCfg.CoolantInlet = units.Celsius(inlet).ToKelvin()
+		rcCfg.Solver = o.Solver
 
 		// Feasibility + LUT from the steady-state sweep.
 		stack, err := o.stackFor(2, true)

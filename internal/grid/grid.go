@@ -334,6 +334,13 @@ func (g *Grid) CavitySlabs() []int {
 // power map aligned with slab cell indexing. The result of layer li has
 // length NumCells().
 func (g *Grid) SpreadBlockPower(li int, blockPower []float64) ([]float64, error) {
+	return g.SpreadBlockPowerInto(li, blockPower, nil)
+}
+
+// SpreadBlockPowerInto is SpreadBlockPower writing into dst (length
+// NumCells()) so per-tick power updates need not allocate; dst may be nil
+// to allocate.
+func (g *Grid) SpreadBlockPowerInto(li int, blockPower, dst []float64) ([]float64, error) {
 	if li < 0 || li >= len(g.BlockCells) {
 		return nil, fmt.Errorf("grid: layer %d out of range", li)
 	}
@@ -341,7 +348,17 @@ func (g *Grid) SpreadBlockPower(li int, blockPower []float64) ([]float64, error)
 		return nil, fmt.Errorf("grid: layer %d has %d blocks, got %d powers",
 			li, len(g.Stack.Layers[li].Blocks), len(blockPower))
 	}
-	out := make([]float64, g.NumCells())
+	out := dst
+	if out == nil {
+		out = make([]float64, g.NumCells())
+	} else {
+		if len(out) != g.NumCells() {
+			return nil, fmt.Errorf("grid: dst length %d, want %d cells", len(out), g.NumCells())
+		}
+		for i := range out {
+			out[i] = 0
+		}
+	}
 	for bi, cells := range g.BlockCells[li] {
 		if len(cells) == 0 {
 			if blockPower[bi] != 0 {

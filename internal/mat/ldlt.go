@@ -1,0 +1,260 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotPositiveDefinite is returned by Factorize when a pivot is not
+// strictly positive — the input is not SPD and the factorization (valid
+// only for the positive definite RC-network systems this package targets)
+// cannot continue.
+var ErrNotPositiveDefinite = errors.New("mat: matrix not positive definite")
+
+// LDLSymbolic is the reusable symbolic analysis of a sparse LDLᵀ
+// factorization: the fill-reducing permutation, the elimination tree and
+// the fill pattern of L, all of which depend only on the sparsity
+// structure. One analysis serves every numeric factorization of matrices
+// sharing that structure (the thermal solver re-factors the same Laplacian
+// whenever the coolant flow setting or the time step changes).
+//
+// A symbolic object carries the scratch buffers of Factorize and Solve, so
+// neither allocates; consequently it must not be used from more than one
+// goroutine at a time.
+type LDLSymbolic struct {
+	n    int
+	nnzA int // stored entries of the analyzed matrix (structure check)
+
+	perm []int // perm[k] = original index of the node eliminated k-th
+	pinv []int // pinv[perm[k]] = k
+
+	// Upper triangle of the permuted matrix PAPᵀ in compressed-column
+	// form: column k holds rows i ≤ k. csrc maps each entry to its index
+	// in the Val array of the original CSR, so numeric factorization
+	// reads fresh values without re-permuting the matrix.
+	cp, ci, csrc []int
+
+	parent []int   // elimination tree
+	lp     []int   // column pointers of L (len n+1)
+	li     []int32 // row indices of L (len nnz(L)); rewritten per Factorize
+	// (int32 halves the index traffic of the two solve sweeps, the
+	// per-tick hot path; 2³¹ nodes is far beyond any grid here)
+
+	// Scratch.
+	y       []float64
+	pattern []int
+	flag    []int
+	lnz     []int
+	w       []float64 // Solve permuted work vector
+}
+
+// LDLNumeric holds the numeric factors of one matrix: PAPᵀ = L·D·Lᵀ with
+// unit lower-triangular L (pattern in the shared LDLSymbolic) and positive
+// diagonal D.
+type LDLNumeric struct {
+	s    *LDLSymbolic
+	lx   []float64
+	d    []float64
+	invd []float64
+}
+
+// N returns the system dimension.
+func (s *LDLSymbolic) N() int { return s.n }
+
+// NNZL returns the stored entry count of the L factor (fill diagnostics;
+// excludes the unit diagonal and D).
+func (s *LDLSymbolic) NNZL() int { return s.lp[s.n] }
+
+// AnalyzeLDL performs the symbolic analysis of a: it computes the
+// fill-reducing ordering, the elimination tree of the permuted matrix and
+// the exact per-column fill counts, and allocates the pattern of L. The
+// matrix must be structurally symmetric with a full diagonal (the
+// assembled RC Laplacians are); SPD-ness itself is only detected during
+// Factorize.
+func AnalyzeLDL(a *CSR, ord Ordering) (*LDLSymbolic, error) {
+	n := a.N
+	s := &LDLSymbolic{
+		n:    n,
+		nnzA: a.NNZ(),
+		perm: ord.Permutation(a),
+	}
+	if len(s.perm) != n {
+		return nil, fmt.Errorf("mat: ordering produced %d of %d nodes", len(s.perm), n)
+	}
+	s.pinv = make([]int, n)
+	for k, v := range s.perm {
+		s.pinv[v] = k
+	}
+
+	// Build the upper triangle of PAPᵀ by columns. Each stored symmetric
+	// pair (r,c)/(c,r) contributes exactly one entry (the one whose
+	// permuted row is ≤ its permuted column), the diagonal once.
+	s.cp = make([]int, n+1)
+	for r := 0; r < n; r++ {
+		pr := s.pinv[r]
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			if pc := s.pinv[a.Col[k]]; pr <= pc {
+				s.cp[pc+1]++
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		s.cp[k+1] += s.cp[k]
+	}
+	nnzU := s.cp[n]
+	s.ci = make([]int, nnzU)
+	s.csrc = make([]int, nnzU)
+	next := make([]int, n)
+	copy(next, s.cp[:n])
+	for r := 0; r < n; r++ {
+		pr := s.pinv[r]
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			if pc := s.pinv[a.Col[k]]; pr <= pc {
+				s.ci[next[pc]] = pr
+				s.csrc[next[pc]] = k
+				next[pc]++
+			}
+		}
+	}
+
+	// Elimination tree and exact column counts of L (up-looking symbolic
+	// pass): row k's pattern is the union of the etree paths from the
+	// above-diagonal entries of column k up to k.
+	s.parent = make([]int, n)
+	s.flag = make([]int, n)
+	s.lnz = make([]int, n)
+	for k := 0; k < n; k++ {
+		s.parent[k] = -1
+		s.flag[k] = k
+		for p := s.cp[k]; p < s.cp[k+1]; p++ {
+			for i := s.ci[p]; s.flag[i] != k; i = s.parent[i] {
+				if s.parent[i] < 0 {
+					s.parent[i] = k
+				}
+				s.lnz[i]++
+				s.flag[i] = k
+			}
+		}
+	}
+	s.lp = make([]int, n+1)
+	for k := 0; k < n; k++ {
+		s.lp[k+1] = s.lp[k] + s.lnz[k]
+	}
+	s.li = make([]int32, s.lp[n])
+	s.y = make([]float64, n)
+	s.pattern = make([]int, n)
+	s.w = make([]float64, n)
+	return s, nil
+}
+
+// Factorize computes the numeric LDLᵀ factors of a, which must have
+// exactly the sparsity structure that was analyzed (the thermal solver
+// rewrites values — the diagonal — on the fixed-structure system matrix).
+// f is reused when non-nil (its buffers are overwritten); pass nil to
+// allocate a fresh factor. Returns ErrNotPositiveDefinite (wrapped) when a
+// pivot is ≤ 0.
+func (s *LDLSymbolic) Factorize(a *CSR, f *LDLNumeric) (*LDLNumeric, error) {
+	if a.N != s.n || a.NNZ() != s.nnzA {
+		return nil, fmt.Errorf("mat: Factorize structure mismatch: got %d×%d nnz %d, analyzed %d×%d nnz %d",
+			a.N, a.N, a.NNZ(), s.n, s.n, s.nnzA)
+	}
+	if f == nil || f.s != s {
+		f = &LDLNumeric{
+			s:    s,
+			lx:   make([]float64, s.lp[s.n]),
+			d:    make([]float64, s.n),
+			invd: make([]float64, s.n),
+		}
+	}
+	n := s.n
+	y, pattern, flag, lnz := s.y, s.pattern, s.flag, s.lnz
+	for k := 0; k < n; k++ {
+		// Pattern of row k of L via elimination-tree reach, values of
+		// column k of the permuted upper triangle scattered into y.
+		top := n
+		flag[k] = k
+		lnz[k] = 0
+		for p := s.cp[k]; p < s.cp[k+1]; p++ {
+			i := s.ci[p]
+			y[i] += a.Val[s.csrc[p]]
+			ln := 0
+			for ; flag[i] != k; i = s.parent[i] {
+				pattern[ln] = i
+				ln++
+				flag[i] = k
+			}
+			for ln > 0 {
+				ln--
+				top--
+				pattern[top] = pattern[ln]
+			}
+		}
+		// Sparse triangular solve across the pattern, in elimination
+		// order (the stack holds it topologically sorted).
+		dk := y[k]
+		y[k] = 0
+		for t := top; t < n; t++ {
+			i := pattern[t]
+			yi := y[i]
+			y[i] = 0
+			lki := yi * f.invd[i]
+			p2 := s.lp[i] + lnz[i]
+			for p := s.lp[i]; p < p2; p++ {
+				y[s.li[p]] -= f.lx[p] * yi
+			}
+			s.li[p2] = int32(k)
+			f.lx[p2] = lki
+			lnz[i]++
+			dk -= lki * yi
+		}
+		if dk <= 0 {
+			// Leave y clean for the next attempt.
+			for i := range y {
+				y[i] = 0
+			}
+			return nil, fmt.Errorf("%w: pivot %g at permuted index %d", ErrNotPositiveDefinite, dk, k)
+		}
+		f.d[k] = dk
+		f.invd[k] = 1 / dk
+	}
+	return f, nil
+}
+
+// Solve computes x = A⁻¹·b through the cached factors: permute, one
+// forward sweep through L, the diagonal scaling, one backward sweep
+// through Lᵀ, permute back. x and b must have length N and may alias. It
+// never allocates — this is the per-tick hot path of the transient
+// thermal solver.
+func (f *LDLNumeric) Solve(x, b []float64) {
+	s := f.s
+	n := s.n
+	if len(x) != n || len(b) != n {
+		panic("mat: LDL Solve dimension mismatch")
+	}
+	w := s.w
+	for k := 0; k < n; k++ {
+		w[k] = b[s.perm[k]]
+	}
+	for j := 0; j < n; j++ {
+		wj := w[j]
+		if wj == 0 {
+			continue
+		}
+		for p := s.lp[j]; p < s.lp[j+1]; p++ {
+			w[s.li[p]] -= f.lx[p] * wj
+		}
+	}
+	for j := 0; j < n; j++ {
+		w[j] *= f.invd[j]
+	}
+	for j := n - 1; j >= 0; j-- {
+		wj := w[j]
+		for p := s.lp[j]; p < s.lp[j+1]; p++ {
+			wj -= f.lx[p] * w[s.li[p]]
+		}
+		w[j] = wj
+	}
+	for k := 0; k < n; k++ {
+		x[s.perm[k]] = w[k]
+	}
+}

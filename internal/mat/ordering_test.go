@@ -1,0 +1,126 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkPermutation(t *testing.T, perm []int, n int) {
+	t.Helper()
+	if len(perm) != n {
+		t.Fatalf("permutation has %d entries, want %d", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range perm {
+		if v < 0 || v >= n {
+			t.Fatalf("permutation entry %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("node %d ordered twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestOrderingsAreBijections(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []*CSR{
+		gridLaplacian(1, 1, 1),
+		gridLaplacian(7, 1, 1),
+		gridLaplacian(13, 11, 1),
+		gridLaplacian(40, 30, 1),
+		randSPD(50, 2, rng),
+	}
+	// A disconnected pattern: two independent grids.
+	{
+		g := gridLaplacian(6, 5, 1)
+		b := NewBuilder(2 * g.N)
+		for r := 0; r < g.N; r++ {
+			for k := g.RowPtr[r]; k < g.RowPtr[r+1]; k++ {
+				b.Add(r, g.Col[k], g.Val[k])
+				b.Add(r+g.N, g.Col[k]+g.N, g.Val[k])
+			}
+		}
+		cases = append(cases, b.Build())
+	}
+	for ci, a := range cases {
+		for _, ord := range []Ordering{OrderNatural, OrderRCM, OrderND, OrderAuto} {
+			perm := ord.Permutation(a)
+			checkPermutation(t, perm, a.N)
+			_ = ci
+		}
+	}
+}
+
+func TestOrderingDeterministic(t *testing.T) {
+	a := gridLaplacian(25, 20, 1)
+	for _, ord := range []Ordering{OrderRCM, OrderND} {
+		p1 := ord.Permutation(a)
+		p2 := ord.Permutation(a)
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("%d: ordering not deterministic at %d", ord, i)
+			}
+		}
+	}
+}
+
+// TestRCMReducesBandwidth checks RCM does its job on a long thin grid
+// assembled in an adversarial (column-major) node order.
+func TestRCMReducesBandwidth(t *testing.T) {
+	nx, ny := 60, 4
+	n := nx * ny
+	b := NewBuilder(n)
+	id := func(x, y int) int { return x*ny + y } // column-major: bandwidth ny·...
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			b.Add(id(x, y), id(x, y), 4)
+			if x+1 < nx {
+				b.Add(id(x, y), id(x+1, y), -1)
+				b.Add(id(x+1, y), id(x, y), -1)
+			}
+			if y+1 < ny {
+				b.Add(id(x, y), id(x, y+1), -1)
+				b.Add(id(x, y+1), id(x, y), -1)
+			}
+		}
+	}
+	a := b.Build()
+	bandwidth := func(perm []int) int {
+		pinv := make([]int, n)
+		for k, v := range perm {
+			pinv[v] = k
+		}
+		bw := 0
+		for r := 0; r < n; r++ {
+			for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+				if d := pinv[r] - pinv[a.Col[k]]; d > bw {
+					bw = d
+				}
+			}
+		}
+		return bw
+	}
+	rcm := bandwidth(OrderRCM.Permutation(a))
+	if rcm > 2*ny {
+		t.Errorf("RCM bandwidth %d, want ≤ %d on a %d×%d grid", rcm, 2*ny, nx, ny)
+	}
+}
+
+// TestNDFillBeatsNatural compares nnz(L) on a square grid — nested
+// dissection must produce meaningfully less fill than the natural order.
+func TestNDFillBeatsNatural(t *testing.T) {
+	a := gridLaplacian(48, 48, 1)
+	fill := func(ord Ordering) int {
+		s, err := AnalyzeLDL(a, ord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.NNZL()
+	}
+	nat, nd := fill(OrderNatural), fill(OrderND)
+	if nd >= nat {
+		t.Errorf("ND fill %d not below natural fill %d", nd, nat)
+	}
+	t.Logf("fill on 48×48 grid: natural %d, RCM %d, ND %d", nat, fill(OrderRCM), nd)
+}

@@ -1,0 +1,138 @@
+package rcnet
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// SolverKind selects how the linear systems of Step and SteadyState are
+// solved.
+type SolverKind int
+
+const (
+	// SolverAuto (the default) uses the cached sparse LDLᵀ direct solver
+	// and falls back to preconditioned CG if a factorization ever fails
+	// (e.g. a degenerate configuration breaks positive definiteness).
+	SolverAuto SolverKind = iota
+	// SolverDirect forces the LDLᵀ path; factorization failure is a hard
+	// error instead of a fallback.
+	SolverDirect
+	// SolverCG forces preconditioned conjugate gradient (the pre-direct
+	// behavior), kept as a cross-check and for configurations whose
+	// matrix changes every solve.
+	SolverCG
+)
+
+// String implements fmt.Stringer.
+func (k SolverKind) String() string {
+	switch k {
+	case SolverAuto:
+		return "auto"
+	case SolverDirect:
+		return "direct"
+	case SolverCG:
+		return "cg"
+	default:
+		return fmt.Sprintf("SolverKind(%d)", int(k))
+	}
+}
+
+// ParseSolver maps a CLI string to a SolverKind.
+func ParseSolver(s string) (SolverKind, error) {
+	switch s {
+	case "", "auto":
+		return SolverAuto, nil
+	case "direct", "ldlt":
+		return SolverDirect, nil
+	case "cg", "iterative":
+		return SolverCG, nil
+	default:
+		return 0, fmt.Errorf("rcnet: unknown solver %q (want auto|direct|cg)", s)
+	}
+}
+
+// factorKey identifies one system matrix: the backward-Euler matrix
+// A = G + diag(boundG) + diag(C/dt) depends only on the flow setting
+// (through the convective boundary conductances) and on dt (0 for steady
+// state). Power and coolant-temperature updates only touch the RHS, so a
+// controller stepping through its discrete pump ladder revisits a handful
+// of keys and never re-factors.
+type factorKey struct {
+	flow float64
+	dt   float64
+}
+
+// maxCachedFactors bounds the per-model factor cache. The working set is
+// one key per (pump setting, tick dt) plus the steady-state dt=0 keys of a
+// LUT sweep — pump.NumSettings plus a few; 16 leaves slack for mixed
+// transient/steady use. Eviction is FIFO and the evicted numeric buffer is
+// recycled into the replacement factorization.
+const maxCachedFactors = 16
+
+// solveDirect attempts the cached-factorization direct solve of the
+// current system (m.sys, m.rhs) into m.temp. It reports whether the solve
+// happened; (false, nil) means the caller should run the CG fallback. The
+// symbolic analysis is done once per model (the sparsity never changes);
+// numeric factors are cached per (flow, dt) key, so the per-tick cost
+// after the first solve of a key is two triangular sweeps — and zero
+// allocations.
+func (m *Model) solveDirect(dt float64) (bool, error) {
+	if m.Cfg.Solver == SolverCG {
+		return false, nil
+	}
+	key := factorKey{float64(m.flow), dt}
+	if num, ok := m.factors[key]; ok {
+		if num == nil {
+			return false, nil // factorization failed before; stay on CG
+		}
+		num.Solve(m.temp, m.rhs)
+		return true, nil
+	}
+	if m.symb == nil {
+		s, err := mat.AnalyzeLDL(m.sys, mat.OrderAuto)
+		if err != nil {
+			return m.factorFailed(key, err)
+		}
+		m.symb = s
+	}
+	var reuse *mat.LDLNumeric
+	if len(m.factorSeq) >= maxCachedFactors {
+		oldest := m.factorSeq[0]
+		m.factorSeq = m.factorSeq[1:]
+		reuse = m.factors[oldest]
+		delete(m.factors, oldest)
+	}
+	num, err := m.symb.Factorize(m.sys, reuse)
+	if err != nil {
+		return m.factorFailed(key, err)
+	}
+	m.factors[key] = num
+	m.factorSeq = append(m.factorSeq, key)
+	m.nFactor++
+	num.Solve(m.temp, m.rhs)
+	return true, nil
+}
+
+// factorFailed records a failed factorization. Under SolverDirect the
+// error is surfaced; under SolverAuto the key is cached as broken so every
+// later solve of this configuration goes straight to CG.
+func (m *Model) factorFailed(key factorKey, err error) (bool, error) {
+	if m.Cfg.Solver == SolverDirect {
+		return false, err
+	}
+	if _, ok := m.factors[key]; !ok {
+		m.factors[key] = nil
+		m.factorSeq = append(m.factorSeq, key)
+	}
+	return false, nil
+}
+
+// Factorizations returns how many numeric LDLᵀ factorizations this model
+// has performed — diagnostics for the factor cache: it grows only when a
+// (flow setting, dt) combination is solved for the first time (or after
+// eviction), never on repeated ticks or same-value SetFlow calls.
+func (m *Model) Factorizations() int { return m.nFactor }
+
+// CachedFactors returns the number of live entries in the factor cache.
+func (m *Model) CachedFactors() int { return len(m.factors) }

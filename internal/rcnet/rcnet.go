@@ -13,10 +13,16 @@
 //
 // The network is solved with backward-Euler time stepping (unconditionally
 // stable for the stiff RC systems that 0.4 mm cavities against 100 ms ticks
-// produce) via preconditioned conjugate gradient (SSOR by default, Jacobi
-// optional) with reusable scratch so the per-tick solve is allocation-free;
-// steady states are fixed-point iterations between the conduction solve and
-// the coolant march.
+// produce). The default linear solver is a cached sparse LDLᵀ direct
+// factorization: the system matrix depends only on the pump's flow setting
+// and the time step, so it is analyzed symbolically once (fill-reducing
+// nested-dissection or RCM ordering), factored numerically the first time
+// each (flow, dt) combination is solved, and every subsequent tick costs
+// just two triangular sweeps — allocation-free. Preconditioned conjugate
+// gradient (SSOR by default, Jacobi optional) remains available as a
+// cross-check (Config.Solver) and as the automatic fallback; steady states
+// are fixed-point iterations between the conduction solve and the coolant
+// march.
 package rcnet
 
 import (
@@ -58,6 +64,11 @@ type Config struct {
 	// iteration count at about one extra matvec per iteration — ~30%
 	// faster per Step on the paper-resolution grid.
 	Precond mat.Preconditioner
+	// Solver selects the linear solver: the zero value SolverAuto uses
+	// the cached sparse LDLᵀ direct solver (factor once per flow setting
+	// and dt, two triangular sweeps per tick) with CG as the fallback;
+	// SolverCG forces the iterative path.
+	Solver SolverKind
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -71,6 +82,7 @@ func DefaultConfig() Config {
 		InitTemp:              units.Celsius(60).ToKelvin(),
 		SolverTol:             1e-8,
 		Precond:               mat.PrecondSSOR,
+		Solver:                SolverAuto,
 	}
 }
 
@@ -99,11 +111,34 @@ type Model struct {
 	// cavity (uniform across cavities and rows under homogenization).
 	channelsPerRow float64
 
+	// Flow-dependent coolant-march coefficients, refreshed by SetFlow so
+	// marchCoolant runs exp-free every tick: rowCap is the per-row
+	// transport capacity ρ·c·V̇·channels, decay[i] = exp(−gᵢ/rowCap) and
+	// invRatio[i] = rowCap/gᵢ for every convective cell i.
+	rowCap   float64
+	decay    []float64
+	invRatio []float64
+
+	// totalPower caches the sum over heat, invalidated by SetLayerPower
+	// (SteadyState reads it every outer iteration).
+	totalPower   float64
+	totalPowerOK bool
+
+	// spread is the reusable SetLayerPower cell buffer.
+	spread []float64
+
 	sys      *mat.CSR
 	rhs, old []float64
 	sysDiag  []int           // position of each row's diagonal entry in sys.Val
 	ws       mat.CGWorkspace // CG scratch, reused across Step/SteadyState
 	ssPrev   []float64       // SteadyState fixed-point scratch
+
+	// Direct-solver state: one symbolic analysis per model (the sparsity
+	// is fixed at assembly), numeric factors cached per (flow, dt) key.
+	symb      *mat.LDLSymbolic
+	factors   map[factorKey]*mat.LDLNumeric
+	factorSeq []factorKey // insertion order, for FIFO eviction
+	nFactor   int         // numeric factorizations performed (diagnostics)
 }
 
 // New builds the thermal network for g.
@@ -123,8 +158,11 @@ func New(g *grid.Grid, cfg Config) (*Model, error) {
 	m.heat = make([]float64, m.n)
 	m.temp = make([]float64, m.n)
 	m.convG = make([]float64, m.n)
+	m.decay = make([]float64, m.n)
+	m.invRatio = make([]float64, m.n)
 	m.rhs = make([]float64, m.n)
 	m.old = make([]float64, m.n)
+	m.factors = make(map[factorKey]*mat.LDLNumeric)
 	for i := range m.temp {
 		m.temp[i] = float64(cfg.InitTemp)
 	}
@@ -310,12 +348,22 @@ func (m *Model) SetFlow(perCavity units.LitersPerMinute) error {
 		return err
 	}
 	m.perChan = v
+	m.rowCap = 0
+	if v > 0 {
+		m.rowCap = microchannel.CoolantDensity * microchannel.CoolantHeatCapacity *
+			float64(v) * m.channelsPerRow
+	}
 	for node, gc := range m.convG {
 		if gc == 0 {
 			continue
 		}
 		if perCavity > 0 {
 			m.boundG[node] = gc
+			// Per-cell march coefficients (see marchCoolant): they only
+			// change with the flow, so the per-tick march stays exp-free.
+			ratio := gc / m.rowCap
+			m.decay[node] = math.Exp(-ratio)
+			m.invRatio[node] = 1 / ratio
 		} else {
 			m.boundG[node] = 0
 		}
@@ -327,9 +375,13 @@ func (m *Model) SetFlow(perCavity units.LitersPerMinute) error {
 func (m *Model) Flow() units.LitersPerMinute { return m.flow }
 
 // SetLayerPower installs per-block power (W) for stack layer li, spread
-// uniformly over each block's cells.
+// uniformly over each block's cells. It reuses a model-owned spread buffer
+// so per-tick power updates are allocation-free.
 func (m *Model) SetLayerPower(li int, blockPower []float64) error {
-	cells, err := m.Grid.SpreadBlockPower(li, blockPower)
+	if m.spread == nil {
+		m.spread = make([]float64, m.Grid.NumCells())
+	}
+	cells, err := m.Grid.SpreadBlockPowerInto(li, blockPower, m.spread)
 	if err != nil {
 		return err
 	}
@@ -338,16 +390,23 @@ func (m *Model) SetLayerPower(li int, blockPower []float64) error {
 	for i, p := range cells {
 		m.heat[off+i] = p
 	}
+	m.totalPowerOK = false
 	return nil
 }
 
-// TotalPower returns the currently injected power.
+// TotalPower returns the currently injected power. The sum is cached and
+// invalidated by SetLayerPower (SteadyState's fixed point reads it every
+// outer iteration).
 func (m *Model) TotalPower() units.Watt {
-	s := 0.0
-	for _, p := range m.heat {
-		s += p
+	if !m.totalPowerOK {
+		s := 0.0
+		for _, p := range m.heat {
+			s += p
+		}
+		m.totalPower = s
+		m.totalPowerOK = true
 	}
-	return units.Watt(s)
+	return units.Watt(m.totalPower)
 }
 
 // marchCoolant updates the boundary temperatures of all cavity cells by
@@ -361,8 +420,6 @@ func (m *Model) marchCoolant(relax float64) {
 	if !g.Stack.LiquidCooled || m.perChan <= 0 {
 		return
 	}
-	rowCap := microchannel.CoolantDensity * microchannel.CoolantHeatCapacity *
-		float64(m.perChan) * m.channelsPerRow
 	inlet := float64(m.Cfg.CoolantInlet)
 	for _, ci := range g.CavitySlabs() {
 		off := ci * g.NumCells()
@@ -370,8 +427,7 @@ func (m *Model) marchCoolant(relax float64) {
 			tf := inlet
 			for ix := 0; ix < g.NX; ix++ {
 				node := off + iy*g.NX + ix
-				gc := m.boundG[node]
-				if gc == 0 {
+				if m.convG[node] == 0 {
 					continue
 				}
 				// Exact segment integration for constant wall
@@ -382,13 +438,14 @@ func (m *Model) marchCoolant(relax float64) {
 				// saturates (g ≫ c at very low flows). The boundary
 				// node sees the energy-consistent mean fluid
 				// temperature Tw − c·(Tf,out − Tf,in)/g... expressed
-				// via the log-mean form below.
+				// via the log-mean form below. The per-cell e^(−g/c)
+				// and c/g coefficients depend only on the flow, so
+				// SetFlow precomputes them (decay, invRatio) and the
+				// per-tick march is exp-free.
 				tw := m.temp[node]
-				ratio := gc / rowCap
-				decay := math.Exp(-ratio)
-				tfOut := tw + (tf-tw)*decay
+				tfOut := tw + (tf-tw)*m.decay[node]
 				// Mean such that gc·(Tw − mean) = rowCap·(tfOut − tf).
-				mean := tw - (tfOut-tf)/ratio
+				mean := tw - (tfOut-tf)*m.invRatio[node]
 				m.boundT[node] += relax * (mean - m.boundT[node])
 				tf = tfOut
 			}
@@ -417,7 +474,10 @@ func (m *Model) buildSystem(dt float64) {
 
 // Step advances the transient solution by dt seconds with backward Euler,
 // marching the coolant once per step (the paper re-computes flux-dependent
-// terms periodically rather than continuously).
+// terms periodically rather than continuously). With the default direct
+// solver the first Step after a new (flow setting, dt) combination factors
+// the system once; every later tick reuses the cached factors and performs
+// just two triangular sweeps, allocation-free.
 func (m *Model) Step(dt units.Second) error {
 	if dt <= 0 {
 		return fmt.Errorf("rcnet: non-positive dt %v", dt)
@@ -425,6 +485,11 @@ func (m *Model) Step(dt units.Second) error {
 	m.marchCoolant(1)
 	copy(m.old, m.temp)
 	m.buildSystem(float64(dt))
+	if done, err := m.solveDirect(float64(dt)); err != nil {
+		return fmt.Errorf("rcnet: transient solve: %w", err)
+	} else if done {
+		return nil
+	}
 	_, err := m.ws.Solve(m.sys, m.temp, m.rhs,
 		mat.CGOptions{Tol: m.Cfg.SolverTol, Precond: m.Cfg.Precond})
 	if err != nil {
@@ -439,7 +504,7 @@ func (m *Model) SteadyState() error {
 	if m.Grid.Stack.LiquidCooled && m.perChan <= 0 {
 		return fmt.Errorf("rcnet: steady state needs non-zero flow on a liquid-cooled stack")
 	}
-	const maxOuter = 200
+	const maxOuter = 400
 	// At low flows the coolant saturates to the wall temperature and the
 	// plain fixed point converges geometrically with a vanishing rate:
 	// the global temperature offset is nearly unobservable to the local
@@ -449,9 +514,7 @@ func (m *Model) SteadyState() error {
 	// to a uniform temperature offset in the saturated regime).
 	totalTransport := 0.0
 	if m.Grid.Stack.LiquidCooled {
-		rowCap := microchannel.CoolantDensity * microchannel.CoolantHeatCapacity *
-			float64(m.perChan) * m.channelsPerRow
-		totalTransport = rowCap * float64(m.Grid.NY) * float64(len(m.Grid.CavitySlabs()))
+		totalTransport = m.rowCap * float64(m.Grid.NY) * float64(len(m.Grid.CavitySlabs()))
 	}
 	if m.ssPrev == nil {
 		m.ssPrev = make([]float64, m.n)
@@ -467,10 +530,19 @@ func (m *Model) SteadyState() error {
 		}
 		m.marchCoolant(relax)
 		m.buildSystem(0)
-		_, err := m.ws.Solve(m.sys, m.temp, m.rhs,
-			mat.CGOptions{Tol: m.Cfg.SolverTol, MaxIter: 20 * m.n, Precond: m.Cfg.Precond})
-		if err != nil {
+		// The dt=0 matrix is constant across the whole fixed point (only
+		// the coolant boundary temperatures on the RHS move), so the
+		// direct path factors once per flow setting and every outer
+		// iteration — and every ladder point of a controller.BuildLUT
+		// sweep at that setting — reuses the cached factors.
+		if done, err := m.solveDirect(0); err != nil {
 			return fmt.Errorf("rcnet: steady solve: %w", err)
+		} else if !done {
+			_, err := m.ws.Solve(m.sys, m.temp, m.rhs,
+				mat.CGOptions{Tol: m.Cfg.SolverTol, MaxIter: 20 * m.n, Precond: m.Cfg.Precond})
+			if err != nil {
+				return fmt.Errorf("rcnet: steady solve: %w", err)
+			}
 		}
 		if totalTransport > 0 {
 			imbalance := float64(m.TotalPower()) - float64(m.HeatRemovedByCoolant())

@@ -35,7 +35,9 @@ func TestTempsCopyDoesNotAlias(t *testing.T) {
 // TestSSORPrecondMatchesJacobi steps identically configured models with
 // the two preconditioners through a flow change and checks the trajectories
 // agree to solver tolerance — both the reusable-workspace fast path and the
-// SSOR option must reproduce the reference solution.
+// SSOR option must reproduce the reference solution. SolverCG is forced so
+// the test keeps exercising the iterative path now that the direct LDLᵀ
+// solver is the default.
 func TestSSORPrecondMatchesJacobi(t *testing.T) {
 	build := func(pc mat.Preconditioner) *Model {
 		g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(12, 10))
@@ -44,6 +46,7 @@ func TestSSORPrecondMatchesJacobi(t *testing.T) {
 		}
 		cfg := DefaultConfig()
 		cfg.Precond = pc
+		cfg.Solver = SolverCG
 		m, err := New(g, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -89,17 +92,27 @@ func TestSSORPrecondMatchesJacobi(t *testing.T) {
 	}
 }
 
-// TestStepAllocFree pins the reusable-preconditioner fast path: after the
-// first step, the per-tick transient solve must not allocate — no CG
-// scratch, no matrix copy, no coolant-march buffers.
+// TestStepAllocFree pins the per-tick fast paths: after the first step of
+// a configuration, the transient solve must not allocate — no CG scratch,
+// no matrix copy, no coolant-march buffers, and on the direct path no
+// factorization (the cached factors are reused, so Step is two triangular
+// sweeps).
 func TestStepAllocFree(t *testing.T) {
-	for _, pc := range []mat.Preconditioner{mat.PrecondJacobi, mat.PrecondSSOR} {
+	cases := []struct {
+		name string
+		cfg  func(*Config)
+	}{
+		{"direct", func(c *Config) { c.Solver = SolverDirect }},
+		{"cg-jacobi", func(c *Config) { c.Solver = SolverCG; c.Precond = mat.PrecondJacobi }},
+		{"cg-ssor", func(c *Config) { c.Solver = SolverCG; c.Precond = mat.PrecondSSOR }},
+	}
+	for _, tc := range cases {
 		g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(12, 10))
 		if err != nil {
 			t.Fatal(err)
 		}
 		cfg := DefaultConfig()
-		cfg.Precond = pc
+		tc.cfg(&cfg)
 		m, err := New(g, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -117,7 +130,7 @@ func TestStepAllocFree(t *testing.T) {
 			}
 		})
 		if allocs != 0 {
-			t.Errorf("%v: Step allocates %v objects per tick, want 0", pc, allocs)
+			t.Errorf("%s: Step allocates %v objects per tick, want 0", tc.name, allocs)
 		}
 	}
 }

@@ -77,6 +77,11 @@ type Config struct {
 	// RC overrides the thermal boundary configuration; zero value means
 	// rcnet.DefaultConfig().
 	RC *rcnet.Config
+	// Solver overrides the thermal linear solver (applied on top of RC or
+	// the default config): rcnet.SolverAuto (the zero value) keeps the
+	// cached-LDLᵀ direct solver, rcnet.SolverCG forces the iterative
+	// path.
+	Solver rcnet.SolverKind
 	// ControllerCfg overrides the flow controller configuration (used by
 	// the ablation benches); nil means controller.DefaultConfig().
 	ControllerCfg *controller.Config
@@ -212,6 +217,9 @@ func New(cfg Config) (*Sim, error) {
 	rcCfg := rcnet.DefaultConfig()
 	if cfg.RC != nil {
 		rcCfg = *cfg.RC
+	}
+	if cfg.Solver != rcnet.SolverAuto {
+		rcCfg.Solver = cfg.Solver
 	}
 	model, err := rcnet.New(g, rcCfg)
 	if err != nil {
