@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json vet
+.PHONY: build test race bench bench-json vet fmt-check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,11 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Fail if any file is not gofmt-clean (CI runs this).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Full benchmark sweep (figures + substrate), human-readable.
 bench:

@@ -1,0 +1,64 @@
+package repro
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPublicSurfaceDoesNotImportInternal is the regression guard this
+// API exists for: everything that models downstream usage — the examples
+// and the public package's godoc examples / external tests (package
+// coolsim_test) — must work against `repro/coolsim` alone, never
+// `repro/internal/...`. (Before the public package existed, every example
+// imported internal packages, so none of them compiled outside this
+// module.) The coolsim implementation itself is the wrapping layer and
+// may import internal packages.
+func TestPublicSurfaceDoesNotImportInternal(t *testing.T) {
+	roots := []string{"examples", "coolsim"}
+	fset := token.NewFileSet()
+	checked := 0
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			if f.Name.Name == "coolsim" {
+				// The public package's own implementation (and white-box
+				// tests): the one place wrapping internal is the job.
+				return nil
+			}
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					return err
+				}
+				if p == "repro/internal" || strings.HasPrefix(p, "repro/internal/") {
+					t.Errorf("%s imports %s — downstream-facing code must only use repro/coolsim",
+						path, p)
+				}
+			}
+			checked++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", root, err)
+		}
+	}
+	// Sanity: the guard must actually be looking at files (5 examples
+	// plus at least the coolsim godoc example file).
+	if checked < 6 {
+		t.Fatalf("guard only parsed %d files; did examples/ or coolsim/ move?", checked)
+	}
+}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -63,7 +64,7 @@ func BenchmarkFig3(b *testing.B) {
 func BenchmarkFig5(b *testing.B) {
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig5(o)
+		res, err := experiments.Fig5(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func BenchmarkFig6(b *testing.B) {
 	o := benchOptions()
 	var coolSave float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig6(o)
+		res, err := experiments.Fig6(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func BenchmarkFig7(b *testing.B) {
 	o := benchOptions()
 	var airGrad, varGrad float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig7(o)
+		res, err := experiments.Fig7(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +115,7 @@ func BenchmarkFig8(b *testing.B) {
 	o := benchOptions()
 	var perf float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig8(o)
+		res, err := experiments.Fig8(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +142,7 @@ func BenchmarkExperimentsParallel(b *testing.B) {
 			o := benchOptions()
 			o.Workers = workers
 			for i := 0; i < b.N; i++ {
-				if _, err := experiments.Fig8(o); err != nil {
+				if _, err := experiments.Fig8(context.Background(), o); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -169,7 +170,7 @@ func ablationRun(b *testing.B, ctrlCfg *controller.Config) (pumpJ, above80 float
 	cfg.Duration = 30
 	cfg.Warmup = 3
 	cfg.ControllerCfg = ctrlCfg
-	r, err := sim.Run(cfg)
+	r, err := sim.Run(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func BenchmarkAblationBaselineIncDec(b *testing.B) {
 			}
 			cfg.FlowPolicy = fp
 		}
-		r, err := sim.Run(cfg)
+		r, err := sim.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -253,7 +254,7 @@ func BenchmarkAblationWeighting(b *testing.B) {
 		cfg.Warmup = 3
 		cfg.GridNX, cfg.GridNY = 12, 10
 		cfg.DPMEnabled = true
-		r, err := sim.Run(cfg)
+		r, err := sim.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -312,7 +313,7 @@ func BenchmarkLUTBuild(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := controller.BuildLUT(m, pm, full, controller.TargetTemp, controller.DefaultLadder()); err != nil {
+		if _, err := controller.BuildLUT(context.Background(), m, pm, full, controller.TargetTemp, controller.DefaultLadder()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -344,7 +345,7 @@ func BenchmarkControllerDecide(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	lut, err := controller.BuildLUT(m, pm, sim.FullLoadPowers(g.Stack),
+	lut, err := controller.BuildLUT(context.Background(), m, pm, sim.FullLoadPowers(g.Stack),
 		controller.TargetTemp, controller.DefaultLadder())
 	if err != nil {
 		b.Fatal(err)
@@ -362,4 +363,12 @@ func BenchmarkControllerDecide(b *testing.B) {
 
 func BenchmarkSimTick(b *testing.B) {
 	benchutil.SimTick(b)
+}
+
+// BenchmarkSessionStep is the streaming counterpart of BenchmarkSimTick:
+// the same tick driven through the public coolsim.Session API with its
+// per-tick Sample refresh. The delta between the two is the streaming
+// overhead, which must stay at 0 B/op.
+func BenchmarkSessionStep(b *testing.B) {
+	benchutil.SessionStep(b)
 }

@@ -62,6 +62,7 @@ func main() {
 		{"ThermalStepPaperResolutionCG", benchutil.ThermalStep(115, 100, rcnet.SolverCG)},
 		{"SteadyState", benchutil.SteadyState},
 		{"SimTick", benchutil.SimTick},
+		{"SessionStep", benchutil.SessionStep},
 	}
 
 	snap := Snapshot{

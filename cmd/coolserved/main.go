@@ -1,0 +1,80 @@
+// Command coolserved serves coolsim scenarios as an HTTP JSON job
+// service: a dispatcher in front of a simulation worker pool, so many
+// clients can submit runs, poll their status and stream per-tick samples
+// while the simulations execute server-side.
+//
+// Usage:
+//
+//	coolserved -addr :8077 -workers 4 -grace 30s
+//
+// API (see SERVICE.md for details):
+//
+//	POST   /v1/runs             submit a Scenario (JSON), returns {id}
+//	GET    /v1/runs             list runs
+//	GET    /v1/runs/{id}        status, and the report once done
+//	GET    /v1/runs/{id}/stream follow per-tick Samples as NDJSON
+//	DELETE /v1/runs/{id}        cancel a queued or running job
+//	GET    /healthz             liveness and drain state
+//
+// On SIGINT/SIGTERM the server drains gracefully: intake stops (503),
+// running jobs get up to -grace to finish, stragglers are canceled via
+// their contexts (they abort within one simulated tick), then the
+// process exits.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8077", "listen address")
+		workers = flag.Int("workers", 0, "simulation worker goroutines (0 = NumCPU)")
+		grace   = flag.Duration("grace", 30*time.Second, "drain timeout for running jobs on shutdown")
+		retain  = flag.Int("retain", 128,
+			"finished jobs kept in memory for replay; oldest evicted beyond this (<= 0 keeps all)")
+	)
+	flag.Parse()
+
+	s := newServer(*workers, *retain)
+	srv := &http.Server{Addr: *addr, Handler: s.handler()}
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "coolserved: listening on %s (%d workers)\n", *addr, *workers)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "coolserved:", err)
+		os.Exit(1)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "coolserved: %v — draining (grace %v)\n", sig, *grace)
+	}
+
+	// Stop intake and let running jobs finish (or cancel them at the
+	// grace deadline); streams observe the jobs ending and close, which
+	// lets Shutdown complete.
+	done := make(chan struct{})
+	go func() { s.drain(*grace); close(done) }()
+	shutCtx, cancel := signalAwareTimeout(sigCh, *grace+10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "coolserved: shutdown:", err)
+	}
+	<-done
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "coolserved:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "coolserved: drained, bye")
+}

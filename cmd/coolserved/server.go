@@ -1,0 +1,379 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/coolsim"
+	"repro/internal/par"
+)
+
+// Job lifecycle states reported by GET /v1/runs/{id}.
+const (
+	statusQueued   = "queued"
+	statusRunning  = "running"
+	statusDone     = "done"
+	statusFailed   = "failed"
+	statusCanceled = "canceled"
+)
+
+// job is one submitted scenario and everything observers need: status,
+// the per-tick samples streamed so far, and the final report. mu guards
+// every mutable field; cond wakes stream followers on appends and on
+// completion.
+type job struct {
+	id     string
+	sc     coolsim.Scenario
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	status  string
+	samples []coolsim.Sample
+	report  *coolsim.Report
+	errMsg  string
+}
+
+func (j *job) finished() bool {
+	return j.status == statusDone || j.status == statusFailed || j.status == statusCanceled
+}
+
+// server is the coolserved HTTP API: a dispatcher in front of a
+// par.Pool of simulation workers, in the simq dispatcher/daemon mold.
+type server struct {
+	pool    *par.Pool
+	baseCtx context.Context
+	abort   context.CancelFunc // hard-cancels every job (drain timeout)
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, compacted as jobs are evicted
+	seq      int
+	retain   int // finished jobs kept for replay; oldest evicted beyond it
+	draining bool
+}
+
+func newServer(workers, retain int) *server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &server{
+		pool:    par.NewPool(workers),
+		baseCtx: ctx,
+		abort:   cancel,
+		jobs:    map[string]*job{},
+		retain:  retain,
+	}
+}
+
+// pruneLocked bounds the daemon's memory: beyond the retention cap the
+// oldest finished jobs (status, report and sample log) are evicted, so a
+// long-lived server does not grow without bound. Queued and running jobs
+// are never evicted. Called with s.mu held.
+func (s *server) pruneLocked() {
+	if s.retain <= 0 {
+		return
+	}
+	var finished []string
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		fin := j.finished()
+		j.mu.Unlock()
+		if fin {
+			finished = append(finished, id)
+		}
+	}
+	evict := map[string]bool{}
+	for i := 0; i < len(finished)-s.retain; i++ {
+		evict[finished[i]] = true
+		delete(s.jobs, finished[i])
+	}
+	if len(evict) == 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if !evict[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// drain stops intake, waits up to grace for in-flight jobs to finish,
+// then hard-cancels the stragglers and closes the pool. It returns once
+// every job has finished.
+func (s *server) drain(grace time.Duration) {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) && s.pool.Backlog() > 0 {
+		time.Sleep(50 * time.Millisecond)
+	}
+	s.abort() // in-flight sessions exit within one tick
+	s.pool.Close()
+}
+
+type submitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Unknown fields are rejected so a typoed knob fails loudly instead
+	// of silently simulating the default.
+	sc := coolsim.DefaultScenario()
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad scenario JSON: %v", err))
+		return
+	}
+	if err := sc.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{id: fmt.Sprintf("run-%d", s.seq), sc: sc, cancel: cancel, status: statusQueued}
+	j.cond = sync.NewCond(&j.mu)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pruneLocked()
+	s.mu.Unlock()
+
+	if err := s.pool.Submit(func() { s.execute(ctx, j) }); err != nil {
+		// Pool already closed (drain raced the check above).
+		cancel()
+		j.mu.Lock()
+		j.status = statusCanceled
+		j.errMsg = "server shut down before the job started"
+		j.cond.Broadcast()
+		j.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(submitResponse{ID: j.id, Status: statusQueued})
+}
+
+// execute runs one job on a pool worker, streaming every tick into the
+// job's sample log.
+func (s *server) execute(ctx context.Context, j *job) {
+	defer j.cancel() // release the context either way
+	j.mu.Lock()
+	if j.finished() {
+		// Already resolved (canceled while queued via DELETE).
+		j.mu.Unlock()
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		// Canceled while still queued (server drain).
+		j.status = statusCanceled
+		j.errMsg = err.Error()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+		return
+	}
+	j.status = statusRunning
+	j.mu.Unlock()
+
+	report, err := coolsim.Run(ctx, j.sc, coolsim.WithObserver(func(smp *coolsim.Sample) {
+		clone := smp.Clone()
+		j.mu.Lock()
+		j.samples = append(j.samples, clone)
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}))
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	defer j.cond.Broadcast()
+	switch {
+	case err == nil:
+		j.status = statusDone
+		j.report = report
+	case errors.Is(err, context.Canceled):
+		j.status = statusCanceled
+		j.errMsg = err.Error()
+	default:
+		j.status = statusFailed
+		j.errMsg = err.Error()
+	}
+}
+
+// runView is the wire form of a job's state.
+type runView struct {
+	ID       string           `json:"id"`
+	Status   string           `json:"status"`
+	Scenario coolsim.Scenario `json:"scenario"`
+	Samples  int              `json:"samples"`
+	Report   *coolsim.Report  `json:"report,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+func (j *job) view() runView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return runView{
+		ID: j.id, Status: j.status, Scenario: j.sc,
+		Samples: len(j.samples), Report: j.report, Error: j.errMsg,
+	}
+}
+
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such run")
+	}
+	return j
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j.view())
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, len(s.order))
+	for i, id := range s.order {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	views := make([]runView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(views)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	// A queued job resolves immediately: its pool slot may be hours away
+	// behind other runs, and execute() will find it already finished.
+	j.mu.Lock()
+	if j.status == statusQueued {
+		j.status = statusCanceled
+		j.errMsg = "canceled before start"
+		j.cond.Broadcast()
+	}
+	j.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j.view())
+}
+
+// handleStream follows a run as NDJSON, one Sample per line: everything
+// recorded so far immediately, then each new tick as it lands, ending
+// when the job finishes. With ?cancel_on_disconnect=1 the stream owns the
+// job: the client hanging up cancels the run (the dispatcher analogue of
+// Ctrl-C on an attached simulation).
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	cancelOnDisconnect := r.URL.Query().Get("cancel_on_disconnect") == "1"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	ctx := r.Context()
+	// cond.Wait cannot watch a context, so a disconnect wakes the waiter
+	// via Broadcast.
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+
+	sent := 0
+	for {
+		j.mu.Lock()
+		for sent >= len(j.samples) && !j.finished() && ctx.Err() == nil {
+			j.cond.Wait()
+		}
+		batch := j.samples[sent:len(j.samples):len(j.samples)]
+		sent = len(j.samples)
+		finished := j.finished()
+		j.mu.Unlock()
+
+		for i := range batch {
+			if err := enc.Encode(&batch[i]); err != nil {
+				if cancelOnDisconnect {
+					j.cancel()
+				}
+				return
+			}
+		}
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		// finished and batch were read under one lock: once the job is
+		// finished no sample can land after that batch.
+		if finished {
+			return
+		}
+		if ctx.Err() != nil {
+			if cancelOnDisconnect {
+				j.cancel()
+			}
+			return
+		}
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	n := len(s.jobs)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": map[bool]string{false: "ok", true: "draining"}[draining],
+		"jobs":   n,
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

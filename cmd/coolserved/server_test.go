@@ -1,0 +1,307 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/coolsim"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	s := newServer(2, 0)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.drain(0) // cancel anything still running, wait for the pool
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, body string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST /v1/runs = %d: %s", resp.StatusCode, buf.String())
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == "" || sub.Status != statusQueued {
+		t.Fatalf("bad submit response: %+v", sub)
+	}
+	return sub.ID
+}
+
+func getView(t *testing.T, ts *httptest.Server, id string) runView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v runView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitStatus(t *testing.T, ts *httptest.Server, id, want string, timeout time.Duration) runView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		v := getView(t, ts, id)
+		if v.Status == want {
+			return v
+		}
+		if v.Status == statusFailed && want != statusFailed {
+			t.Fatalf("run %s failed: %s", id, v.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("run %s never reached %q (last: %+v)", id, want, getView(t, ts, id))
+	return runView{}
+}
+
+// The quick scenario of the round-trip tests: coarse grid, short window.
+const quickBody = `{"workload":"gzip","cooling":"var","policy":"talb","layers":2,
+	"duration":3,"warmup":1,"grid_nx":12,"grid_ny":10}`
+
+// TestSubmitPollStreamRoundTrip is the end-to-end contract: a submitted
+// scenario must report exactly what an in-process coolsim.Run of the same
+// Scenario reports, and the stream must carry every tick.
+func TestSubmitPollStreamRoundTrip(t *testing.T) {
+	_, ts := testServer(t)
+	id := submit(t, ts, quickBody)
+	v := waitStatus(t, ts, id, statusDone, 60*time.Second)
+	if v.Report == nil {
+		t.Fatal("done without a report")
+	}
+
+	// Stream after completion: full replay, then EOF.
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	var streamed []coolsim.Sample
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var smp coolsim.Sample
+		if err := json.Unmarshal(sc.Bytes(), &smp); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		streamed = append(streamed, smp)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same scenario, run in-process.
+	sc2 := coolsim.DefaultScenario()
+	sc2.Workload = "gzip"
+	sc2.Duration = 3
+	sc2.Warmup = 1
+	sc2.GridNX, sc2.GridNY = 12, 10
+	want, err := coolsim.Run(context.Background(), sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if v.Report.MaxTempC != want.MaxTempC || v.Report.ChipEnergyJ != want.ChipEnergyJ ||
+		v.Report.Completed != want.Completed || v.Report.Samples != want.Samples {
+		t.Errorf("served report diverges from in-process run:\nserved %+v\nlocal  %+v",
+			v.Report, want)
+	}
+	measured := 0
+	for _, smp := range streamed {
+		if smp.Measured {
+			measured++
+		}
+	}
+	if measured != want.Samples {
+		t.Errorf("streamed %d measured samples, want %d", measured, want.Samples)
+	}
+	if v.Samples != len(streamed) {
+		t.Errorf("status reports %d samples, stream carried %d", v.Samples, len(streamed))
+	}
+	last := streamed[len(streamed)-1]
+	if last.Time < 2.8 {
+		t.Errorf("last streamed tick at t=%v, want ≈ 3.0", last.Time)
+	}
+}
+
+// TestStreamDisconnectCancelsJob is the mid-run cancellation contract: a
+// client that owns the run via ?cancel_on_disconnect=1 and hangs up must
+// abort the job promptly.
+func TestStreamDisconnectCancelsJob(t *testing.T) {
+	_, ts := testServer(t)
+	// An hour of simulated time: only cancellation can end this quickly.
+	id := submit(t, ts, `{"workload":"gzip","cooling":"max","policy":"lb","layers":2,
+		"duration":3600,"warmup":1,"grid_nx":12,"grid_ny":10}`)
+	waitStatus(t, ts, id, statusRunning, 30*time.Second)
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id + "/stream?cancel_on_disconnect=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a couple of live samples to prove the run is mid-flight...
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 2; i++ {
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+	}
+	// ...then hang up.
+	resp.Body.Close()
+
+	v := waitStatus(t, ts, id, statusCanceled, 30*time.Second)
+	if v.Report != nil {
+		t.Error("canceled job has a report")
+	}
+}
+
+// TestDeleteCancelsQueuedAndRunning covers the explicit cancel endpoint
+// for both a running job and one still waiting behind it in the queue.
+func TestDeleteCancelsQueuedAndRunning(t *testing.T) {
+	s := newServer(1, 0) // single worker: the second job must queue
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() { ts.Close(); s.drain(0) })
+
+	long := `{"workload":"gzip","cooling":"max","policy":"lb","layers":2,
+		"duration":3600,"warmup":1,"grid_nx":12,"grid_ny":10}`
+	running := submit(t, ts, long)
+	queued := submit(t, ts, long)
+	waitStatus(t, ts, running, statusRunning, 30*time.Second)
+
+	for _, id := range []string{queued, running} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		waitStatus(t, ts, id, statusCanceled, 30*time.Second)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []string{
+		`{"workload":"bogus"}`,    // unknown workload
+		`{"cooling":"freon"}`,     // unknown cooling
+		`{"layers":3}`,            // bad layer count
+		`{"wokload":"gzip"}`,      // typoed field
+		`{"workload":` + `"gzip"`, // truncated JSON
+	}
+	for _, body := range cases {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/runs/run-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET unknown run = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestListRuns(t *testing.T) {
+	_, ts := testServer(t)
+	a := submit(t, ts, quickBody)
+	b := submit(t, ts, quickBody)
+	resp, err := http.Get(ts.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var views []runView
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 || views[0].ID != a || views[1].ID != b {
+		t.Errorf("list = %+v, want [%s %s] in order", views, a, b)
+	}
+	waitStatus(t, ts, a, statusDone, 60*time.Second)
+	waitStatus(t, ts, b, statusDone, 60*time.Second)
+}
+
+// TestRetentionEvictsOldestFinished bounds the daemon's memory: with a
+// cap of 1, finishing a second run must evict the first (404 afterwards),
+// while queued/running jobs are untouchable.
+func TestRetentionEvictsOldestFinished(t *testing.T) {
+	s := newServer(1, 1)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() { ts.Close(); s.drain(0) })
+
+	a := submit(t, ts, quickBody)
+	waitStatus(t, ts, a, statusDone, 60*time.Second)
+	b := submit(t, ts, quickBody)
+	waitStatus(t, ts, b, statusDone, 60*time.Second)
+	c := submit(t, ts, quickBody) // registering c prunes a (b was the newest finished)
+	waitStatus(t, ts, c, statusDone, 60*time.Second)
+
+	resp, err := http.Get(ts.URL + "/v1/runs/" + a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted run %s still served: %d", a, resp.StatusCode)
+	}
+	if v := getView(t, ts, c); v.Status != statusDone {
+		t.Errorf("latest run evicted: %+v", v)
+	}
+}
+
+func TestDrainRejectsNewJobs(t *testing.T) {
+	s := newServer(1, 0)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	id := submit(t, ts, quickBody)
+	go s.drain(60 * time.Second) // lets the quick run finish
+	// Intake must close promptly even while the running job drains.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(quickBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("intake still open during drain (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The job submitted before the drain still completes.
+	waitStatus(t, ts, id, statusDone, 60*time.Second)
+}

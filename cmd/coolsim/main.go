@@ -9,24 +9,31 @@
 // A comma-separated -workload list runs one simulation per benchmark on a
 // worker pool (-workers, default NumCPU); reports print in list order and
 // are identical to running each workload on its own.
+//
+// Ctrl-C (SIGINT) or SIGTERM cancels the run context: every in-flight
+// simulation aborts within one simulated tick and coolsim exits cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
-	"repro/internal/core"
+	"repro/coolsim"
 )
 
 func main() {
-	sc := core.DefaultScenario()
+	sc := coolsim.DefaultScenario()
 	flag.IntVar(&sc.Layers, "layers", sc.Layers, "stack layers (2 or 4)")
 	flag.StringVar(&sc.Cooling, "cooling", sc.Cooling, "cooling mode: air|max|var")
 	flag.StringVar(&sc.Policy, "policy", sc.Policy, "scheduling policy: lb|mig|talb")
 	flag.StringVar(&sc.Workload, "workload", sc.Workload,
-		"Table II benchmark (comma-separated for a parallel batch): "+strings.Join(core.Workloads(), "|"))
+		"Table II benchmark (comma-separated for a parallel batch): "+strings.Join(coolsim.Workloads(), "|"))
 	flag.Float64Var(&sc.Duration, "duration", sc.Duration, "measured simulation seconds")
 	flag.Float64Var(&sc.Warmup, "warmup", sc.Warmup, "warm-up seconds (excluded from metrics)")
 	flag.Int64Var(&sc.Seed, "seed", sc.Seed, "workload trace seed")
@@ -38,6 +45,18 @@ func main() {
 	trace := flag.String("trace", "", "write a per-tick CSV trace to this file (single workload only)")
 	workers := flag.Int("workers", 0, "worker goroutines for a multi-workload batch (0 = NumCPU)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fail := func(err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "coolsim: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "coolsim:", err)
+		os.Exit(1)
+	}
 
 	var names []string
 	for _, name := range strings.Split(sc.Workload, ",") {
@@ -53,15 +72,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "coolsim: -trace requires a single -workload")
 			os.Exit(1)
 		}
-		scs := make([]core.Scenario, len(names))
+		scs := make([]coolsim.Scenario, len(names))
 		for i, name := range names {
 			scs[i] = sc
 			scs[i].Workload = name
 		}
-		reports, err := core.RunMany(scs, *workers)
+		reports, err := coolsim.RunMany(ctx, scs, coolsim.WithWorkers(*workers))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "coolsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		for _, r := range reports {
 			r.WriteSummary(os.Stdout)
@@ -72,22 +90,19 @@ func main() {
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "coolsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
-		report, err := core.RunTraced(sc, f)
+		report, err := coolsim.RunTraced(ctx, sc, f)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "coolsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		report.WriteSummary(os.Stdout)
 		return
 	}
-	report, err := core.Run(sc)
+	report, err := coolsim.Run(ctx, sc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "coolsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	report.WriteSummary(os.Stdout)
 }

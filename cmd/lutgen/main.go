@@ -9,12 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/pump"
+	"repro/coolsim"
 )
 
 func main() {
@@ -25,40 +25,40 @@ func main() {
 	)
 	flag.Parse()
 
-	a, err := core.NewAnalysis(*layers, *nx, *ny)
+	a, err := coolsim.NewAnalysis(*layers, *nx, *ny)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lutgen:", err)
 		os.Exit(1)
 	}
-	lut, err := a.BuildLUT()
+	lut, err := a.BuildLUT(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lutgen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("flow LUT, %d-layer stack, target %.1f °C\n", *layers, float64(lut.Target))
+	fmt.Printf("flow LUT, %d-layer stack, target %.1f °C\n", *layers, lut.TargetC)
 	fmt.Printf("%-6s", "load")
-	for s := 0; s < pump.NumSettings; s++ {
+	for s := 0; s < a.NumSettings(); s++ {
 		fmt.Printf("  Tmax@s%d", s)
 	}
 	fmt.Printf("  required\n")
 	for k, lambda := range lut.Ladder {
 		fmt.Printf("%-6.2f", lambda)
-		for s := 0; s < pump.NumSettings; s++ {
-			fmt.Printf("  %7.2f", float64(lut.TmaxAt[s][k]))
+		for s := 0; s < a.NumSettings(); s++ {
+			fmt.Printf("  %7.2f", lut.TmaxC[s][k])
 		}
-		fmt.Printf("  s%d", lut.Required[k])
-		if float64(lut.TmaxAt[pump.NumSettings-1][k]) > float64(lut.Target) {
+		fmt.Printf("  s%d", lut.RequiredSetting[k])
+		if lut.TmaxC[a.NumSettings()-1][k] > lut.TargetC {
 			fmt.Printf("  (exceeds target even at max flow)")
 		}
 		fmt.Println()
 	}
-	w, err := a.BuildWeights()
+	w, err := a.BuildWeights(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lutgen:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("\nTALB thermal weights (base, mean 1):\n")
-	for i, b := range w.Base {
+	for i, b := range w {
 		fmt.Printf("  core%-3d %.4f\n", i, b)
 	}
 }

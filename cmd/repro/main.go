@@ -8,14 +8,22 @@
 //	repro -exp tab1,tab2,fig3  # a comma-separated subset
 //
 // Experiments: tab1 tab2 tab3 fig3 fig5 fig6 fig7 fig8.
+//
+// Ctrl-C (SIGINT) or SIGTERM cancels the experiment context: in-flight
+// scenario runs abort within one simulated tick and repro exits cleanly
+// instead of being killed mid-sweep.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/rcnet"
@@ -33,6 +41,9 @@ func main() {
 			"thermal linear solver: auto (cached LDLT direct, CG fallback)|direct|cg")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opt := experiments.DefaultOptions()
 	if *quick {
@@ -52,6 +63,10 @@ func main() {
 	}
 	all := want["all"]
 	fail := func(name string, err error) {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "repro: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
 		os.Exit(1)
 	}
@@ -86,25 +101,25 @@ func main() {
 	run("tab3", func() error { experiments.WriteTableIII(out); return nil })
 	run("fig3", func() error { return experiments.WriteFig3(out) })
 	csvOut("fig3", func(w *os.File) error { return experiments.Fig3CSV(w) })
-	run("fig5", func() error { return experiments.WriteFig5(out, opt) })
-	csvOut("fig5", func(w *os.File) error { return experiments.Fig5CSV(w, opt) })
-	run("fig6", func() error { return experiments.WriteFig6(out, opt) })
-	csvOut("fig6", func(w *os.File) error { return experiments.Fig6CSV(w, opt) })
-	run("fig7", func() error { return experiments.WriteFig7(out, opt) })
-	csvOut("fig7", func(w *os.File) error { return experiments.Fig7CSV(w, opt) })
-	run("fig8", func() error { return experiments.WriteFig8(out, opt) })
-	csvOut("fig8", func(w *os.File) error { return experiments.Fig8CSV(w, opt) })
+	run("fig5", func() error { return experiments.WriteFig5(ctx, out, opt) })
+	csvOut("fig5", func(w *os.File) error { return experiments.Fig5CSV(ctx, w, opt) })
+	run("fig6", func() error { return experiments.WriteFig6(ctx, out, opt) })
+	csvOut("fig6", func(w *os.File) error { return experiments.Fig6CSV(ctx, w, opt) })
+	run("fig7", func() error { return experiments.WriteFig7(ctx, out, opt) })
+	csvOut("fig7", func(w *os.File) error { return experiments.Fig7CSV(ctx, w, opt) })
+	run("fig8", func() error { return experiments.WriteFig8(ctx, out, opt) })
+	csvOut("fig8", func(w *os.File) error { return experiments.Fig8CSV(ctx, w, opt) })
 	// Extension: the 4-layer variant of Fig. 6 (not in the paper's
 	// figures, but its systems section evaluates both stacks).
 	if want["fig6x4"] {
-		if err := experiments.WriteFig6Layers(out, opt, 4); err != nil {
+		if err := experiments.WriteFig6Layers(ctx, out, opt, 4); err != nil {
 			fail("fig6x4", err)
 		}
 	}
 	// Extension: sensitivity of the headline savings to the coolant
 	// inlet temperature (the calibration decision in EXPERIMENTS.md).
 	if want["inlet"] {
-		if err := experiments.WriteInletSweep(out, opt, "Web-med",
+		if err := experiments.WriteInletSweep(ctx, out, opt, "Web-med",
 			[]float64{50, 60, 65, 70, 72}); err != nil {
 			fail("inlet", err)
 		}

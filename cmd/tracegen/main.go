@@ -13,14 +13,14 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
+	"repro/coolsim"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		name    = flag.String("workload", "Web-med", "Table II benchmark: "+strings.Join(core.Workloads(), "|"))
+		name    = flag.String("workload", "Web-med", "Table II benchmark: "+strings.Join(coolsim.Workloads(), "|"))
 		cores   = flag.Int("cores", 8, "core count the trace targets")
 		seconds = flag.Float64("seconds", 60, "trace horizon")
 		seed    = flag.Int64("seed", 1, "generator seed")

@@ -1,0 +1,137 @@
+package coolsim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/floorplan"
+	"repro/internal/grid"
+	"repro/internal/pump"
+	"repro/internal/rcnet"
+	"repro/internal/sim"
+)
+
+// FlowLUT is the flow-rate controller's lookup table in plain-data form:
+// the steady-state analysis behind the paper's Fig. 5.
+type FlowLUT struct {
+	// TargetC is the temperature the controller holds (°C).
+	TargetC float64 `json:"target_c"`
+	// Ladder is the load scale of each column (fraction of full load).
+	Ladder []float64 `json:"ladder"`
+	// TmaxC[s][k] is the steady maximum die temperature at pump setting
+	// s under ladder load k (°C).
+	TmaxC [][]float64 `json:"tmax_c"`
+	// RequiredSetting[k] is the minimum pump setting holding ladder load
+	// k at or below TargetC (the highest setting if none can).
+	RequiredSetting []int `json:"required_setting"`
+}
+
+// Analysis exposes the offline steady-state machinery for a liquid-cooled
+// stack: the flow LUT and TALB weight sweeps, plus the stack geometry the
+// examples and CLIs report.
+type Analysis struct {
+	stack  *floorplan.Stack
+	model  *rcnet.Model
+	pump   *pump.Pump
+	layers int
+}
+
+// NewAnalysis builds the thermal analysis stack for a liquid-cooled
+// system (layers: 2 or 4; nx, ny: thermal grid resolution).
+func NewAnalysis(layers, nx, ny int) (*Analysis, error) {
+	var stack *floorplan.Stack
+	switch layers {
+	case 2:
+		stack = floorplan.NewT1Stack2(true)
+	case 4:
+		stack = floorplan.NewT1Stack4(true)
+	default:
+		return nil, fmt.Errorf("%w: %d (want 2 or 4)", ErrBadLayers, layers)
+	}
+	g, err := grid.Build(stack, grid.DefaultParams(nx, ny))
+	if err != nil {
+		return nil, err
+	}
+	m, err := rcnet.New(g, rcnet.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	pm, err := pump.New(stack.NumCavities())
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{stack: stack, model: m, pump: pm, layers: layers}, nil
+}
+
+// Layers returns the stack's layer count.
+func (a *Analysis) Layers() int { return a.layers }
+
+// Cores returns the number of cores in the stack.
+func (a *Analysis) Cores() int { return len(a.stack.Cores()) }
+
+// Cavities returns the number of microchannel cavities.
+func (a *Analysis) Cavities() int { return a.stack.NumCavities() }
+
+// Microchannels returns the total microchannel count across cavities.
+func (a *Analysis) Microchannels() int { return a.stack.TotalChannels() }
+
+// NumSettings returns the pump's discrete setting count; settings are
+// numbered 0 (minimum flow) through NumSettings-1 (maximum).
+func (a *Analysis) NumSettings() int { return pump.NumSettings }
+
+// SettingFlowsMLMin returns the delivered per-cavity flow of each pump
+// setting (ml/min), indexed by setting.
+func (a *Analysis) SettingFlowsMLMin() []float64 {
+	out := make([]float64, pump.NumSettings)
+	for s := range out {
+		out[s] = a.pump.PerCavityFlow(pump.Setting(s)).MilliLitersPerMinute()
+	}
+	return out
+}
+
+// SettingPowersW returns the pump's electrical power at each setting (W).
+func (a *Analysis) SettingPowersW() []float64 {
+	out := make([]float64, pump.NumSettings)
+	for s := range out {
+		out[s] = float64(pump.Power(pump.Setting(s)))
+	}
+	return out
+}
+
+// BuildLUT runs the Fig. 5-style steady-state sweep and returns the
+// controller lookup table. ctx is checked between sweep cells, so
+// cancellation aborts the build promptly with ctx.Err().
+func (a *Analysis) BuildLUT(ctx context.Context) (*FlowLUT, error) {
+	lut, err := controller.BuildLUT(ctx, a.model, a.pump, sim.FullLoadPowers(a.stack),
+		controller.TargetTemp, controller.DefaultLadder())
+	if err != nil {
+		return nil, err
+	}
+	out := &FlowLUT{
+		TargetC:         float64(lut.Target),
+		Ladder:          append([]float64(nil), lut.Ladder...),
+		TmaxC:           make([][]float64, len(lut.TmaxAt)),
+		RequiredSetting: make([]int, len(lut.Required)),
+	}
+	for s, row := range lut.TmaxAt {
+		out.TmaxC[s] = make([]float64, len(row))
+		for k, v := range row {
+			out.TmaxC[s][k] = float64(v)
+		}
+	}
+	for k, s := range lut.Required {
+		out.RequiredSetting[k] = int(s)
+	}
+	return out, nil
+}
+
+// BuildWeights computes the TALB thermal weight table: one base weight
+// per core (mean 1), lower for cores in thermally weak spots.
+func (a *Analysis) BuildWeights(ctx context.Context) ([]float64, error) {
+	w, err := controller.BuildWeights(ctx, a.model, a.pump, 3)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), w.Base...), nil
+}

@@ -1,0 +1,383 @@
+// Package coolsim is the public API of the repro library: it wires the
+// thermal model, workload, scheduler, pump and flow-rate controller of
+// conf_date_CoskunARBM10 into ready-to-run scenarios without exposing the
+// internal substrate packages.
+//
+// The building blocks are:
+//
+//   - Scenario: one (stack, cooling, policy, workload) simulation, the
+//     unit the paper's figures are built from. Run executes it as a
+//     batch; RunMany fans a slice of scenarios over a worker pool.
+//   - Session: incremental execution — NewSession + Step yield one
+//     Sample per 100 ms tick (temperatures, pump state, power,
+//     migrations), the streaming seam behind cmd/coolserved.
+//   - Analysis: the offline steady-state sweeps (flow lookup table,
+//     thermal weights) in plain-data form.
+//
+// Every entry point takes a context.Context and honors cancellation
+// within one simulated tick. Configuration is a Scenario value plus
+// functional options (WithWorkers, WithGrid, WithSolver, WithTick,
+// WithObserver); failures surface as typed errors (ErrUnknownWorkload,
+// ErrUnknownCooling, ...) that wrap into errors.Is.
+package coolsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/pump"
+	"repro/internal/rcnet"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Cooling mode names accepted in Scenario.Cooling.
+const (
+	CoolingAir = "air"
+	CoolingMax = "max"
+	CoolingVar = "var"
+)
+
+// Scheduling policy names accepted in Scenario.Policy.
+const (
+	PolicyLB        = "lb"
+	PolicyMigration = "mig"
+	PolicyTALB      = "talb"
+)
+
+// Faults injects failure modes for robustness studies. The zero value is
+// a healthy system. All fault randomness is seeded from Scenario.Seed, so
+// faulty runs are as deterministic as healthy ones.
+type Faults struct {
+	// PumpStuck, when non-nil, pins the delivered flow to this pump
+	// setting regardless of the controller's decisions.
+	PumpStuck *int `json:"pump_stuck,omitempty"`
+	// SensorNoiseStdDev adds zero-mean Gaussian noise (°C) to every
+	// temperature the policies observe; metrics use ground truth.
+	SensorNoiseStdDev float64 `json:"sensor_noise_stddev,omitempty"`
+	// SensorDropoutProb is the per-tick probability that all sensors
+	// return their previous reading.
+	SensorDropoutProb float64 `json:"sensor_dropout_prob,omitempty"`
+}
+
+// Scenario describes one simulation in user-level terms. The zero value
+// is not runnable; start from DefaultScenario. The struct marshals to
+// JSON (it is the wire format of cmd/coolserved's POST /v1/runs).
+type Scenario struct {
+	// Layers: 2 or 4.
+	Layers int `json:"layers,omitempty"`
+	// Cooling: "air", "max" (worst-case flow), or "var" (the paper's
+	// controller).
+	Cooling string `json:"cooling,omitempty"`
+	// Policy: "lb", "mig", or "talb".
+	Policy string `json:"policy,omitempty"`
+	// Workload is a Table II benchmark name (see Workloads).
+	Workload string `json:"workload,omitempty"`
+	// Duration and Warmup in seconds. Zero values keep the defaults
+	// (60 s measured after a 5 s warm-up).
+	Duration float64 `json:"duration,omitempty"`
+	Warmup   float64 `json:"warmup,omitempty"`
+	// Seed for the synthetic trace (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// DPM enables the fixed-timeout sleep policy.
+	DPM bool `json:"dpm,omitempty"`
+	// GridNX, GridNY default to 23×20 when zero.
+	GridNX int `json:"grid_nx,omitempty"`
+	GridNY int `json:"grid_ny,omitempty"`
+	// Solver selects the thermal linear solver: "auto" (default, cached
+	// LDLᵀ direct with CG fallback), "direct", or "cg".
+	Solver string `json:"solver,omitempty"`
+	// Faults injects failure modes (robustness experiments).
+	Faults Faults `json:"faults,omitzero"`
+	// UtilSchedule, if non-nil, rescales workload intensity over time
+	// (e.g. day/night shifts). It receives seconds since measurement
+	// start (warm-up has t < 0) and returns a utilization scale. Not
+	// serialized.
+	UtilSchedule func(t float64) float64 `json:"-"`
+}
+
+// DefaultScenario is a 2-layer TALB(Var) run of Web-med.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Layers: 2, Cooling: CoolingVar, Policy: PolicyTALB, Workload: "Web-med",
+		Duration: 60, Warmup: 5, Seed: 1,
+	}
+}
+
+// Validate reports whether the scenario is runnable, returning the typed
+// error of the first bad field (ErrUnknownWorkload, ErrBadLayers, ...).
+func (sc Scenario) Validate() error {
+	_, err := sc.simConfig(config{})
+	return err
+}
+
+// Report is the user-facing result of a scenario: flat, unit-suffixed
+// fields ready for JSON.
+type Report struct {
+	Scenario Scenario `json:"scenario"`
+	// Samples is the number of measured ticks; SimTimeS the measured
+	// duration they span.
+	Samples  int     `json:"samples"`
+	SimTimeS float64 `json:"sim_time_s"`
+	// MaxTempC / MeanTempC summarize the maximum die temperature trace.
+	MaxTempC  float64 `json:"max_temp_c"`
+	MeanTempC float64 `json:"mean_temp_c"`
+	// HotSpotPct is the percentage of time above 85 °C, Above80Pct above
+	// the 80 °C target.
+	HotSpotPct float64 `json:"hot_spot_pct"`
+	Above80Pct float64 `json:"above80_pct"`
+	// GradientPct is the percentage of time with spatial gradients above
+	// 15 °C; CyclePct the percentage of (core, sample) pairs cycling more
+	// than 20 °C; MeanGradientC the average spatial gradient.
+	GradientPct   float64 `json:"gradient_pct"`
+	CyclePct      float64 `json:"cycle_pct"`
+	CycleEvents   int     `json:"cycle_events"`
+	MeanGradientC float64 `json:"mean_gradient_c"`
+	// Energies in joules over the measurement window.
+	ChipEnergyJ  float64 `json:"chip_energy_j"`
+	PumpEnergyJ  float64 `json:"pump_energy_j"`
+	TotalEnergyJ float64 `json:"total_energy_j"`
+	// Throughput in completed threads per second; Completed the total
+	// count; PendingAtEnd the backlog left in the queues.
+	Throughput   float64 `json:"throughput_per_s"`
+	Completed    int64   `json:"completed"`
+	PendingAtEnd int     `json:"pending_at_end"`
+	// MeanResponseS is the average thread sojourn time in seconds.
+	MeanResponseS float64 `json:"mean_response_s"`
+	// Controller statistics: time-averaged pump setting, time-averaged
+	// per-cavity flow (ml/min), and ARMA predictor reconstructions.
+	MeanSetting   float64 `json:"mean_setting"`
+	MeanFlowMLMin float64 `json:"mean_flow_mlmin"`
+	Refits        int     `json:"refits"`
+	// Scheduler activity.
+	Migrations   int64 `json:"migrations"`
+	BalanceMoves int64 `json:"balance_moves"`
+}
+
+// Run executes a scenario to completion. Cancel ctx to abort: Run then
+// returns ctx.Err() within one simulated tick. WithObserver registers a
+// per-tick hook that receives every Sample of the run (including warm-up
+// ticks, which have negative Sample.Time).
+func Run(ctx context.Context, sc Scenario, opts ...Option) (*Report, error) {
+	s, err := NewSession(ctx, sc, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.drain()
+}
+
+// RunMany executes several scenarios on a worker pool (WithWorkers;
+// default runtime.NumCPU()) and returns the reports in input order. Every
+// scenario owns its simulator state and RNG seeding, so the reports are
+// identical to running the scenarios serially, for any worker count.
+//
+// Cancellation is prompt: once ctx is done no queued scenario starts,
+// in-flight scenarios abort at the next tick, and RunMany returns
+// ctx.Err(). WithObserver is not supported here (samples of concurrent
+// runs would interleave); use Run or Session per scenario instead.
+func RunMany(ctx context.Context, scs []Scenario, opts ...Option) ([]*Report, error) {
+	cfg := buildConfig(opts)
+	cfgs := make([]sim.Config, len(scs))
+	for i, sc := range scs {
+		simCfg, err := sc.simConfig(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", i, err)
+		}
+		cfgs[i] = simCfg
+	}
+	results, err := sim.RunAll(ctx, cfgs, cfg.workers)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*Report, len(scs))
+	for i, r := range results {
+		reports[i] = newReport(scs[i], r)
+	}
+	return reports, nil
+}
+
+// RunTraced executes a scenario while streaming a per-tick CSV trace of
+// temperatures and pump state to dst (measured ticks only).
+func RunTraced(ctx context.Context, sc Scenario, dst io.Writer, opts ...Option) (*Report, error) {
+	s, err := NewSession(ctx, sc, opts...)
+	if err != nil {
+		return nil, err
+	}
+	tr := sim.NewTraceRecorder(s.sim, dst)
+	for {
+		smp, err := s.Step()
+		if err != nil {
+			if errors.Is(err, ErrSessionDone) {
+				break
+			}
+			return nil, err
+		}
+		if s.cfg.observer != nil {
+			s.cfg.observer(smp)
+		}
+		// The CSV trace keeps its historical shape: measured ticks only.
+		if smp.Measured {
+			if err := tr.Record(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		return nil, err
+	}
+	return s.Report(), nil
+}
+
+func newReport(sc Scenario, r *sim.Result) *Report {
+	return &Report{
+		Scenario:      sc,
+		Samples:       r.Samples,
+		SimTimeS:      float64(r.SimTime),
+		MaxTempC:      r.MaxTemp,
+		MeanTempC:     r.MeanTemp,
+		HotSpotPct:    r.HotSpotPct,
+		Above80Pct:    r.Above80Pct,
+		GradientPct:   r.GradientPct,
+		CyclePct:      r.CyclePct,
+		CycleEvents:   r.CycleEvents,
+		MeanGradientC: r.MeanGradient,
+		ChipEnergyJ:   float64(r.ChipEnergy),
+		PumpEnergyJ:   float64(r.PumpEnergy),
+		TotalEnergyJ:  float64(r.TotalEnergy),
+		Throughput:    r.Throughput,
+		Completed:     r.Completed,
+		PendingAtEnd:  r.PendingAtEnd,
+		MeanResponseS: float64(r.MeanResponse),
+		MeanSetting:   r.MeanSetting,
+		MeanFlowMLMin: units.LitersPerMinute(r.MeanFlowLPM).MilliLitersPerMinute(),
+		Refits:        r.Refits,
+		Migrations:    r.Migrations,
+		BalanceMoves:  r.BalanceMoves,
+	}
+}
+
+// WriteSummary renders a human-readable report.
+func (r *Report) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "scenario: %d-layer %s / %s / %s (%.0fs)\n",
+		r.Scenario.Layers, r.Scenario.Cooling, r.Scenario.Policy,
+		r.Scenario.Workload, r.SimTimeS)
+	fmt.Fprintf(w, "  Tmax observed:    %.2f °C (mean %.2f °C)\n", r.MaxTempC, r.MeanTempC)
+	fmt.Fprintf(w, "  hot spots >85°C:  %.2f %% of time (above 80 °C: %.2f %%)\n",
+		r.HotSpotPct, r.Above80Pct)
+	fmt.Fprintf(w, "  gradients >15°C:  %.2f %%   cycles >20°C: %.2f %%\n",
+		r.GradientPct, r.CyclePct)
+	fmt.Fprintf(w, "  energy:           chip %.1f J, pump %.1f J, total %.1f J\n",
+		r.ChipEnergyJ, r.PumpEnergyJ, r.TotalEnergyJ)
+	fmt.Fprintf(w, "  throughput:       %.1f threads/s (%d completed, %d pending)\n",
+		r.Throughput, r.Completed, r.PendingAtEnd)
+	if r.Scenario.Cooling == CoolingVar {
+		fmt.Fprintf(w, "  controller:       mean setting %.2f, mean flow %.0f ml/min, %d refits\n",
+			r.MeanSetting, r.MeanFlowMLMin, r.Refits)
+	}
+	if r.Migrations > 0 {
+		fmt.Fprintf(w, "  migrations:       %d\n", r.Migrations)
+	}
+}
+
+// Workloads returns the Table II benchmark names.
+func Workloads() []string {
+	out := make([]string, len(workload.TableII))
+	for i, b := range workload.TableII {
+		out[i] = b.Name
+	}
+	return out
+}
+
+func parseCooling(s string) (sim.CoolingMode, error) {
+	switch s {
+	case CoolingAir:
+		return sim.Air, nil
+	case CoolingMax:
+		return sim.LiquidMax, nil
+	case CoolingVar:
+		return sim.LiquidVar, nil
+	default:
+		return 0, fmt.Errorf("%w: %q (want air|max|var)", ErrUnknownCooling, s)
+	}
+}
+
+func parsePolicy(s string) (sched.Policy, error) {
+	switch s {
+	case PolicyLB:
+		return sched.LB, nil
+	case PolicyMigration, "migration":
+		return sched.Migration, nil
+	case PolicyTALB:
+		return sched.TALB, nil
+	default:
+		return 0, fmt.Errorf("%w: %q (want lb|mig|talb)", ErrUnknownPolicy, s)
+	}
+}
+
+// simConfig lowers the user-level scenario plus run options into the
+// internal simulator configuration.
+func (sc Scenario) simConfig(rc config) (sim.Config, error) {
+	if sc.Layers != 2 && sc.Layers != 4 {
+		return sim.Config{}, fmt.Errorf("%w: %d (want 2 or 4)", ErrBadLayers, sc.Layers)
+	}
+	cooling, err := parseCooling(sc.Cooling)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	policy, err := parsePolicy(sc.Policy)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	bench, err := workload.ByName(sc.Workload)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("%w: %q", ErrUnknownWorkload, sc.Workload)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Layers = sc.Layers
+	cfg.Cooling = cooling
+	cfg.Policy = policy
+	cfg.Bench = bench
+	if sc.Seed != 0 {
+		cfg.Seed = sc.Seed
+	}
+	if sc.Duration > 0 {
+		cfg.Duration = units.Second(sc.Duration)
+	}
+	if sc.Warmup > 0 {
+		cfg.Warmup = units.Second(sc.Warmup)
+	}
+	if sc.GridNX > 0 && sc.GridNY > 0 {
+		cfg.GridNX, cfg.GridNY = sc.GridNX, sc.GridNY
+	}
+	cfg.DPMEnabled = sc.DPM
+	solverName := sc.Solver
+	if rc.solver != "" {
+		solverName = rc.solver
+	}
+	solver, err := rcnet.ParseSolver(solverName)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("%w: %q (want auto|direct|cg)", ErrUnknownSolver, solverName)
+	}
+	cfg.Solver = solver
+	if sc.Faults.PumpStuck != nil {
+		ps := pump.Setting(*sc.Faults.PumpStuck)
+		cfg.Faults.PumpStuck = &ps
+	}
+	cfg.Faults.SensorNoiseStdDev = sc.Faults.SensorNoiseStdDev
+	cfg.Faults.SensorDropoutProb = sc.Faults.SensorDropoutProb
+	if sc.UtilSchedule != nil {
+		us := sc.UtilSchedule
+		cfg.UtilSchedule = func(t units.Second) float64 { return us(float64(t)) }
+	}
+	if rc.gridNX > 0 && rc.gridNY > 0 {
+		cfg.GridNX, cfg.GridNY = rc.gridNX, rc.gridNY
+	}
+	if rc.tick > 0 {
+		cfg.Tick = units.Second(rc.tick)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,24 @@
+package coolsim
+
+import "errors"
+
+// Typed errors for scenario validation and session control flow. All
+// errors returned by this package either are one of these sentinels or
+// wrap one, so callers can dispatch with errors.Is; canceled runs return
+// the context's error (context.Canceled / context.DeadlineExceeded)
+// unchanged.
+var (
+	// ErrUnknownCooling: Scenario.Cooling is not air|max|var.
+	ErrUnknownCooling = errors.New("coolsim: unknown cooling mode")
+	// ErrUnknownPolicy: Scenario.Policy is not lb|mig|talb.
+	ErrUnknownPolicy = errors.New("coolsim: unknown scheduling policy")
+	// ErrUnknownWorkload: Scenario.Workload is not a Table II benchmark.
+	ErrUnknownWorkload = errors.New("coolsim: unknown workload")
+	// ErrUnknownSolver: Scenario.Solver is not auto|direct|cg.
+	ErrUnknownSolver = errors.New("coolsim: unknown solver")
+	// ErrBadLayers: Scenario.Layers is not 2 or 4.
+	ErrBadLayers = errors.New("coolsim: unsupported layer count")
+	// ErrSessionDone is returned by Session.Step once the configured
+	// duration has elapsed (the io.EOF of the streaming API).
+	ErrSessionDone = errors.New("coolsim: session complete")
+)

@@ -1,0 +1,117 @@
+package coolsim_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/coolsim"
+)
+
+// A small scenario keeps the examples fast: a coarse 12×10 thermal grid
+// and a short measured window.
+func exampleScenario() coolsim.Scenario {
+	sc := coolsim.DefaultScenario() // 2-layer, var cooling, TALB, Web-med
+	sc.Duration = 3
+	sc.Warmup = 1
+	sc.GridNX, sc.GridNY = 12, 10
+	return sc
+}
+
+// Run executes one scenario as a batch and returns the aggregate report.
+func ExampleRun() {
+	report, err := coolsim.Run(context.Background(), exampleScenario())
+	if err != nil {
+		fmt.Println("run failed:", err)
+		return
+	}
+	fmt.Println("measured ticks:", report.Samples)
+	fmt.Println("held below 85°C:", report.HotSpotPct == 0)
+	// Output:
+	// measured ticks: 30
+	// held below 85°C: true
+}
+
+// RunMany fans scenarios over a worker pool; reports come back in input
+// order and are identical to serial runs for any worker count.
+func ExampleRunMany() {
+	base := exampleScenario()
+	var scs []coolsim.Scenario
+	for _, wl := range []string{"Web-med", "gzip"} {
+		sc := base
+		sc.Workload = wl
+		scs = append(scs, sc)
+	}
+	reports, err := coolsim.RunMany(context.Background(), scs, coolsim.WithWorkers(2))
+	if err != nil {
+		fmt.Println("run failed:", err)
+		return
+	}
+	for _, r := range reports {
+		fmt.Println(r.Scenario.Workload, "completed:", r.Completed > 0)
+	}
+	// Output:
+	// Web-med completed: true
+	// gzip completed: true
+}
+
+// NewSession executes a scenario tick by tick, yielding one Sample per
+// 100 ms of simulated time — the streaming view batch Run hides.
+func ExampleNewSession() {
+	ss, err := coolsim.NewSession(context.Background(), exampleScenario())
+	if err != nil {
+		fmt.Println("session failed:", err)
+		return
+	}
+	ticks, measured := 0, 0
+	for {
+		sample, err := ss.Step()
+		if errors.Is(err, coolsim.ErrSessionDone) {
+			break
+		}
+		if err != nil {
+			fmt.Println("step failed:", err)
+			return
+		}
+		ticks++
+		if sample.Measured {
+			measured++
+		}
+	}
+	fmt.Println("ticks:", ticks)
+	fmt.Println("measured:", measured)
+	fmt.Println("report samples match:", ss.Report().Samples == measured)
+	// Output:
+	// ticks: 40
+	// measured: 30
+	// report samples match: true
+}
+
+// WithObserver streams every tick of a batch Run without giving up the
+// one-call API.
+func ExampleWithObserver() {
+	peak := 0.0
+	report, err := coolsim.Run(context.Background(), exampleScenario(),
+		coolsim.WithObserver(func(s *coolsim.Sample) {
+			if s.Measured && s.TmaxC > peak {
+				peak = s.TmaxC
+			}
+		}))
+	if err != nil {
+		fmt.Println("run failed:", err)
+		return
+	}
+	fmt.Println("observer peak matches report:", peak == report.MaxTempC)
+	// Output:
+	// observer peak matches report: true
+}
+
+// Typed errors let callers dispatch on what was wrong with a scenario.
+func ExampleScenario_Validate() {
+	sc := exampleScenario()
+	sc.Workload = "seti@home"
+	err := sc.Validate()
+	fmt.Println(errors.Is(err, coolsim.ErrUnknownWorkload))
+	// Output:
+	// true
+}

@@ -1,0 +1,54 @@
+package coolsim
+
+// Option tunes how a scenario is executed (as opposed to Scenario, which
+// describes what is simulated). Options apply to Run, RunMany, RunTraced
+// and NewSession.
+type Option func(*config)
+
+type config struct {
+	workers        int
+	gridNX, gridNY int
+	solver         string
+	tick           float64
+	observer       func(*Sample)
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithWorkers bounds RunMany's worker pool; n ≤ 0 (the default) selects
+// runtime.NumCPU(). Reports are byte-identical for any worker count.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithGrid overrides the thermal grid resolution of every scenario in the
+// call, taking precedence over Scenario.GridNX/GridNY.
+func WithGrid(nx, ny int) Option {
+	return func(c *config) { c.gridNX, c.gridNY = nx, ny }
+}
+
+// WithSolver overrides the thermal linear solver ("auto", "direct" or
+// "cg"), taking precedence over Scenario.Solver.
+func WithSolver(name string) Option {
+	return func(c *config) { c.solver = name }
+}
+
+// WithTick overrides the sampling interval in seconds (default 0.1, the
+// paper's 100 ms tick).
+func WithTick(seconds float64) Option {
+	return func(c *config) { c.tick = seconds }
+}
+
+// WithObserver registers a per-tick hook on Run: fn receives every Sample
+// of the run, warm-up ticks included (negative Sample.Time). The *Sample
+// is reused between ticks — observers that retain it must Clone. The
+// observer adds no allocations to the tick path. RunMany ignores it.
+func WithObserver(fn func(*Sample)) Option {
+	return func(c *config) { c.observer = fn }
+}

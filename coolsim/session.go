@@ -1,0 +1,176 @@
+package coolsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Sample is the per-tick observation a Session yields: the state the
+// batch-only Report hides. Fields are plain and JSON-tagged; Sample is
+// the NDJSON line format of cmd/coolserved's stream endpoint.
+//
+// The Session reuses one Sample (including its slices) across ticks to
+// keep the streaming path allocation-free — callers that retain a Sample
+// beyond the next Step must Clone it.
+type Sample struct {
+	// Time in seconds since measurement start: the simulation clock at
+	// the end of the tick (at or below zero while warming up).
+	Time float64 `json:"t_s"`
+	// Measured reports whether this tick counts toward the Report's
+	// measurement window (ticks that start at t ≥ 0). The number of
+	// Measured samples in a full session equals Report.Samples.
+	Measured bool `json:"measured"`
+	// TmaxC is the maximum die temperature.
+	TmaxC float64 `json:"tmax_c"`
+	// LayerMaxC / LayerMeanC are per-stack-layer hottest-sensor and mean
+	// temperatures, index 0 the bottom layer.
+	LayerMaxC  []float64 `json:"layer_max_c"`
+	LayerMeanC []float64 `json:"layer_mean_c"`
+	// Setting is the pump setting actually delivering flow (after
+	// transition delays and faults); -1 for air-cooled runs.
+	Setting int `json:"setting"`
+	// FlowMLMin is the delivered per-cavity flow in ml/min.
+	FlowMLMin float64 `json:"flow_mlmin"`
+	// ChipPowerW and PumpPowerW are the powers drawn during the tick.
+	ChipPowerW float64 `json:"chip_w"`
+	PumpPowerW float64 `json:"pump_w"`
+	// Migrations is the cumulative thread migration count.
+	Migrations int64 `json:"migrations"`
+	// Refits is the cumulative ARMA predictor reconstruction count.
+	Refits int `json:"refits"`
+}
+
+// Clone returns a deep copy safe to retain across Steps.
+func (s *Sample) Clone() Sample {
+	c := *s
+	c.LayerMaxC = append([]float64(nil), s.LayerMaxC...)
+	c.LayerMeanC = append([]float64(nil), s.LayerMeanC...)
+	return c
+}
+
+// Session is an incrementally-executed scenario: each Step advances one
+// 100 ms tick and yields a Sample, until ErrSessionDone. Use it to watch
+// a run in flight (live dashboards, the coolserved stream endpoint, custom
+// stopping rules) where Run only reports at the end.
+//
+// A Session is not safe for concurrent use.
+type Session struct {
+	ctx       context.Context
+	sc        Scenario
+	cfg       config
+	sim       *sim.Sim
+	duration  units.Second
+	sample    Sample
+	layerMax  []units.Celsius
+	layerMean []units.Celsius
+	done      bool
+}
+
+// NewSession assembles a scenario for incremental execution. The context
+// is checked on every Step: canceling it makes Step (and any Run driving
+// the session) return ctx.Err() within one tick.
+func NewSession(ctx context.Context, sc Scenario, opts ...Option) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := buildConfig(opts)
+	simCfg, err := sc.simConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(ctx, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	n := s.NumLayers()
+	ss := &Session{
+		ctx:       ctx,
+		sc:        sc,
+		cfg:       cfg,
+		sim:       s,
+		duration:  simCfg.Duration,
+		layerMax:  make([]units.Celsius, n),
+		layerMean: make([]units.Celsius, n),
+	}
+	ss.sample.LayerMaxC = make([]float64, n)
+	ss.sample.LayerMeanC = make([]float64, n)
+	return ss, nil
+}
+
+// Step advances one tick and returns the resulting Sample, which is valid
+// until the next Step (Clone to retain). It returns ErrSessionDone once
+// the configured duration has elapsed, and ctx.Err() if the session's
+// context has been canceled.
+func (ss *Session) Step() (*Sample, error) {
+	if ss.done {
+		return nil, ErrSessionDone
+	}
+	if err := ss.ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ss.sim.Time() >= ss.duration {
+		ss.done = true
+		return nil, ErrSessionDone
+	}
+	measured := ss.sim.Time() >= 0 // the tick about to run starts now
+	if err := ss.sim.Step(); err != nil {
+		return nil, fmt.Errorf("coolsim: step at t=%v: %w", ss.sim.Time(), err)
+	}
+	ss.fill(measured)
+	return &ss.sample, nil
+}
+
+// fill refreshes the reused Sample from the simulator state. It must not
+// allocate: BenchmarkSessionStep holds the streaming path to the same
+// 0 B/op overhead budget as the underlying sim tick.
+func (ss *Session) fill(measured bool) {
+	s := ss.sim
+	ss.sample.Time = float64(s.Time())
+	ss.sample.Measured = measured
+	ss.sample.TmaxC = float64(s.Tmax())
+	// Lengths were fixed at construction; the error path is unreachable.
+	_ = s.LayerTempsInto(ss.layerMax, ss.layerMean)
+	for i := range ss.layerMax {
+		ss.sample.LayerMaxC[i] = float64(ss.layerMax[i])
+		ss.sample.LayerMeanC[i] = float64(ss.layerMean[i])
+	}
+	ss.sample.Setting = s.DeliveredSetting()
+	ss.sample.FlowMLMin = s.DeliveredFlow().MilliLitersPerMinute()
+	ss.sample.ChipPowerW = float64(s.ChipPower())
+	ss.sample.PumpPowerW = float64(s.PumpPower())
+	ss.sample.Migrations = s.Sched.Migrations()
+	ss.sample.Refits = s.Refits()
+}
+
+// Done reports whether the session has run to completion.
+func (ss *Session) Done() bool { return ss.done }
+
+// Time returns the simulation clock in seconds (negative during warm-up).
+func (ss *Session) Time() float64 { return float64(ss.sim.Time()) }
+
+// Report finalizes the metrics collected so far. It is valid at any
+// point of the session (typically after ErrSessionDone).
+func (ss *Session) Report() *Report {
+	return newReport(ss.sc, ss.sim.Result())
+}
+
+// drain runs the session to completion on behalf of Run, feeding the
+// observer if one is registered.
+func (ss *Session) drain() (*Report, error) {
+	for {
+		smp, err := ss.Step()
+		if err != nil {
+			if errors.Is(err, ErrSessionDone) {
+				return ss.Report(), nil
+			}
+			return nil, err
+		}
+		if ss.cfg.observer != nil {
+			ss.cfg.observer(smp)
+		}
+	}
+}

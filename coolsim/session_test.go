@@ -1,0 +1,172 @@
+package coolsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSessionStepsToCompletion(t *testing.T) {
+	sc := quickScenario()
+	sc.Duration = 5
+	sc.Warmup = 1
+	ss, err := NewSession(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := 0
+	for {
+		smp, err := ss.Step()
+		if errors.Is(err, ErrSessionDone) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smp.TmaxC < 20 || smp.TmaxC > 120 {
+			t.Fatalf("implausible tick Tmax %v", smp.TmaxC)
+		}
+		if smp.Setting < 0 || smp.FlowMLMin <= 0 {
+			t.Fatalf("liquid run without flow: %+v", smp)
+		}
+		ticks++
+	}
+	if !ss.Done() {
+		t.Error("Done() = false after ErrSessionDone")
+	}
+	// (1 s warm-up + 5 s measured) / 0.1 s tick = 60 ticks.
+	if ticks != 60 {
+		t.Errorf("stepped %d ticks, want 60", ticks)
+	}
+	if _, err := ss.Step(); !errors.Is(err, ErrSessionDone) {
+		t.Errorf("Step after completion = %v, want ErrSessionDone", err)
+	}
+	r := ss.Report()
+	if r.Samples != 50 {
+		t.Errorf("report samples = %d, want 50 measured ticks", r.Samples)
+	}
+}
+
+func TestSessionMatchesRun(t *testing.T) {
+	sc := quickScenario()
+	sc.Duration = 5
+	batch, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewSession(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := ss.Step(); err != nil {
+			if errors.Is(err, ErrSessionDone) {
+				break
+			}
+			t.Fatal(err)
+		}
+	}
+	stepped := ss.Report()
+	if batch.ChipEnergyJ != stepped.ChipEnergyJ || batch.MaxTempC != stepped.MaxTempC ||
+		batch.Completed != stepped.Completed {
+		t.Errorf("session diverges from batch Run:\nbatch   %+v\nstepped %+v", batch, stepped)
+	}
+}
+
+func TestSessionCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ss, err := NewSession(ctx, quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Step(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := ss.Step(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Step after cancel = %v, want context.Canceled", err)
+	}
+}
+
+func TestSampleClone(t *testing.T) {
+	ss, err := NewSession(context.Background(), quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := ss.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := smp.Clone()
+	before := clone.LayerMaxC[0]
+	smp.LayerMaxC[0] = -999 // simulate the next tick overwriting
+	if clone.LayerMaxC[0] != before {
+		t.Error("Clone shares slice storage with the live sample")
+	}
+}
+
+// TestSessionFillAllocFree pins the streaming seam's overhead: refreshing
+// the per-tick Sample from simulator state must not allocate, so Session
+// streaming cannot regress the allocation-free tick loop of PR 1/2.
+func TestSessionFillAllocFree(t *testing.T) {
+	ss, err := NewSession(context.Background(), quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { ss.fill(true) }); allocs != 0 {
+		t.Errorf("Session fill allocates %.0f objects per tick, want 0", allocs)
+	}
+}
+
+func TestRunTraced(t *testing.T) {
+	sc := quickScenario()
+	sc.Duration = 5
+	var buf bytes.Buffer
+	r, err := RunTraced(context.Background(), sc, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + one row per measured tick.
+	if len(rows) != r.Samples+1 {
+		t.Errorf("trace rows = %d, want %d", len(rows)-1, r.Samples)
+	}
+}
+
+func TestRunTracedMatchesRun(t *testing.T) {
+	sc := quickScenario()
+	sc.Duration = 5
+	plain, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	traced, err := RunTraced(context.Background(), sc, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ChipEnergyJ != traced.ChipEnergyJ || plain.MaxTempC != traced.MaxTempC {
+		t.Error("tracing changed the simulation results")
+	}
+}
+
+func TestRunTracedValidates(t *testing.T) {
+	sc := quickScenario()
+	sc.Cooling = "plasma"
+	var buf bytes.Buffer
+	if _, err := RunTraced(context.Background(), sc, &buf); !errors.Is(err, ErrUnknownCooling) {
+		t.Errorf("err = %v, want ErrUnknownCooling", err)
+	}
+}

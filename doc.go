@@ -6,6 +6,15 @@
 // with temperature-aware weighted load balancing, and the proactive
 // variable-flow pump controller the paper contributes.
 //
+// The public API is the repro/coolsim package: context-cancellable
+// Run/RunMany/RunTraced over plain Scenario values, a Session/Sample
+// streaming API yielding allocation-free per-tick observations, functional
+// options (WithWorkers, WithGrid, WithSolver, WithTick, WithObserver),
+// typed errors, and the offline Analysis sweeps. Everything under
+// internal/ is an implementation detail; a CI guard keeps the examples on
+// the public surface. cmd/coolserved serves scenarios as an HTTP job
+// service (submit, poll, stream NDJSON samples — see SERVICE.md).
+//
 // See README.md for the build/test/bench quickstart, the layout, the
 // parallel experiment engine (the -workers flag on cmd/repro and
 // cmd/coolsim, experiments.Options.Workers, sim.RunAll) and the thermal

@@ -4,31 +4,29 @@
 // the ARMA predictor tracks each regime, the SPRT detects the regime
 // changes and triggers predictor reconstruction, and the flow controller
 // rides the pump setting down at night and back up in the morning.
+//
+// The per-tick reporting runs on the public streaming API: a
+// coolsim.Session yields one Sample per 100 ms tick.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/units"
-	"repro/internal/workload"
+	"repro/coolsim"
 )
 
 func main() {
-	bench, err := workload.ByName("Web&DB")
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := sim.DefaultConfig()
-	cfg.Bench = bench
-	cfg.Policy = sched.TALB
-	cfg.Cooling = sim.LiquidVar
-	cfg.Duration = 180 // one compressed day/night/day cycle
-	cfg.Warmup = 5
+	sc := coolsim.DefaultScenario()
+	sc.Workload = "Web&DB"
+	sc.Policy = coolsim.PolicyTALB
+	sc.Cooling = coolsim.CoolingVar
+	sc.Duration = 180 // one compressed day/night/day cycle
+	sc.Warmup = 5
 	// Day for the first minute, night for the second, day again.
-	cfg.UtilSchedule = func(t units.Second) float64 {
+	sc.UtilSchedule = func(t float64) float64 {
 		switch {
 		case t < 60:
 			return 1.0
@@ -39,24 +37,27 @@ func main() {
 		}
 	}
 
-	s, err := sim.New(cfg)
+	s, err := coolsim.NewSession(context.Background(), sc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("t(s)   Tmax(°C)  pump-setting  refits")
-	for s.Time() < cfg.Duration {
-		if err := s.Step(); err != nil {
+	for {
+		sample, err := s.Step()
+		if errors.Is(err, coolsim.ErrSessionDone) {
+			break
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		// Report every 10 simulated seconds.
-		t := float64(s.Time())
-		if t >= 0 && int(t*10)%100 == 0 {
+		if sample.Time >= 0 && int(sample.Time*10)%100 == 0 {
 			fmt.Printf("%5.0f  %7.2f   %d             %d\n",
-				t, float64(s.Tmax()), s.AppliedSetting(), s.Ctrl.Refits())
+				sample.Time, sample.TmaxC, sample.Setting, sample.Refits)
 		}
 	}
-	r := s.Result()
+	r := s.Report()
 	fmt.Printf("\nshift summary: mean setting %.2f, pump energy %.0f J, chip energy %.0f J, %d ARMA refits\n",
-		r.MeanSetting, float64(r.PumpEnergy), float64(r.ChipEnergy), r.Refits)
-	fmt.Printf("temperature held below target: max observed %.2f °C (target 80 °C)\n", r.MaxTemp)
+		r.MeanSetting, r.PumpEnergyJ, r.ChipEnergyJ, r.Refits)
+	fmt.Printf("temperature held below target: max observed %.2f °C (target 80 °C)\n", r.MaxTempC)
 }

@@ -1,72 +1,52 @@
 // Fault tolerance: how the variable-flow controller behaves under
 // degraded conditions — noisy thermal sensors and a pump stuck at its
 // lowest setting — compared to healthy operation. Demonstrates the
-// fault-injection API and the CSV trace recorder.
+// fault-injection API and the CSV trace output.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/pump"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/workload"
+	"repro/coolsim"
 )
 
-func run(name string, faults sim.Faults, trace bool) {
-	bench, err := workload.ByName("Web&DB")
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg := sim.DefaultConfig()
-	cfg.Bench = bench
-	cfg.Cooling = sim.LiquidVar
-	cfg.Policy = sched.TALB
-	cfg.Duration = 30
-	cfg.Warmup = 5
-	cfg.Faults = faults
+func run(name string, faults coolsim.Faults, trace bool) {
+	sc := coolsim.DefaultScenario()
+	sc.Workload = "Web&DB"
+	sc.Cooling = coolsim.CoolingVar
+	sc.Policy = coolsim.PolicyTALB
+	sc.Duration = 30
+	sc.Warmup = 5
+	sc.Faults = faults
 
-	s, err := sim.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var tr *sim.TraceRecorder
+	var r *coolsim.Report
+	var err error
 	if trace {
-		f, err := os.Create("trace_" + name + ".csv")
-		if err != nil {
-			log.Fatal(err)
+		f, ferr := os.Create("trace_" + name + ".csv")
+		if ferr != nil {
+			log.Fatal(ferr)
 		}
 		defer f.Close()
-		tr = sim.NewTraceRecorder(s, f)
+		r, err = coolsim.RunTraced(context.Background(), sc, f)
+	} else {
+		r, err = coolsim.Run(context.Background(), sc)
 	}
-	for s.Time() < cfg.Duration {
-		if err := s.Step(); err != nil {
-			log.Fatal(err)
-		}
-		if tr != nil && s.Time() >= 0 {
-			if err := tr.Record(); err != nil {
-				log.Fatal(err)
-			}
-		}
+	if err != nil {
+		log.Fatal(err)
 	}
-	if tr != nil {
-		if err := tr.Flush(); err != nil {
-			log.Fatal(err)
-		}
-	}
-	r := s.Result()
 	fmt.Printf("%-14s Tmax=%6.2f°C  >80°C=%5.1f%%  pumpE=%6.0fJ  meanSetting=%.2f  refits=%d\n",
-		name, r.MaxTemp, r.Above80Pct, float64(r.PumpEnergy), r.MeanSetting, r.Refits)
+		name, r.MaxTempC, r.Above80Pct, r.PumpEnergyJ, r.MeanSetting, r.Refits)
 }
 
 func main() {
 	fmt.Println("Web&DB under the variable-flow controller, healthy vs degraded:")
-	run("healthy", sim.Faults{}, true)
-	run("noisy-sensors", sim.Faults{SensorNoiseStdDev: 1.0}, false)
-	run("sensor-dropout", sim.Faults{SensorDropoutProb: 0.25}, false)
-	stuck := pump.Setting(0)
-	run("pump-stuck-min", sim.Faults{PumpStuck: &stuck}, false)
+	run("healthy", coolsim.Faults{}, true)
+	run("noisy-sensors", coolsim.Faults{SensorNoiseStdDev: 1.0}, false)
+	run("sensor-dropout", coolsim.Faults{SensorDropoutProb: 0.25}, false)
+	stuck := 0
+	run("pump-stuck-min", coolsim.Faults{PumpStuck: &stuck}, false)
 	fmt.Println("\n(healthy run traced to trace_healthy.csv)")
 }

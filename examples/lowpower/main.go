@@ -6,36 +6,38 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/coolsim"
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("workload   cooling  chipE(J)  pumpE(J)  totalE(J)  Tmax(°C)  hot>85(%)")
 	for _, wl := range []string{"gzip", "MPlayer"} {
 		var base float64
-		for _, cooling := range []string{core.CoolingAir, core.CoolingMax, core.CoolingVar} {
-			sc := core.DefaultScenario()
+		for _, cooling := range []string{coolsim.CoolingAir, coolsim.CoolingMax, coolsim.CoolingVar} {
+			sc := coolsim.DefaultScenario()
 			sc.Workload = wl
 			sc.Cooling = cooling
-			sc.Policy = "talb"
+			sc.Policy = coolsim.PolicyTALB
 			sc.DPM = true
 			sc.Duration = 60
-			r, err := core.Run(sc)
+			r, err := coolsim.Run(ctx, sc)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("%-10s %-7s %9.0f %9.0f %10.0f %9.2f %10.2f\n",
-				wl, cooling, float64(r.ChipEnergy), float64(r.PumpEnergy),
-				float64(r.TotalEnergy), r.MaxTemp, r.HotSpotPct)
-			if cooling == core.CoolingMax {
-				base = float64(r.TotalEnergy)
+				wl, cooling, r.ChipEnergyJ, r.PumpEnergyJ,
+				r.TotalEnergyJ, r.MaxTempC, r.HotSpotPct)
+			if cooling == coolsim.CoolingMax {
+				base = r.TotalEnergyJ
 			}
-			if cooling == core.CoolingVar && base > 0 {
+			if cooling == coolsim.CoolingVar && base > 0 {
 				fmt.Printf("%-10s         variable flow saves %.1f%% of total energy vs max flow\n",
-					"", 100*(1-float64(r.TotalEnergy)/base))
+					"", 100*(1-r.TotalEnergyJ/base))
 			}
 		}
 	}

@@ -5,34 +5,36 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/core"
+	"repro/coolsim"
 )
 
 func main() {
-	sc := core.DefaultScenario() // 2-layer, var cooling, TALB, Web-med
+	ctx := context.Background()
+	sc := coolsim.DefaultScenario() // 2-layer, var cooling, TALB, Web-med
 	sc.Duration = 30
 	sc.Warmup = 5
 
 	fmt.Println("running:", sc.Workload, "on a", sc.Layers, "layer stack with",
 		sc.Cooling, "cooling and the", sc.Policy, "scheduler...")
-	report, err := core.Run(sc)
+	report, err := coolsim.Run(ctx, sc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	report.WriteSummary(os.Stdout)
 
 	// The headline comparison: the same run at the worst-case flow rate.
-	sc.Cooling = core.CoolingMax
-	max, err := core.Run(sc)
+	sc.Cooling = coolsim.CoolingMax
+	max, err := coolsim.Run(ctx, sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	saved := 100 * (1 - float64(report.PumpEnergy)/float64(max.PumpEnergy))
-	total := 100 * (1 - float64(report.TotalEnergy)/float64(max.TotalEnergy))
+	saved := 100 * (1 - report.PumpEnergyJ/max.PumpEnergyJ)
+	total := 100 * (1 - report.TotalEnergyJ/max.TotalEnergyJ)
 	fmt.Printf("\nvs worst-case flow: cooling energy -%.1f%%, total energy -%.1f%%, Tmax %.2f vs %.2f °C\n",
-		saved, total, report.MaxTemp, max.MaxTemp)
+		saved, total, report.MaxTempC, max.MaxTempC)
 }

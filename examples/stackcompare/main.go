@@ -6,26 +6,26 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/pump"
+	"repro/coolsim"
 )
 
 func main() {
 	for _, layers := range []int{2, 4} {
-		a, err := core.NewAnalysis(layers, 23, 20)
+		a, err := coolsim.NewAnalysis(layers, 23, 20)
 		if err != nil {
 			log.Fatal(err)
 		}
 		// Full-load power map (active cores, leakage at the target).
-		lut, err := a.BuildLUT()
+		lut, err := a.BuildLUT(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%d-layer stack (%d cores, %d cavities, %d microchannels)\n",
-			layers, len(a.Stack.Cores()), a.Stack.NumCavities(), a.Stack.TotalChannels())
+			layers, a.Cores(), a.Cavities(), a.Microchannels())
 		fmt.Println("  setting  flow/cavity(ml/min)  steady Tmax @ full load (°C)")
 		fullIdx := len(lut.Ladder) - 1
 		for k, l := range lut.Ladder {
@@ -33,18 +33,18 @@ func main() {
 				fullIdx = k
 			}
 		}
-		for s := pump.Setting(0); s < pump.NumSettings; s++ {
+		flows := a.SettingFlowsMLMin()
+		for s := 0; s < a.NumSettings(); s++ {
 			fmt.Printf("  %d        %6.0f               %6.2f\n",
-				s, a.Pump.PerCavityFlow(s).MilliLitersPerMinute(),
-				float64(lut.TmaxAt[s][fullIdx]))
+				s, flows[s], lut.TmaxC[s][fullIdx])
 		}
 		// Thermal asymmetry: the TALB weights the analysis derives.
-		w, err := a.BuildWeights()
+		w, err := a.BuildWeights(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
-		lo, hi := w.Base[0], w.Base[0]
-		for _, b := range w.Base {
+		lo, hi := w[0], w[0]
+		for _, b := range w {
 			if b < lo {
 				lo = b
 			}

@@ -5,8 +5,10 @@
 package benchutil
 
 import (
+	"context"
 	"testing"
 
+	"repro/coolsim"
 	"repro/internal/floorplan"
 	"repro/internal/grid"
 	"repro/internal/rcnet"
@@ -115,6 +117,28 @@ func SteadyState(b *testing.B) {
 	}
 }
 
+// SessionStep benchmarks one tick of the public streaming API: a full
+// simulator tick plus the per-tick Sample refresh of coolsim.Session.
+// Comparing it against SimTick isolates the streaming overhead, which
+// must stay at 0 B/op so Session/observer streaming cannot regress the
+// allocation-free tick loop.
+func SessionStep(b *testing.B) {
+	sc := coolsim.DefaultScenario()
+	sc.Duration = 1e9 // stepped manually
+	sc.Warmup = 0
+	sc.GridNX, sc.GridNY = 23, 20
+	s, err := coolsim.NewSession(context.Background(), sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // SimTick benchmarks one full simulator tick (workload, scheduling, DPM,
 // power, flow control, thermal step, metrics) on the coarse grid.
 func SimTick(b *testing.B) {
@@ -127,7 +151,7 @@ func SimTick(b *testing.B) {
 	cfg.Duration = 1e9 // stepped manually
 	cfg.Warmup = 0
 	cfg.GridNX, cfg.GridNY = 23, 20
-	s, err := sim.New(cfg)
+	s, err := sim.New(context.Background(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -15,6 +15,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -66,7 +67,9 @@ func DefaultLadder() []float64 {
 // direct solver each of the pump.NumSettings settings is factored exactly
 // once and all len(ladder) power points at that setting (and their inner
 // fixed-point iterations) reuse the cached factors.
-func BuildLUT(m *rcnet.Model, pm *pump.Pump, fullLoad [][]float64, target units.Celsius, ladder []float64) (*LUT, error) {
+// ctx is checked between sweep cells, so cancellation aborts the build
+// within one steady-state solve and returns ctx.Err().
+func BuildLUT(ctx context.Context, m *rcnet.Model, pm *pump.Pump, fullLoad [][]float64, target units.Celsius, ladder []float64) (*LUT, error) {
 	if len(ladder) < 2 {
 		return nil, fmt.Errorf("controller: ladder needs ≥2 points")
 	}
@@ -91,6 +94,9 @@ func BuildLUT(m *rcnet.Model, pm *pump.Pump, fullLoad [][]float64, target units.
 			return nil, err
 		}
 		for k, lambda := range ladder {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for li := range fullLoad {
 				for bi := range fullLoad[li] {
 					scaled[li][bi] = fullLoad[li][bi] * lambda

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -47,7 +48,7 @@ func buildLUT(t *testing.T) (*LUT, *rcnet.Model, *pump.Pump) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lut, err := BuildLUT(m, pm, fullLoadMap(st), TargetTemp, DefaultLadder())
+	lut, err := BuildLUT(context.Background(), m, pm, fullLoadMap(st), TargetTemp, DefaultLadder())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,10 +69,10 @@ func TestBuildLUTFactorsOncePerSetting(t *testing.T) {
 func TestBuildLUTValidation(t *testing.T) {
 	_, m, pm := buildLUT(t)
 	fl := fullLoadMap(m.Grid.Stack)
-	if _, err := BuildLUT(m, pm, fl, TargetTemp, []float64{1}); err == nil {
+	if _, err := BuildLUT(context.Background(), m, pm, fl, TargetTemp, []float64{1}); err == nil {
 		t.Error("expected error for single-point ladder")
 	}
-	if _, err := BuildLUT(m, pm, fl, TargetTemp, []float64{1, 0.5}); err == nil {
+	if _, err := BuildLUT(context.Background(), m, pm, fl, TargetTemp, []float64{1, 0.5}); err == nil {
 		t.Error("expected error for non-increasing ladder")
 	}
 }
@@ -258,7 +259,7 @@ func TestNewValidation(t *testing.T) {
 
 func TestBuildWeights(t *testing.T) {
 	_, m, pm := buildLUT(t)
-	w, err := BuildWeights(m, pm, 3)
+	w, err := BuildWeights(context.Background(), m, pm, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,14 +291,14 @@ func TestBuildWeights(t *testing.T) {
 
 func TestBuildWeightsValidation(t *testing.T) {
 	_, m, pm := buildLUT(t)
-	if _, err := BuildWeights(m, pm, 0); err == nil {
+	if _, err := BuildWeights(context.Background(), m, pm, 0); err == nil {
 		t.Error("expected error for zero core power")
 	}
 }
 
 func TestWeightLookupGammaScaling(t *testing.T) {
 	_, m, pm := buildLUT(t)
-	w, err := BuildWeights(m, pm, 3)
+	w, err := BuildWeights(context.Background(), m, pm, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -36,7 +37,10 @@ type WeightTable struct {
 // model: uniform full core power at the middle pump setting (or the
 // air-cooled package), then per-core thermal resistance from the resulting
 // block temperatures.
-func BuildWeights(m *rcnet.Model, pm *pump.Pump, corePower float64) (*WeightTable, error) {
+func BuildWeights(ctx context.Context, m *rcnet.Model, pm *pump.Pump, corePower float64) (*WeightTable, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if corePower <= 0 {
 		return nil, fmt.Errorf("controller: core power %g must be positive", corePower)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -37,8 +38,8 @@ func Fig3CSV(w io.Writer) error {
 }
 
 // Fig5CSV writes the required-flow curves for both stacks.
-func Fig5CSV(w io.Writer, o Options) error {
-	results, err := Fig5(o)
+func Fig5CSV(ctx context.Context, w io.Writer, o Options) error {
+	results, err := Fig5(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -93,8 +94,8 @@ func comboCSV(w io.Writer, res []ComboResult) error {
 }
 
 // Fig6CSV, Fig7CSV and Fig8CSV write the policy-comparison figures.
-func Fig6CSV(w io.Writer, o Options) error {
-	res, err := Fig6(o)
+func Fig6CSV(ctx context.Context, w io.Writer, o Options) error {
+	res, err := Fig6(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -102,8 +103,8 @@ func Fig6CSV(w io.Writer, o Options) error {
 }
 
 // Fig7CSV writes the thermal-variation comparison.
-func Fig7CSV(w io.Writer, o Options) error {
-	res, err := Fig7(o)
+func Fig7CSV(ctx context.Context, w io.Writer, o Options) error {
+	res, err := Fig7(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -111,8 +112,8 @@ func Fig7CSV(w io.Writer, o Options) error {
 }
 
 // Fig8CSV writes the performance/energy comparison.
-func Fig8CSV(w io.Writer, o Options) error {
-	res, err := Fig8(o)
+func Fig8CSV(ctx context.Context, w io.Writer, o Options) error {
+	res, err := Fig8(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -120,8 +121,8 @@ func Fig8CSV(w io.Writer, o Options) error {
 }
 
 // WriteFig6Layers renders the layer-parameterized Fig. 6 extension.
-func WriteFig6Layers(w io.Writer, o Options, layers int) error {
-	res, err := Fig6Layers(o, layers)
+func WriteFig6Layers(ctx context.Context, w io.Writer, o Options, layers int) error {
+	res, err := Fig6Layers(ctx, o, layers)
 	if err != nil {
 		return err
 	}

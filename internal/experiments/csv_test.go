@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"strconv"
 	"testing"
@@ -48,7 +49,7 @@ func TestFig3CSV(t *testing.T) {
 func TestFig5CSV(t *testing.T) {
 	o := QuickOptions()
 	var buf bytes.Buffer
-	if err := Fig5CSV(&buf, o); err != nil {
+	if err := Fig5CSV(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	rows := parseCSV(t, &buf)
@@ -67,7 +68,7 @@ func TestCombosCSV(t *testing.T) {
 	o.Workloads = []string{"gzip"}
 	o.Duration = 8
 	var buf bytes.Buffer
-	if err := Fig8CSV(&buf, o); err != nil {
+	if err := Fig8CSV(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	rows := parseCSV(t, &buf)
@@ -91,7 +92,7 @@ func TestFig6LayersExtension(t *testing.T) {
 	o := QuickOptions()
 	o.Workloads = []string{"gzip"}
 	o.Duration = 8
-	res, err := Fig6Layers(o, 4)
+	res, err := Fig6Layers(context.Background(), o, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestFig6LayersExtension(t *testing.T) {
 		t.Fatalf("combos = %d", len(res))
 	}
 	var buf bytes.Buffer
-	if err := WriteFig6Layers(&buf, o, 4); err != nil {
+	if err := WriteFig6Layers(context.Background(), &buf, o, 4); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Contains(buf.Bytes(), []byte("4-layer system")) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
@@ -8,8 +9,8 @@ import (
 // WriteFig6Detail renders the per-workload breakdown behind Fig. 6's
 // aggregated bars: for each policy, one row per Table II benchmark with
 // hot-spot time, energies and the variable-flow controller's mean setting.
-func WriteFig6Detail(w io.Writer, o Options) error {
-	res, err := Fig6(o)
+func WriteFig6Detail(ctx context.Context, w io.Writer, o Options) error {
+	res, err := Fig6(ctx, o)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestWriteFig6Detail(t *testing.T) {
 	o.Workloads = []string{"gzip", "Web-high"}
 	o.Duration = 8
 	var buf bytes.Buffer
-	if err := WriteFig6Detail(&buf, o); err != nil {
+	if err := WriteFig6Detail(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -128,7 +129,7 @@ func (o Options) modelFor(layers int, liquid bool) (*rcnet.Model, *pump.Pump, er
 }
 
 // lutFor builds (or reuses) the flow LUT for a layer count.
-func (o Options) lutFor(t *tables, layers int) (*controller.LUT, error) {
+func (o Options) lutFor(ctx context.Context, t *tables, layers int) (*controller.LUT, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if l, ok := t.lut[layers]; ok {
@@ -139,7 +140,7 @@ func (o Options) lutFor(t *tables, layers int) (*controller.LUT, error) {
 		return nil, err
 	}
 	stack := m.Grid.Stack
-	lut, err := controller.BuildLUT(m, pm, sim.FullLoadPowers(stack),
+	lut, err := controller.BuildLUT(ctx, m, pm, sim.FullLoadPowers(stack),
 		controller.TargetTemp, controller.DefaultLadder())
 	if err != nil {
 		return nil, err
@@ -149,7 +150,7 @@ func (o Options) lutFor(t *tables, layers int) (*controller.LUT, error) {
 }
 
 // weightsFor builds (or reuses) the TALB weights for a configuration.
-func (o Options) weightsFor(t *tables, layers int, liquid bool) (*controller.WeightTable, error) {
+func (o Options) weightsFor(ctx context.Context, t *tables, layers int, liquid bool) (*controller.WeightTable, error) {
 	key := fmt.Sprintf("%d-%v", layers, liquid)
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -160,7 +161,7 @@ func (o Options) weightsFor(t *tables, layers int, liquid bool) (*controller.Wei
 	if err != nil {
 		return nil, err
 	}
-	w, err := controller.BuildWeights(m, pm, 3)
+	w, err := controller.BuildWeights(ctx, m, pm, 3)
 	if err != nil {
 		return nil, err
 	}
@@ -171,15 +172,15 @@ func (o Options) weightsFor(t *tables, layers int, liquid bool) (*controller.Wei
 // prebuild constructs every LUT and weight table the given combos will
 // need, serially and in combo order, so the parallel fan-out only ever
 // reads the shared tables.
-func (o Options) prebuild(t *tables, layers int, combos []Combo) error {
+func (o Options) prebuild(ctx context.Context, t *tables, layers int, combos []Combo) error {
 	for _, combo := range combos {
 		if combo.Cooling == sim.LiquidVar {
-			if _, err := o.lutFor(t, layers); err != nil {
+			if _, err := o.lutFor(ctx, t, layers); err != nil {
 				return err
 			}
 		}
 		if combo.Policy == sched.TALB {
-			if _, err := o.weightsFor(t, layers, combo.Cooling != sim.Air); err != nil {
+			if _, err := o.weightsFor(ctx, t, layers, combo.Cooling != sim.Air); err != nil {
 				return err
 			}
 		}
@@ -220,7 +221,7 @@ func Fig8Combos() []Combo {
 }
 
 // run executes one cell of an experiment matrix.
-func (o Options) run(t *tables, layers int, combo Combo,
+func (o Options) run(ctx context.Context, t *tables, layers int, combo Combo,
 	bench workload.Benchmark, dpmOn bool) (*sim.Result, error) {
 	cfg := sim.DefaultConfig()
 	cfg.Layers = layers
@@ -234,20 +235,20 @@ func (o Options) run(t *tables, layers int, combo Combo,
 	cfg.DPMEnabled = dpmOn
 	cfg.Solver = o.Solver
 	if combo.Cooling == sim.LiquidVar {
-		lut, err := o.lutFor(t, layers)
+		lut, err := o.lutFor(ctx, t, layers)
 		if err != nil {
 			return nil, err
 		}
 		cfg.LUT = lut
 	}
 	if combo.Policy == sched.TALB {
-		w, err := o.weightsFor(t, layers, combo.Cooling != sim.Air)
+		w, err := o.weightsFor(ctx, t, layers, combo.Cooling != sim.Air)
 		if err != nil {
 			return nil, err
 		}
 		cfg.Weights = w
 	}
-	return sim.Run(cfg)
+	return sim.Run(ctx, cfg)
 }
 
 // writeTable renders rows of equal length under a header.

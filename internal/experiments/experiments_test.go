@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -77,7 +78,7 @@ func TestFig3Shape(t *testing.T) {
 
 func TestFig5Shape(t *testing.T) {
 	o := QuickOptions()
-	res, err := Fig5(o)
+	res, err := Fig5(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6QuickShape(t *testing.T) {
-	res, err := Fig6(QuickOptions())
+	res, err := Fig6(context.Background(), QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestFig6QuickShape(t *testing.T) {
 }
 
 func TestFig7QuickShape(t *testing.T) {
-	res, err := Fig7(QuickOptions())
+	res, err := Fig7(context.Background(), QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestFig7QuickShape(t *testing.T) {
 }
 
 func TestFig8QuickShape(t *testing.T) {
-	res, err := Fig8(QuickOptions())
+	res, err := Fig8(context.Background(), QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,10 +193,10 @@ func TestWriteFigures(t *testing.T) {
 	o.Workloads = []string{"gzip"}
 	o.Duration = 8
 	var buf bytes.Buffer
-	if err := WriteFig6(&buf, o); err != nil {
+	if err := WriteFig6(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteFig8(&buf, o); err != nil {
+	if err := WriteFig8(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -209,7 +210,7 @@ func TestWriteFigures(t *testing.T) {
 func TestOptionsValidation(t *testing.T) {
 	o := QuickOptions()
 	o.Workloads = []string{"bogus"}
-	if _, err := Fig6(o); err == nil {
+	if _, err := Fig6(context.Background(), o); err == nil {
 		t.Error("expected error for unknown workload")
 	}
 	if _, err := o.stackFor(3, true); err == nil {
@@ -221,7 +222,7 @@ func TestFig6PerWorkloadVarPumpNeverExceedsMax(t *testing.T) {
 	// Per workload (not just on average), the controller's pump energy
 	// is bounded by the worst-case baseline, and its thermal profile
 	// stays hot-spot free wherever the baseline's is.
-	res, err := Fig6(QuickOptions())
+	res, err := Fig6(context.Background(), QuickOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

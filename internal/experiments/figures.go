@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -41,17 +42,17 @@ type Fig5Result struct {
 // Fig5 regenerates the flow-requirement analysis for the 2- and 4-layer
 // systems. The two stacks are independent bisection studies (each owns its
 // model and LUT), so they run as parallel jobs with per-index result slots.
-func Fig5(o Options) ([]Fig5Result, error) {
+func Fig5(ctx context.Context, o Options) ([]Fig5Result, error) {
 	stacks := []int{2, 4}
 	out := make([]Fig5Result, len(stacks))
-	err := par.ForEach(o.Workers, len(stacks), func(si int) error {
+	err := par.ForEach(ctx, o.Workers, len(stacks), func(si int) error {
 		layers := stacks[si]
 		m, pm, err := o.modelFor(layers, true)
 		if err != nil {
 			return err
 		}
 		t := o.newTables()
-		lut, err := o.lutFor(t, layers)
+		lut, err := o.lutFor(ctx, t, layers)
 		if err != nil {
 			return err
 		}
@@ -141,8 +142,8 @@ func bisectFlow(tmaxAt func(float64) (units.Celsius, error), target units.Celsiu
 }
 
 // WriteFig5 renders the required-flow analysis.
-func WriteFig5(w io.Writer, o Options) error {
-	results, err := Fig5(o)
+func WriteFig5(ctx context.Context, w io.Writer, o Options) error {
+	results, err := Fig5(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -198,20 +199,20 @@ type ComboResult struct {
 // serially, every (combo, workload) cell then runs as an independent job,
 // and results land in per-index slots, so aggregation order — and hence
 // every rendered table and CSV byte — is identical for any worker count.
-func (o Options) runMatrix(layers int, combos []Combo, dpmOn bool) ([]ComboResult, error) {
+func (o Options) runMatrix(ctx context.Context, layers int, combos []Combo, dpmOn bool) ([]ComboResult, error) {
 	benches, err := o.benchmarks()
 	if err != nil {
 		return nil, err
 	}
 	t := o.newTables()
-	if err := o.prebuild(t, layers, combos); err != nil {
+	if err := o.prebuild(ctx, t, layers, combos); err != nil {
 		return nil, err
 	}
 	nb := len(benches)
 	runs := make([]*sim.Result, len(combos)*nb)
-	err = par.ForEach(o.Workers, len(runs), func(i int) error {
+	err = par.ForEach(ctx, o.Workers, len(runs), func(i int) error {
 		combo, b := combos[i/nb], benches[i%nb]
-		r, err := o.run(t, layers, combo, b, dpmOn)
+		r, err := o.run(ctx, t, layers, combo, b, dpmOn)
 		if err != nil {
 			return fmt.Errorf("experiments: %s on %s: %w", combo.Label, b.Name, err)
 		}
@@ -256,24 +257,24 @@ func (o Options) runMatrix(layers int, combos []Combo, dpmOn bool) ([]ComboResul
 
 // Fig6 regenerates the hot-spot and energy comparison (2-layer system, no
 // DPM, all policies).
-func Fig6(o Options) ([]ComboResult, error) {
-	return o.runMatrix(2, Fig6Combos(), false)
+func Fig6(ctx context.Context, o Options) ([]ComboResult, error) {
+	return o.runMatrix(ctx, 2, Fig6Combos(), false)
 }
 
 // Fig6Layers is the layer-count-parameterized extension of Fig. 6 (the
 // paper evaluates 2- and 4-layer systems; its figures show the 2-layer).
-func Fig6Layers(o Options, layers int) ([]ComboResult, error) {
-	return o.runMatrix(layers, Fig6Combos(), false)
+func Fig6Layers(ctx context.Context, o Options, layers int) ([]ComboResult, error) {
+	return o.runMatrix(ctx, layers, Fig6Combos(), false)
 }
 
 // Fig7Layers parameterizes Fig. 7 by layer count.
-func Fig7Layers(o Options, layers int) ([]ComboResult, error) {
-	return o.runMatrix(layers, Fig6Combos(), true)
+func Fig7Layers(ctx context.Context, o Options, layers int) ([]ComboResult, error) {
+	return o.runMatrix(ctx, layers, Fig6Combos(), true)
 }
 
 // WriteFig6 renders Fig. 6.
-func WriteFig6(w io.Writer, o Options) error {
-	res, err := Fig6(o)
+func WriteFig6(ctx context.Context, w io.Writer, o Options) error {
+	res, err := Fig6(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -310,13 +311,13 @@ func WriteFig6(w io.Writer, o Options) error {
 }
 
 // Fig7 regenerates the thermal-variation comparison (with DPM).
-func Fig7(o Options) ([]ComboResult, error) {
-	return o.runMatrix(2, Fig6Combos(), true)
+func Fig7(ctx context.Context, o Options) ([]ComboResult, error) {
+	return o.runMatrix(ctx, 2, Fig6Combos(), true)
 }
 
 // WriteFig7 renders Fig. 7.
-func WriteFig7(w io.Writer, o Options) error {
-	res, err := Fig7(o)
+func WriteFig7(ctx context.Context, w io.Writer, o Options) error {
+	res, err := Fig7(ctx, o)
 	if err != nil {
 		return err
 	}
@@ -337,13 +338,13 @@ func WriteFig7(w io.Writer, o Options) error {
 }
 
 // Fig8 regenerates the performance and energy comparison.
-func Fig8(o Options) ([]ComboResult, error) {
-	return o.runMatrix(2, Fig8Combos(), false)
+func Fig8(ctx context.Context, o Options) ([]ComboResult, error) {
+	return o.runMatrix(ctx, 2, Fig8Combos(), false)
 }
 
 // WriteFig8 renders Fig. 8.
-func WriteFig8(w io.Writer, o Options) error {
-	res, err := Fig8(o)
+func WriteFig8(ctx context.Context, w io.Writer, o Options) error {
+	res, err := Fig8(ctx, o)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -24,11 +25,11 @@ func TestParallelMatrixDeterminism(t *testing.T) {
 		t.Skip("multi-run sweep")
 	}
 	var serial bytes.Buffer
-	if err := Fig8CSV(&serial, tinyOptions(1)); err != nil {
+	if err := Fig8CSV(context.Background(), &serial, tinyOptions(1)); err != nil {
 		t.Fatal(err)
 	}
 	var parallel bytes.Buffer
-	if err := Fig8CSV(&parallel, tinyOptions(4)); err != nil {
+	if err := Fig8CSV(context.Background(), &parallel, tinyOptions(4)); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
@@ -48,7 +49,7 @@ func TestParallelSweepDeterminism(t *testing.T) {
 	}
 	run := func(workers int) []InletSweepRow {
 		o := tinyOptions(workers)
-		rows, err := InletSweep(o, "gzip", []float64{60, 70})
+		rows, err := InletSweep(context.Background(), o, "gzip", []float64{60, 70})
 		if err != nil {
 			t.Fatal(err)
 		}

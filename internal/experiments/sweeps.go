@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,7 +38,7 @@ type InletSweepRow struct {
 // controller pins to minimum and the savings saturate); warmer inlets
 // squeeze the thermal budget until even maximum flow cannot hold the
 // target at full load.
-func InletSweep(o Options, bench string, inletsC []float64) ([]InletSweepRow, error) {
+func InletSweep(ctx context.Context, o Options, bench string, inletsC []float64) ([]InletSweepRow, error) {
 	b, err := workload.ByName(bench)
 	if err != nil {
 		return nil, err
@@ -46,7 +47,7 @@ func InletSweep(o Options, bench string, inletsC []float64) ([]InletSweepRow, er
 	// model, LUT and pair of runs), so the sweep fans out one job per
 	// inlet; rows land in per-index slots to keep the output order fixed.
 	out := make([]InletSweepRow, len(inletsC))
-	err = par.ForEach(o.Workers, len(inletsC), func(ii int) error {
+	err = par.ForEach(ctx, o.Workers, len(inletsC), func(ii int) error {
 		inlet := inletsC[ii]
 		rcCfg := rcnet.DefaultConfig()
 		rcCfg.CoolantInlet = units.Celsius(inlet).ToKelvin()
@@ -69,7 +70,7 @@ func InletSweep(o Options, bench string, inletsC []float64) ([]InletSweepRow, er
 		if err != nil {
 			return err
 		}
-		lut, err := controller.BuildLUT(m, pm, sim.FullLoadPowers(stack),
+		lut, err := controller.BuildLUT(ctx, m, pm, sim.FullLoadPowers(stack),
 			controller.TargetTemp, controller.DefaultLadder())
 		if err != nil {
 			return err
@@ -98,7 +99,7 @@ func InletSweep(o Options, bench string, inletsC []float64) ([]InletSweepRow, er
 			if cooling == sim.LiquidVar {
 				cfg.LUT = lut
 			}
-			return sim.Run(cfg)
+			return sim.Run(ctx, cfg)
 		}
 		vr, err := run(sim.LiquidVar)
 		if err != nil {
@@ -126,8 +127,8 @@ func InletSweep(o Options, bench string, inletsC []float64) ([]InletSweepRow, er
 }
 
 // WriteInletSweep renders the sweep.
-func WriteInletSweep(w io.Writer, o Options, bench string, inletsC []float64) error {
-	rows, err := InletSweep(o, bench, inletsC)
+func WriteInletSweep(ctx context.Context, w io.Writer, o Options, bench string, inletsC []float64) error {
+	rows, err := InletSweep(ctx, o, bench, inletsC)
 	if err != nil {
 		return err
 	}

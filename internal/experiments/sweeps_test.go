@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 func TestInletSweepShape(t *testing.T) {
 	o := QuickOptions()
 	o.Duration = 10
-	rows, err := InletSweep(o, "Web-med", []float64{50, 70})
+	rows, err := InletSweep(context.Background(), o, "Web-med", []float64{50, 70})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestInletSweepShape(t *testing.T) {
 }
 
 func TestInletSweepUnknownWorkload(t *testing.T) {
-	if _, err := InletSweep(QuickOptions(), "bogus", []float64{70}); err == nil {
+	if _, err := InletSweep(context.Background(), QuickOptions(), "bogus", []float64{70}); err == nil {
 		t.Error("expected error")
 	}
 }
@@ -46,7 +47,7 @@ func TestWriteInletSweep(t *testing.T) {
 	o := QuickOptions()
 	o.Duration = 8
 	var buf bytes.Buffer
-	if err := WriteInletSweep(&buf, o, "gzip", []float64{70}); err != nil {
+	if err := WriteInletSweep(context.Background(), &buf, o, "gzip", []float64{70}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "INLET SWEEP") {

@@ -1,6 +1,7 @@
 // Package par is the shared worker-pool primitive behind the concurrent
 // experiment engine: deterministic fan-out of independent, index-addressed
-// jobs over a bounded number of goroutines.
+// jobs over a bounded number of goroutines, plus a persistent Pool for
+// long-lived services.
 //
 // Scenario simulations are embarrassingly parallel — every sim.Run owns its
 // model, scheduler and RNG — so the engine only has to distribute indices
@@ -10,6 +11,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,12 +31,18 @@ func Workers(n int) int {
 // atomic counter, so the set of executed indices is exactly [0,n) in every
 // run even though the assignment of indices to workers is not.
 //
-// All n jobs run even when some fail; the returned error is the one from
-// the lowest failing index, so error reporting is deterministic too.
-// fn must confine its writes to per-index state (or synchronize itself).
-func ForEach(workers, n int, fn func(i int) error) error {
+// ctx is checked before every job is started: once it is canceled no new
+// job begins, and ForEach returns ctx.Err() as soon as the jobs already in
+// flight finish. Long-running fn bodies should watch ctx themselves for
+// prompt exit.
+//
+// Absent cancellation, all n jobs run even when some fail; the returned
+// error is the one from the lowest failing index, so error reporting is
+// deterministic too. fn must confine its writes to per-index state (or
+// synchronize itself).
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	w := Workers(workers)
 	if w > n {
@@ -47,9 +55,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		var first error
 		firstIdx := n
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil && i < firstIdx {
 				first, firstIdx = err, i
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		return first
 	}
@@ -62,6 +76,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -71,6 +88,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,11 +1,14 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -24,7 +27,7 @@ func TestForEachCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
 		const n = 100
 		seen := make([]atomic.Int64, n)
-		if err := ForEach(workers, n, func(i int) error {
+		if err := ForEach(context.Background(), workers, n, func(i int) error {
 			seen[i].Add(1)
 			return nil
 		}); err != nil {
@@ -39,7 +42,7 @@ func TestForEachCoversAllIndices(t *testing.T) {
 }
 
 func TestForEachEmpty(t *testing.T) {
-	if err := ForEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+	if err := ForEach(context.Background(), 4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -48,7 +51,7 @@ func TestForEachLowestIndexErrorWins(t *testing.T) {
 	want := errors.New("boom-3")
 	for _, workers := range []int{1, 4} {
 		var ran atomic.Int64
-		err := ForEach(workers, 10, func(i int) error {
+		err := ForEach(context.Background(), workers, 10, func(i int) error {
 			ran.Add(1)
 			if i == 3 || i == 7 {
 				return fmt.Errorf("boom-%d", i)
@@ -68,7 +71,7 @@ func TestForEachDeterministicResults(t *testing.T) {
 	// The same job set must fill the same slots regardless of worker count.
 	run := func(workers int) []int {
 		out := make([]int, 50)
-		if err := ForEach(workers, len(out), func(i int) error {
+		if err := ForEach(context.Background(), workers, len(out), func(i int) error {
 			out[i] = i * i
 			return nil
 		}); err != nil {
@@ -84,5 +87,126 @@ func TestForEachDeterministicResults(t *testing.T) {
 				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
 			}
 		}
+	}
+}
+
+func TestForEachCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEach(ctx, workers, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d jobs ran after pre-cancel", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEachCancelMidway(t *testing.T) {
+	// Cancel once the fifth job reports in; no new job may start after the
+	// in-flight ones, and the returned error must be ctx.Err().
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEach(ctx, workers, 1000, func(i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Errorf("workers=%d: all %d jobs ran despite cancellation", workers, n)
+		}
+	}
+}
+
+func TestForEachCancelOverridesJobError(t *testing.T) {
+	// When the context dies, ctx.Err() wins over job errors so callers can
+	// distinguish "canceled" from "failed" reliably.
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEach(ctx, 2, 10, func(i int) error {
+		cancel()
+		return fmt.Errorf("job error %d", i)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPoolRunsAllJobs(t *testing.T) {
+	p := NewPool(4)
+	const n = 200
+	var done atomic.Int64
+	for i := 0; i < n; i++ {
+		if err := p.Submit(func() { done.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if done.Load() != n {
+		t.Errorf("ran %d jobs, want %d", done.Load(), n)
+	}
+}
+
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(2)
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		if err := p.Submit(func() {
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close() // must block until every queued job ran
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 20 {
+		t.Errorf("Close returned with %d/20 jobs done", len(order))
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	if err := p.Submit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // second Close is a no-op
+}
+
+func TestPoolBacklog(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := p.Submit(func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Backlog(); got != 2 {
+		t.Errorf("Backlog = %d, want 2 (one running, one queued)", got)
+	}
+	close(release)
+	p.Close()
+	if got := p.Backlog(); got != 0 {
+		t.Errorf("Backlog after Close = %d, want 0", got)
 	}
 }

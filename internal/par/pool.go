@@ -1,0 +1,85 @@
+package par
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by Pool.Submit after Close has been called.
+var ErrPoolClosed = errors.New("par: pool closed")
+
+// Pool is a persistent worker pool for long-lived services (the batch
+// counterpart is ForEach): jobs are queued without bound, Submit never
+// blocks, and Close drains — it stops intake and waits for every queued
+// and running job to finish. Job scheduling order is FIFO.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	running int
+	closed  bool
+}
+
+// NewPool starts Workers(workers) worker goroutines.
+func NewPool(workers int) *Pool {
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < Workers(workers); i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	p.mu.Lock()
+	for {
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		job := p.queue[0]
+		p.queue = p.queue[1:]
+		p.running++
+		p.mu.Unlock()
+		job()
+		p.mu.Lock()
+		p.running--
+		// Wake Close (waiting for drain) and idle workers alike.
+		p.cond.Broadcast()
+	}
+}
+
+// Submit enqueues a job. It never blocks; jobs run in submission order as
+// workers free up. After Close it returns ErrPoolClosed.
+func (p *Pool) Submit(job func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	p.queue = append(p.queue, job)
+	p.cond.Signal()
+	return nil
+}
+
+// Backlog returns the number of jobs queued or running.
+func (p *Pool) Backlog() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue) + p.running
+}
+
+// Close stops intake and blocks until every queued and running job has
+// finished, then releases the workers. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	for len(p.queue) > 0 || p.running > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/sched"
@@ -12,7 +14,7 @@ func TestTracePlaybackMatchesGenerator(t *testing.T) {
 	// Capturing the generator's trace and replaying it must reproduce
 	// the generator-driven run exactly (same seed, same horizon).
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
-	genRun, err := Run(cfg)
+	genRun, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +27,7 @@ func TestTracePlaybackMatchesGenerator(t *testing.T) {
 
 	cfgTrace := cfg
 	cfgTrace.Arrivals = workload.NewTracePlayer(tr)
-	traceRun, err := Run(cfgTrace)
+	traceRun, err := Run(context.Background(), cfgTrace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +52,7 @@ func TestSameTraceAcrossPolicies(t *testing.T) {
 		cfg := quickCfg(t, LiquidMax, p, "Database")
 		player := workload.NewTracePlayer(tr)
 		cfg.Arrivals = player
-		r, err := Run(cfg)
+		r, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +70,7 @@ func TestUtilScheduleIgnoredForTraces(t *testing.T) {
 	cfg := quickCfg(t, LiquidMax, sched.LB, "gzip")
 	cfg.Arrivals = workload.NewTracePlayer(tr)
 	cfg.UtilSchedule = func(units.Second) float64 { return 0 } // would zero a generator
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

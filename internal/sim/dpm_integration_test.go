@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/sched"
@@ -11,12 +13,12 @@ func TestDPMSavesEnergyAtLowUtilization(t *testing.T) {
 	// policy must cut chip energy.
 	cfg := quickCfg(t, LiquidMax, sched.LB, "gzip")
 	cfg.Duration = 20
-	awake, err := Run(cfg)
+	awake, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.DPMEnabled = true
-	sleeping, err := Run(cfg)
+	sleeping, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,12 +38,12 @@ func TestDPMIncreasesThermalCycling(t *testing.T) {
 	// metric must not decrease when DPM turns on.
 	cfg := quickCfg(t, Air, sched.LB, "Web-med")
 	cfg.Duration = 25
-	awake, err := Run(cfg)
+	awake, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.DPMEnabled = true
-	sleeping, err := Run(cfg)
+	sleeping, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +59,7 @@ func TestWarmupExcludedFromMetrics(t *testing.T) {
 	cfg := quickCfg(t, LiquidMax, sched.LB, "Web-med")
 	cfg.Duration = 10
 	cfg.Warmup = 2
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

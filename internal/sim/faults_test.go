@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/pump"
@@ -12,13 +14,13 @@ func TestPumpStuckAtMinHeatsSystem(t *testing.T) {
 	// leave the system hotter than a healthy variable-flow run.
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-high")
 	cfg.Duration = 20
-	healthy, err := Run(cfg)
+	healthy, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	stuck := pump.Setting(0)
 	cfg.Faults.PumpStuck = &stuck
-	faulty, err := Run(cfg)
+	faulty, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,14 +38,14 @@ func TestPumpStuckAtMaxOvercools(t *testing.T) {
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "gzip")
 	stuck := pump.MaxSetting()
 	cfg.Faults.PumpStuck = &stuck
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Delivered flow is pinned at max: pump energy equals the max-flow
 	// baseline even though the controller commands lower settings.
 	cfgMax := quickCfg(t, LiquidMax, sched.TALB, "gzip")
-	rMax, err := Run(cfgMax)
+	rMax, err := Run(context.Background(), cfgMax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func TestPumpStuckValidated(t *testing.T) {
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "gzip")
 	bad := pump.Setting(17)
 	cfg.Faults.PumpStuck = &bad
-	if _, err := New(cfg); err == nil {
+	if _, err := New(context.Background(), cfg); err == nil {
 		t.Error("expected error for invalid stuck setting")
 	}
 }
@@ -66,12 +68,12 @@ func TestSensorNoiseKeepsSystemSafe(t *testing.T) {
 	// the controller's hysteresis and reactive guard absorb it.
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-high")
 	cfg.Duration = 20
-	clean, err := Run(cfg)
+	clean, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Faults.SensorNoiseStdDev = 0.5
-	noisy, err := Run(cfg)
+	noisy, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,12 +88,12 @@ func TestSensorNoiseRaisesPumpEnergy(t *testing.T) {
 	// hysteresis), so pump energy should not fall.
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
 	cfg.Duration = 25
-	clean, err := Run(cfg)
+	clean, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Faults.SensorNoiseStdDev = 1.0
-	noisy, err := Run(cfg)
+	noisy, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestSensorNoiseRaisesPumpEnergy(t *testing.T) {
 func TestSensorDropoutRuns(t *testing.T) {
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
 	cfg.Faults.SensorDropoutProb = 0.3
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,11 +121,11 @@ func TestFaultyRunsDeterministic(t *testing.T) {
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
 	cfg.Faults.SensorNoiseStdDev = 0.8
 	cfg.Faults.SensorDropoutProb = 0.1
-	r1, err := Run(cfg)
+	r1, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(cfg)
+	r2, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,12 +138,12 @@ func TestGroundTruthMetricsUnaffectedByNoiseWhenPumpPinned(t *testing.T) {
 	// Under LiquidMax the controller is inert, so sensor noise must not
 	// change any recorded metric (metrics read ground truth).
 	cfg := quickCfg(t, LiquidMax, sched.LB, "gzip")
-	clean, err := Run(cfg)
+	clean, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Faults.SensorNoiseStdDev = 2
-	noisy, err := Run(cfg)
+	noisy, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/controller"
@@ -14,7 +16,7 @@ func TestIncDecBaselineRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.FlowPolicy = base
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +35,7 @@ func TestIncDecBaselineVsPaperController(t *testing.T) {
 	// must keep the temperature in band.
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web&DB")
 	cfg.Duration = 30
-	paper, err := Run(cfg)
+	paper, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +45,7 @@ func TestIncDecBaselineVsPaperController(t *testing.T) {
 	}
 	cfgB := cfg
 	cfgB.FlowPolicy = base
-	baseline, err := Run(cfgB)
+	baseline, err := Run(context.Background(), cfgB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func TestFlowPolicyIgnoredForNonVarCooling(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.FlowPolicy = base
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

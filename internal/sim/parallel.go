@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"repro/internal/par"
 )
 
@@ -13,12 +15,16 @@ import (
 // results are bit-identical to a serial loop for every worker count. When
 // several configs share a LUT or WeightTable pointer those tables are read
 // concurrently, which is safe — they are immutable after construction.
-// On failure the error of the lowest-index config is returned; results of
-// the configs that did succeed are still filled in.
-func RunAll(cfgs []Config, workers int) ([]*Result, error) {
+//
+// Cancellation is prompt: every in-flight Run watches ctx tick by tick and
+// no queued config starts once ctx is done, so RunAll returns ctx.Err()
+// within about one simulated tick of cancellation. On plain failure the
+// error of the lowest-index config is returned; results of the configs
+// that did succeed are still filled in.
+func RunAll(ctx context.Context, cfgs []Config, workers int) ([]*Result, error) {
 	out := make([]*Result, len(cfgs))
-	err := par.ForEach(workers, len(cfgs), func(i int) error {
-		r, err := Run(cfgs[i])
+	err := par.ForEach(ctx, workers, len(cfgs), func(i int) error {
+		r, err := Run(ctx, cfgs[i])
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -33,13 +35,13 @@ func TestRunAllMatchesSerialRuns(t *testing.T) {
 	}
 	want := make([]*Result, len(cfgs))
 	for i, cfg := range cfgs {
-		r, err := Run(cfg)
+		r, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want[i] = r
 	}
-	got, err := RunAll(cfgs, 3)
+	got, err := RunAll(context.Background(), cfgs, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func TestRunAllPropagatesLowestIndexError(t *testing.T) {
 		bad,
 		parallelTestConfig(t, "Web-med", Air),
 	}
-	results, err := RunAll(cfgs, 2)
+	results, err := RunAll(context.Background(), cfgs, 2)
 	if err == nil {
 		t.Fatal("expected error for unsupported layer count")
 	}
@@ -79,7 +81,7 @@ func TestRunAllPropagatesLowestIndexError(t *testing.T) {
 }
 
 func TestRunAllEmpty(t *testing.T) {
-	results, err := RunAll(nil, 4)
+	results, err := RunAll(context.Background(), nil, 4)
 	if err != nil || len(results) != 0 {
 		t.Fatalf("RunAll(nil) = %v, %v", results, err)
 	}
@@ -95,12 +97,12 @@ func TestRunAllWorkerCountInvariance(t *testing.T) {
 		cfgs[i].Seed = int64(i + 1)
 		cfgs[i].Duration = units.Second(2)
 	}
-	base, err := RunAll(cfgs, 1)
+	base, err := RunAll(context.Background(), cfgs, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 8} {
-		got, err := RunAll(cfgs, workers)
+		got, err := RunAll(context.Background(), cfgs, workers)
 		if err != nil {
 			t.Fatal(err)
 		}

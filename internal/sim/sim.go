@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/controller"
@@ -189,11 +190,18 @@ type Sim struct {
 	blockTemps [][]units.Celsius // per-block mean (leakage evaluation)
 	unitTemps  []units.Celsius   // per-block hottest cell (gradient metric)
 	lastTmax   units.Celsius
-	flowTime   float64 // ∫ flow dt for MeanFlowLPM
+	lastChip   units.Watt // chip power drawn during the latest tick
+	flowTime   float64    // ∫ flow dt for MeanFlowLPM
 }
 
-// New assembles a simulation.
-func New(cfg Config) (*Sim, error) {
+// New assembles a simulation. Construction can be expensive for
+// LiquidVar/TALB runs (it may build the controller LUT and weight tables
+// via steady-state sweeps), so ctx is honored there too: cancellation
+// aborts the build within one steady-state solve.
+func New(ctx context.Context, cfg Config) (*Sim, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.Tick <= 0 {
 		return nil, fmt.Errorf("sim: non-positive tick")
 	}
@@ -267,7 +275,7 @@ func New(cfg Config) (*Sim, error) {
 				if err != nil {
 					return nil, err
 				}
-				lut, err = controller.BuildLUT(scratch, s.Pump, FullLoadPowers(stack),
+				lut, err = controller.BuildLUT(ctx, scratch, s.Pump, FullLoadPowers(stack),
 					controller.TargetTemp, controller.DefaultLadder())
 				if err != nil {
 					return nil, err
@@ -293,7 +301,7 @@ func New(cfg Config) (*Sim, error) {
 			if err != nil {
 				return nil, err
 			}
-			wt, err = controller.BuildWeights(scratch, s.Pump, power.CoreActivePower)
+			wt, err = controller.BuildWeights(ctx, scratch, s.Pump, power.CoreActivePower)
 			if err != nil {
 				return nil, err
 			}
@@ -477,6 +485,7 @@ func (s *Sim) Step() error {
 	s.readTemps()
 	s.steps++
 	s.time = to
+	s.lastChip = power.Total(blocks)
 
 	// Metrics (measurement window only).
 	if from >= 0 {
@@ -487,9 +496,8 @@ func (s *Sim) Step() error {
 			setting = int(s.delivered)
 			s.flowTime += float64(s.Pump.PerCavityFlow(s.delivered)) * float64(dt)
 		}
-		chip := power.Total(blocks)
 		if err := s.Stats.Sample(s.lastTmax, s.coreTemps, s.unitTemps,
-			chip, pumpPower, setting, dt, completed); err != nil {
+			s.lastChip, pumpPower, setting, dt, completed); err != nil {
 			return err
 		}
 	}
@@ -510,13 +518,88 @@ func (s *Sim) CoreTemperatures() []units.Celsius {
 	return append([]units.Celsius(nil), s.coreTemps...)
 }
 
+// ChipPower returns the chip power drawn during the latest tick (0 before
+// the first Step).
+func (s *Sim) ChipPower() units.Watt { return s.lastChip }
+
+// PumpPower returns the pump's electrical power at the delivered setting
+// (0 for air-cooled runs).
+func (s *Sim) PumpPower() units.Watt {
+	if s.Cfg.Cooling == Air {
+		return 0
+	}
+	return pump.Power(s.delivered)
+}
+
+// DeliveredSetting returns the pump setting actually delivering flow
+// (after transition delays and pump faults), or -1 for air-cooled runs.
+func (s *Sim) DeliveredSetting() int {
+	if s.Cfg.Cooling == Air {
+		return -1
+	}
+	return int(s.delivered)
+}
+
+// DeliveredFlow returns the per-cavity flow currently reaching the
+// cavities (0 for air-cooled runs).
+func (s *Sim) DeliveredFlow() units.LitersPerMinute {
+	if s.Pump == nil {
+		return 0
+	}
+	return s.Pump.PerCavityFlow(s.delivered)
+}
+
+// Refits returns the flow controller's ARMA reconstruction count (0 when
+// the paper's controller is not active).
+func (s *Sim) Refits() int {
+	if s.Ctrl == nil {
+		return 0
+	}
+	return s.Ctrl.Refits()
+}
+
+// NumLayers returns the number of stack layers.
+func (s *Sim) NumLayers() int { return len(s.Stack.Layers) }
+
+// LayerTempsInto fills maxC and meanC (each of length NumLayers) with the
+// latest per-layer temperatures: maxC[li] is the hottest unit sensor of
+// layer li (core hot spots, uniform-block means), meanC[li] the unweighted
+// mean of the layer's block temperatures. Allocation-free: the per-tick
+// streaming path depends on it.
+func (s *Sim) LayerTempsInto(maxC, meanC []units.Celsius) error {
+	if len(maxC) != len(s.blockTemps) || len(meanC) != len(s.blockTemps) {
+		return fmt.Errorf("sim: LayerTempsInto needs slices of length %d, got %d/%d",
+			len(s.blockTemps), len(maxC), len(meanC))
+	}
+	u := 0
+	for li := range s.blockTemps {
+		var sum units.Celsius
+		max := s.unitTemps[u]
+		for bi := range s.blockTemps[li] {
+			sum += s.blockTemps[li][bi]
+			if s.unitTemps[u] > max {
+				max = s.unitTemps[u]
+			}
+			u++
+		}
+		maxC[li] = max
+		meanC[li] = sum / units.Celsius(len(s.blockTemps[li]))
+	}
+	return nil
+}
+
 // Run executes warm-up plus the measured duration and reports the metrics.
-func Run(cfg Config) (*Result, error) {
-	s, err := New(cfg)
+// ctx is checked every tick, so cancellation aborts the run within one
+// simulated tick and returns ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	s, err := New(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	for s.time < cfg.Duration {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := s.Step(); err != nil {
 			return nil, fmt.Errorf("sim: step at t=%v: %w", s.time, err)
 		}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -29,7 +31,7 @@ func quickCfg(t *testing.T, cooling CoolingMode, policy sched.Policy, bench stri
 }
 
 func TestRunLiquidVarCompletes(t *testing.T) {
-	r, err := Run(quickCfg(t, LiquidVar, sched.TALB, "Web-med"))
+	r, err := Run(context.Background(), quickCfg(t, LiquidVar, sched.TALB, "Web-med"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func TestRunLiquidVarCompletes(t *testing.T) {
 }
 
 func TestRunAirHasNoPumpEnergy(t *testing.T) {
-	r, err := Run(quickCfg(t, Air, sched.LB, "gzip"))
+	r, err := Run(context.Background(), quickCfg(t, Air, sched.LB, "gzip"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +60,7 @@ func TestRunAirHasNoPumpEnergy(t *testing.T) {
 }
 
 func TestLiquidMaxConstantSetting(t *testing.T) {
-	s, err := New(quickCfg(t, LiquidMax, sched.LB, "Web-high"))
+	s, err := New(context.Background(), quickCfg(t, LiquidMax, sched.LB, "Web-high"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,13 +79,13 @@ func TestVarUsesLessPumpEnergyThanMax(t *testing.T) {
 	// worst-case flow rate, especially for low-utilization workloads.
 	cfgVar := quickCfg(t, LiquidVar, sched.TALB, "gzip")
 	cfgVar.Duration = 30
-	rVar, err := Run(cfgVar)
+	rVar, err := Run(context.Background(), cfgVar)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfgMax := quickCfg(t, LiquidMax, sched.TALB, "gzip")
 	cfgMax.Duration = 30
-	rMax, err := Run(cfgMax)
+	rMax, err := Run(context.Background(), cfgMax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +98,7 @@ func TestVarUsesLessPumpEnergyThanMax(t *testing.T) {
 func TestVarMaintainsTarget(t *testing.T) {
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-high")
 	cfg.Duration = 30
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestVarMaintainsTarget(t *testing.T) {
 	// bound with a LiquidMax run and allow a small transient epsilon.
 	cfgMax := cfg
 	cfgMax.Cooling = LiquidMax
-	rMax, err := Run(cfgMax)
+	rMax, err := Run(context.Background(), cfgMax)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +120,11 @@ func TestVarMaintainsTarget(t *testing.T) {
 
 func TestDeterministicRuns(t *testing.T) {
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
-	r1, err := Run(cfg)
+	r1, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(cfg)
+	r2, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +138,7 @@ func TestMigrationPolicyMigratesWhenHot(t *testing.T) {
 	// Air-cooled Web-high gets hot enough to trigger reactive migration.
 	cfg := quickCfg(t, Air, sched.Migration, "Web-high")
 	cfg.Duration = 20
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +149,7 @@ func TestMigrationPolicyMigratesWhenHot(t *testing.T) {
 
 func TestLBNeverMigrates(t *testing.T) {
 	cfg := quickCfg(t, Air, sched.LB, "Web-high")
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +162,7 @@ func TestFourLayerRuns(t *testing.T) {
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
 	cfg.Layers = 4
 	cfg.Duration = 6
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,12 +176,12 @@ func TestUtilScheduleApplied(t *testing.T) {
 	cfg.Duration = 20
 	// Night shift: almost no load.
 	cfg.UtilSchedule = func(t units.Second) float64 { return 0.05 }
-	rNight, err := Run(cfg)
+	rNight, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.UtilSchedule = nil
-	rDay, err := Run(cfg)
+	rDay, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,17 +193,17 @@ func TestUtilScheduleApplied(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Layers = 3
-	if _, err := New(cfg); err == nil {
+	if _, err := New(context.Background(), cfg); err == nil {
 		t.Error("expected error for 3 layers")
 	}
 	cfg = DefaultConfig()
 	cfg.Tick = 0
-	if _, err := New(cfg); err == nil {
+	if _, err := New(context.Background(), cfg); err == nil {
 		t.Error("expected error for zero tick")
 	}
 	cfg = DefaultConfig()
 	cfg.Duration = -1
-	if _, err := New(cfg); err == nil {
+	if _, err := New(context.Background(), cfg); err == nil {
 		t.Error("expected error for negative duration")
 	}
 }
@@ -209,18 +211,18 @@ func TestConfigValidation(t *testing.T) {
 func TestSharedLUTMatchesInternal(t *testing.T) {
 	// Passing a precomputed LUT must not change behaviour.
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
-	s, err := New(cfg)
+	s, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	shared := cfg
 	shared.LUT = s.Ctrl.LUT
 	shared.Weights = s.WTab
-	r1, err := Run(cfg)
+	r1, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(shared)
+	r2, err := Run(context.Background(), shared)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +242,7 @@ func TestCoolingModeString(t *testing.T) {
 
 func TestFullLoadPowersShape(t *testing.T) {
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
-	s, err := New(cfg)
+	s, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

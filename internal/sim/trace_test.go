@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"bytes"
 	"encoding/csv"
 	"strconv"
@@ -12,7 +14,7 @@ import (
 
 func TestTraceRecorderOutput(t *testing.T) {
 	cfg := quickCfg(t, LiquidVar, sched.TALB, "Web-med")
-	s, err := New(cfg)
+	s, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func TestTraceRecorderOutput(t *testing.T) {
 
 func TestTraceRecorderAirCooled(t *testing.T) {
 	cfg := quickCfg(t, Air, sched.LB, "gzip")
-	s, err := New(cfg)
+	s, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
