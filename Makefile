@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json vet fmt-check
+.PHONY: build test race bench bench-json vet fmt-check check
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The full local gate, mirroring CI: formatting, vet, build, race tests.
+check: fmt-check vet build race
 
 race:
 	$(GO) test -race ./...

@@ -365,6 +365,19 @@ func BenchmarkSimTick(b *testing.B) {
 	benchutil.SimTick(b)
 }
 
+// BenchmarkRunManyCold / BenchmarkRunManyWarm bracket the platform
+// layer's setup amortization: the same three-scenario short-run batch,
+// once with per-run artifact construction (cold) and once through a
+// primed coolsim.PlatformCache (warm). The cold/warm ratio is the
+// end-to-end speedup a warm service job sees (acceptance: ≥ 2×).
+func BenchmarkRunManyCold(b *testing.B) {
+	benchutil.RunManyCold(b)
+}
+
+func BenchmarkRunManyWarm(b *testing.B) {
+	benchutil.RunManyWarm(b)
+}
+
 // BenchmarkSessionStep is the streaming counterpart of BenchmarkSimTick:
 // the same tick driven through the public coolsim.Session API with its
 // per-tick Sample refresh. The delta between the two is the streaming

@@ -10,10 +10,13 @@
 //
 // The benchmark bodies are the ones bench_test.go runs (shared through
 // internal/benchutil): ThermalStepCoarse, ThermalStepPaperResolution plus
-// its CG reference, SteadyState and SimTick — per-tick loops with varying
-// power, the regime real runs are in, with model construction and the
-// first factorizing tick as setup so op times measure the steady
-// cached-factor path.
+// its CG reference, SteadyState, SimTick and SessionStep — per-tick loops
+// with varying power, the regime real runs are in, with model
+// construction and the first factorizing tick as setup so op times
+// measure the steady cached-factor path — plus the RunManyCold/
+// RunManyWarm pair, which tracks the end-to-end setup amortization of
+// the shared platform layer (cold = per-run artifact builds, warm = a
+// primed coolsim.PlatformCache).
 package main
 
 import (
@@ -63,6 +66,8 @@ func main() {
 		{"SteadyState", benchutil.SteadyState},
 		{"SimTick", benchutil.SimTick},
 		{"SessionStep", benchutil.SessionStep},
+		{"RunManyCold", benchutil.RunManyCold},
+		{"RunManyWarm", benchutil.RunManyWarm},
 	}
 
 	snap := Snapshot{

@@ -15,6 +15,12 @@
 //	GET    /v1/runs/{id}/stream follow per-tick Samples as NDJSON
 //	DELETE /v1/runs/{id}        cancel a queued or running job
 //	GET    /healthz             liveness and drain state
+//	GET    /v1/metrics          job counts + platform-cache hit/miss
+//
+// The server keeps a process-lifetime platform cache (-platform-cache):
+// the first job on a stack shape builds the thermal grid, the solver's
+// symbolic analysis and the controller tables; every later job on that
+// shape warm-starts in milliseconds.
 //
 // On SIGINT/SIGTERM the server drains gracefully: intake stops (503),
 // running jobs get up to -grace to finish, stragglers are canceled via
@@ -40,10 +46,12 @@ func main() {
 		grace   = flag.Duration("grace", 30*time.Second, "drain timeout for running jobs on shutdown")
 		retain  = flag.Int("retain", 128,
 			"finished jobs kept in memory for replay; oldest evicted beyond this (<= 0 keeps all)")
+		pcache = flag.Int("platform-cache", 8,
+			"stack shapes whose built artifacts (grid, solver analysis, controller tables) are kept warm; LRU-evicted beyond this (<= 0 keeps all)")
 	)
 	flag.Parse()
 
-	s := newServer(*workers, *retain)
+	s := newServer(*workers, *retain, *pcache)
 	srv := &http.Server{Addr: *addr, Handler: s.handler()}
 
 	sigCh := make(chan os.Signal, 2)

@@ -50,20 +50,29 @@ type server struct {
 	baseCtx context.Context
 	abort   context.CancelFunc // hard-cancels every job (drain timeout)
 
+	// pcache holds the process-lifetime per-stack artifacts (grid,
+	// solver analysis, controller LUT, TALB weights), LRU-bounded by the
+	// -platform-cache flag: the first job on a stack shape pays the
+	// setup, every later job on that shape warm-starts. /v1/metrics
+	// exposes its hit/miss/build counters.
+	pcache *coolsim.PlatformCache
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order, compacted as jobs are evicted
 	seq      int
 	retain   int // finished jobs kept for replay; oldest evicted beyond it
 	draining bool
+	started  int64 // jobs that entered execution (metrics)
 }
 
-func newServer(workers, retain int) *server {
+func newServer(workers, retain, platformCacheSize int) *server {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &server{
 		pool:    par.NewPool(workers),
 		baseCtx: ctx,
 		abort:   cancel,
+		pcache:  coolsim.NewPlatformCache(platformCacheSize),
 		jobs:    map[string]*job{},
 		retain:  retain,
 	}
@@ -112,6 +121,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -201,14 +211,19 @@ func (s *server) execute(ctx context.Context, j *job) {
 	}
 	j.status = statusRunning
 	j.mu.Unlock()
+	s.mu.Lock()
+	s.started++
+	s.mu.Unlock()
 
-	report, err := coolsim.Run(ctx, j.sc, coolsim.WithObserver(func(smp *coolsim.Sample) {
-		clone := smp.Clone()
-		j.mu.Lock()
-		j.samples = append(j.samples, clone)
-		j.cond.Broadcast()
-		j.mu.Unlock()
-	}))
+	report, err := coolsim.Run(ctx, j.sc,
+		coolsim.WithPlatformCache(s.pcache),
+		coolsim.WithObserver(func(smp *coolsim.Sample) {
+			clone := smp.Clone()
+			j.mu.Lock()
+			j.samples = append(j.samples, clone)
+			j.cond.Broadcast()
+			j.mu.Unlock()
+		}))
 
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -370,6 +385,57 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"status": map[bool]string{false: "ok", true: "draining"}[draining],
 		"jobs":   n,
 	})
+}
+
+// metricsView is the wire form of GET /v1/metrics: job counts by status
+// plus the platform cache's hit/miss/build counters, so operators (and
+// the CI smoke test) can assert that repeated jobs on the same stack
+// warm-start instead of rebuilding artifacts.
+type metricsView struct {
+	Jobs struct {
+		Queued   int   `json:"queued"`
+		Running  int   `json:"running"`
+		Done     int   `json:"done"`
+		Failed   int   `json:"failed"`
+		Canceled int   `json:"canceled"`
+		Retained int   `json:"retained"`
+		Started  int64 `json:"started"`
+	} `json:"jobs"`
+	PlatformCache coolsim.PlatformCacheStats `json:"platform_cache"`
+	Draining      bool                       `json:"draining"`
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var v metricsView
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	v.Jobs.Retained = len(s.jobs)
+	v.Jobs.Started = s.started
+	v.Draining = s.draining
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		st := j.status
+		j.mu.Unlock()
+		switch st {
+		case statusQueued:
+			v.Jobs.Queued++
+		case statusRunning:
+			v.Jobs.Running++
+		case statusDone:
+			v.Jobs.Done++
+		case statusFailed:
+			v.Jobs.Failed++
+		case statusCanceled:
+			v.Jobs.Canceled++
+		}
+	}
+	v.PlatformCache = s.pcache.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

@@ -16,7 +16,7 @@ import (
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(2, 0)
+	s := newServer(2, 0, 0)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -182,7 +182,7 @@ func TestStreamDisconnectCancelsJob(t *testing.T) {
 // TestDeleteCancelsQueuedAndRunning covers the explicit cancel endpoint
 // for both a running job and one still waiting behind it in the queue.
 func TestDeleteCancelsQueuedAndRunning(t *testing.T) {
-	s := newServer(1, 0) // single worker: the second job must queue
+	s := newServer(1, 0, 0) // single worker: the second job must queue
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() { ts.Close(); s.drain(0) })
 
@@ -256,7 +256,7 @@ func TestListRuns(t *testing.T) {
 // cap of 1, finishing a second run must evict the first (404 afterwards),
 // while queued/running jobs are untouchable.
 func TestRetentionEvictsOldestFinished(t *testing.T) {
-	s := newServer(1, 1)
+	s := newServer(1, 1, 0)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() { ts.Close(); s.drain(0) })
 
@@ -281,7 +281,7 @@ func TestRetentionEvictsOldestFinished(t *testing.T) {
 }
 
 func TestDrainRejectsNewJobs(t *testing.T) {
-	s := newServer(1, 0)
+	s := newServer(1, 0, 0)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	id := submit(t, ts, quickBody)
@@ -304,4 +304,46 @@ func TestDrainRejectsNewJobs(t *testing.T) {
 	}
 	// The job submitted before the drain still completes.
 	waitStatus(t, ts, id, statusDone, 60*time.Second)
+}
+
+// TestMetricsWarmSecondJob is the warm-start contract of the platform
+// cache: a second job on the same stack shape hits the cache and rebuilds
+// no LUT, weight table or symbolic analysis — and the metrics endpoint
+// proves it, which is what the CI smoke step asserts against a live
+// daemon. The two reports must also be identical (shared artifacts change
+// nothing about the results).
+func TestMetricsWarmSecondJob(t *testing.T) {
+	_, ts := testServer(t)
+
+	a := submit(t, ts, quickBody)
+	va := waitStatus(t, ts, a, statusDone, 60*time.Second)
+	b := submit(t, ts, quickBody)
+	vb := waitStatus(t, ts, b, statusDone, 60*time.Second)
+
+	ra, _ := json.Marshal(va.Report)
+	rb, _ := json.Marshal(vb.Report)
+	if !bytes.Equal(ra, rb) {
+		t.Errorf("warm report differs from cold:\ncold %s\nwarm %s", ra, rb)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m metricsView
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs.Done != 2 || m.Jobs.Started != 2 {
+		t.Errorf("jobs done=%d started=%d, want 2/2", m.Jobs.Done, m.Jobs.Started)
+	}
+	pc := m.PlatformCache
+	if pc.Misses != 1 || pc.Hits < 1 {
+		t.Errorf("platform cache hits=%d misses=%d, want >=1 hit and exactly 1 miss", pc.Hits, pc.Misses)
+	}
+	if pc.LUTBuilds != 1 || pc.WeightBuilds != 1 || pc.SymbolicBuilds != 1 {
+		t.Errorf("builds lut=%d weights=%d symbolic=%d, want exactly 1 each",
+			pc.LUTBuilds, pc.WeightBuilds, pc.SymbolicBuilds)
+	}
 }

@@ -26,6 +26,7 @@ import (
 	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/platform"
 	"repro/internal/rcnet"
 )
 
@@ -50,6 +51,10 @@ func main() {
 		opt = experiments.QuickOptions()
 	}
 	opt.Workers = *workers
+	// One platform cache for the whole invocation: figures 5–8 share the
+	// same stacks, so the LUT/weight/symbolic analyses build once total
+	// instead of once per figure.
+	opt.Cache = platform.NewCache(0)
 	sk, err := rcnet.ParseSolver(*solver)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)

@@ -4,12 +4,9 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/controller"
-	"repro/internal/floorplan"
-	"repro/internal/grid"
+	"repro/internal/platform"
 	"repro/internal/pump"
 	"repro/internal/rcnet"
-	"repro/internal/sim"
 )
 
 // FlowLUT is the flow-rate controller's lookup table in plain-data form:
@@ -29,52 +26,59 @@ type FlowLUT struct {
 
 // Analysis exposes the offline steady-state machinery for a liquid-cooled
 // stack: the flow LUT and TALB weight sweeps, plus the stack geometry the
-// examples and CLIs report.
+// examples and CLIs report. It is a thin view over the same platform
+// layer the runtime uses (cmd/lutgen and a live Run therefore can never
+// drift apart), and with NewAnalysisCached it reads from — and warms —
+// a shared PlatformCache.
 type Analysis struct {
-	stack  *floorplan.Stack
-	model  *rcnet.Model
-	pump   *pump.Pump
+	p      *platform.Platform
 	layers int
 }
 
 // NewAnalysis builds the thermal analysis stack for a liquid-cooled
 // system (layers: 2 or 4; nx, ny: thermal grid resolution).
 func NewAnalysis(layers, nx, ny int) (*Analysis, error) {
-	var stack *floorplan.Stack
-	switch layers {
-	case 2:
-		stack = floorplan.NewT1Stack2(true)
-	case 4:
-		stack = floorplan.NewT1Stack4(true)
-	default:
+	return NewAnalysisCached(nil, layers, nx, ny)
+}
+
+// NewAnalysisCached is NewAnalysis reading through a shared PlatformCache:
+// artifacts already built by runs on the same stack are reused, and
+// whatever the analysis builds warms later runs. pc may be nil.
+func NewAnalysisCached(pc *PlatformCache, layers, nx, ny int) (*Analysis, error) {
+	if layers != 2 && layers != 4 {
 		return nil, fmt.Errorf("%w: %d (want 2 or 4)", ErrBadLayers, layers)
 	}
-	g, err := grid.Build(stack, grid.DefaultParams(nx, ny))
+	spec := platform.Spec{
+		Layers: layers, Liquid: true,
+		GridNX: nx, GridNY: ny,
+		RC: rcnet.DefaultConfig(),
+	}
+	var (
+		p   *platform.Platform
+		err error
+	)
+	if pc != nil {
+		p, err = pc.cache.Get(spec)
+	} else {
+		p, err = platform.New(spec)
+	}
 	if err != nil {
 		return nil, err
 	}
-	m, err := rcnet.New(g, rcnet.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	pm, err := pump.New(stack.NumCavities())
-	if err != nil {
-		return nil, err
-	}
-	return &Analysis{stack: stack, model: m, pump: pm, layers: layers}, nil
+	return &Analysis{p: p, layers: layers}, nil
 }
 
 // Layers returns the stack's layer count.
 func (a *Analysis) Layers() int { return a.layers }
 
 // Cores returns the number of cores in the stack.
-func (a *Analysis) Cores() int { return len(a.stack.Cores()) }
+func (a *Analysis) Cores() int { return len(a.p.Stack().Cores()) }
 
 // Cavities returns the number of microchannel cavities.
-func (a *Analysis) Cavities() int { return a.stack.NumCavities() }
+func (a *Analysis) Cavities() int { return a.p.Stack().NumCavities() }
 
 // Microchannels returns the total microchannel count across cavities.
-func (a *Analysis) Microchannels() int { return a.stack.TotalChannels() }
+func (a *Analysis) Microchannels() int { return a.p.Stack().TotalChannels() }
 
 // NumSettings returns the pump's discrete setting count; settings are
 // numbered 0 (minimum flow) through NumSettings-1 (maximum).
@@ -85,7 +89,7 @@ func (a *Analysis) NumSettings() int { return pump.NumSettings }
 func (a *Analysis) SettingFlowsMLMin() []float64 {
 	out := make([]float64, pump.NumSettings)
 	for s := range out {
-		out[s] = a.pump.PerCavityFlow(pump.Setting(s)).MilliLitersPerMinute()
+		out[s] = a.p.Pump().PerCavityFlow(pump.Setting(s)).MilliLitersPerMinute()
 	}
 	return out
 }
@@ -99,12 +103,12 @@ func (a *Analysis) SettingPowersW() []float64 {
 	return out
 }
 
-// BuildLUT runs the Fig. 5-style steady-state sweep and returns the
-// controller lookup table. ctx is checked between sweep cells, so
-// cancellation aborts the build promptly with ctx.Err().
+// BuildLUT runs (or reuses) the Fig. 5-style steady-state sweep and
+// returns the controller lookup table. ctx is checked between sweep
+// cells, so cancellation aborts a cold build promptly with ctx.Err(); a
+// warm platform returns instantly.
 func (a *Analysis) BuildLUT(ctx context.Context) (*FlowLUT, error) {
-	lut, err := controller.BuildLUT(ctx, a.model, a.pump, sim.FullLoadPowers(a.stack),
-		controller.TargetTemp, controller.DefaultLadder())
+	lut, err := a.p.LUT(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -126,10 +130,10 @@ func (a *Analysis) BuildLUT(ctx context.Context) (*FlowLUT, error) {
 	return out, nil
 }
 
-// BuildWeights computes the TALB thermal weight table: one base weight
-// per core (mean 1), lower for cores in thermally weak spots.
+// BuildWeights computes (or reuses) the TALB thermal weight table: one
+// base weight per core (mean 1), lower for cores in thermally weak spots.
 func (a *Analysis) BuildWeights(ctx context.Context) ([]float64, error) {
-	w, err := controller.BuildWeights(ctx, a.model, a.pump, 3)
+	w, err := a.p.Weights(ctx)
 	if err != nil {
 		return nil, err
 	}

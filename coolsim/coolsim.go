@@ -17,8 +17,12 @@
 // Every entry point takes a context.Context and honors cancellation
 // within one simulated tick. Configuration is a Scenario value plus
 // functional options (WithWorkers, WithGrid, WithSolver, WithTick,
-// WithObserver); failures surface as typed errors (ErrUnknownWorkload,
-// ErrUnknownCooling, ...) that wrap into errors.Is.
+// WithObserver, WithPlatformCache); failures surface as typed errors
+// (ErrUnknownWorkload, ErrUnknownCooling, ...) that wrap into errors.Is.
+//
+// Runs of the same stack shape can share their expensive setup — grid,
+// solver analysis, controller tables — through a PlatformCache; see
+// WithPlatformCache.
 package coolsim
 
 import (
@@ -188,6 +192,11 @@ func RunMany(ctx context.Context, scs []Scenario, opts ...Option) ([]*Report, er
 			return nil, fmt.Errorf("scenario %d: %w", i, err)
 		}
 		cfgs[i] = simCfg
+	}
+	if cfg.pcache != nil {
+		if err := cfg.pcache.attachAll(cfgs); err != nil {
+			return nil, err
+		}
 	}
 	results, err := sim.RunAll(ctx, cfgs, cfg.workers)
 	if err != nil {

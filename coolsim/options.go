@@ -11,6 +11,7 @@ type config struct {
 	solver         string
 	tick           float64
 	observer       func(*Sample)
+	pcache         *PlatformCache
 }
 
 func buildConfig(opts []Option) config {
@@ -43,6 +44,17 @@ func WithSolver(name string) Option {
 // paper's 100 ms tick).
 func WithTick(seconds float64) Option {
 	return func(c *config) { c.tick = seconds }
+}
+
+// WithPlatformCache makes the call reuse (and populate) pc's shared
+// per-stack artifacts: stack, grid, solver symbolic analysis, flow LUT
+// and TALB weights. The first run of each stack shape builds them; every
+// later run or session of the same shape — including concurrent ones —
+// starts in milliseconds instead of re-deriving seconds of steady-state
+// analysis. Results are bit-identical to cold-built runs. Nil (the
+// default) keeps the cold path: every run builds privately.
+func WithPlatformCache(pc *PlatformCache) Option {
+	return func(c *config) { c.pcache = pc }
 }
 
 // WithObserver registers a per-tick hook on Run: fn receives every Sample

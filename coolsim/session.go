@@ -82,6 +82,11 @@ func NewSession(ctx context.Context, sc Scenario, opts ...Option) (*Session, err
 	if err != nil {
 		return nil, err
 	}
+	if cfg.pcache != nil {
+		if err := cfg.pcache.attach(&simCfg); err != nil {
+			return nil, err
+		}
+	}
 	s, err := sim.New(ctx, simCfg)
 	if err != nil {
 		return nil, err

@@ -9,20 +9,25 @@
 // The public API is the repro/coolsim package: context-cancellable
 // Run/RunMany/RunTraced over plain Scenario values, a Session/Sample
 // streaming API yielding allocation-free per-tick observations, functional
-// options (WithWorkers, WithGrid, WithSolver, WithTick, WithObserver),
-// typed errors, and the offline Analysis sweeps. Everything under
-// internal/ is an implementation detail; a CI guard keeps the examples on
-// the public surface. cmd/coolserved serves scenarios as an HTTP job
-// service (submit, poll, stream NDJSON samples — see SERVICE.md).
+// options (WithWorkers, WithGrid, WithSolver, WithTick, WithObserver,
+// WithPlatformCache), typed errors, and the offline Analysis sweeps.
+// Runs sharing a stack shape share their expensive setup — grid, solver
+// symbolic analysis, controller LUT and weight tables — through a
+// PlatformCache (internal/platform underneath), built once and reused by
+// any number of concurrent runs, sessions and service jobs. Everything
+// under internal/ is an implementation detail; a CI guard keeps the
+// examples on the public surface. cmd/coolserved serves scenarios as an
+// HTTP job service (submit, poll, stream NDJSON samples, warm-start
+// platform cache, /v1/metrics — see SERVICE.md).
 //
 // See README.md for the build/test/bench quickstart, the layout, the
 // parallel experiment engine (the -workers flag on cmd/repro and
 // cmd/coolsim, experiments.Options.Workers, sim.RunAll) and the thermal
 // solver: a cached sparse LDLᵀ direct factorization (symbolic analysis
-// once per model, numeric factors cached per flow setting and time step,
-// two allocation-free triangular sweeps per tick) with preconditioned CG
-// as the selectable cross-check and automatic fallback (-solver,
-// rcnet.Config.Solver). EXPERIMENTS.md documents the experiment knobs and
+// once per stack shape, numeric factors cached per flow setting and time
+// step, two allocation-free triangular sweeps per tick) with
+// preconditioned CG as the selectable cross-check and automatic fallback
+// (-solver, rcnet.Config.Solver). EXPERIMENTS.md documents the experiment knobs and
 // calibration; cmd/benchjson snapshots the substrate benchmarks to
 // BENCH_<date>.json per PR. The benchmark harness in bench_test.go
 // regenerates every table and figure.

@@ -236,6 +236,10 @@ type Predictor struct {
 	// (observed − predicted), the residual the SPRT monitors.
 	LastError float64
 	warm      int
+	// fc is the reused Forecast scratch state (the k-step rollout works
+	// on copies of the lags); Forecast runs every controller tick, so it
+	// must not allocate.
+	fc state
 }
 
 // NewPredictor returns a predictor with cleared lag state. Feed it
@@ -268,12 +272,12 @@ func (p *Predictor) Forecast(k int) float64 {
 	if k < 1 {
 		k = 1
 	}
-	// Work on copies so the live state is untouched.
-	tmp := &state{
-		m:    p.Model,
-		lagX: append([]float64(nil), p.st.lagX...),
-		lagE: append([]float64(nil), p.st.lagE...),
-	}
+	// Work on reused copies so the live state is untouched (observe
+	// shifts the lag slices in place, never reallocates).
+	tmp := &p.fc
+	tmp.m = p.Model
+	tmp.lagX = append(tmp.lagX[:0], p.st.lagX...)
+	tmp.lagE = append(tmp.lagE[:0], p.st.lagE...)
 	var pred float64
 	for step := 0; step < k; step++ {
 		pred = tmp.predictNext()

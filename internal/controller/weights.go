@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/floorplan"
 	"repro/internal/pump"
@@ -31,6 +32,13 @@ type WeightTable struct {
 	// one more entry than Bands (the last applies above every band).
 	Bands  []units.Celsius
 	Gammas []float64
+
+	// rows[gi][i] caches Base[i]^Gammas[gi] so the per-tick Lookup is a
+	// band search plus a slice pick — no allocation, no math.Pow. Built
+	// once (race-safely, tables are shared across concurrent runs) and
+	// immutable afterwards; mutate Base/Gammas only before first Lookup.
+	rowsOnce sync.Once
+	rows     [][]float64
 }
 
 // BuildWeights derives the table from steady-state analysis of the thermal
@@ -95,17 +103,28 @@ func BuildWeights(ctx context.Context, m *rcnet.Model, pm *pump.Pump, corePower 
 }
 
 // Lookup returns the per-core weights for the current maximum temperature.
+// The returned slice is shared, cached state: callers must not modify it
+// (sched.SetWeights copies). Safe for concurrent use.
 func (w *WeightTable) Lookup(tmax units.Celsius) []float64 {
-	gamma := w.Gammas[len(w.Gammas)-1]
+	w.rowsOnce.Do(w.buildRows)
+	gi := len(w.Gammas) - 1
 	for i, edge := range w.Bands {
 		if tmax <= edge {
-			gamma = w.Gammas[i]
+			gi = i
 			break
 		}
 	}
-	out := make([]float64, len(w.Base))
-	for i, b := range w.Base {
-		out[i] = math.Pow(b, gamma)
+	return w.rows[gi]
+}
+
+// buildRows precomputes one weight row per temperature band.
+func (w *WeightTable) buildRows() {
+	rows := make([][]float64, len(w.Gammas))
+	for gi, gamma := range w.Gammas {
+		rows[gi] = make([]float64, len(w.Base))
+		for i, b := range w.Base {
+			rows[gi][i] = math.Pow(b, gamma)
+		}
 	}
-	return out
+	w.rows = rows
 }

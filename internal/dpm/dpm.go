@@ -33,19 +33,31 @@ func Disabled() *Policy { return &Policy{Timeout: DefaultTimeout, Enabled: false
 // executed anything this interval is Active, an idle core is Idle until
 // the timeout elapses, then Sleep.
 func (p *Policy) States(busy []float64, idle []units.Second) ([]power.CoreState, error) {
-	if len(busy) != len(idle) {
-		return nil, fmt.Errorf("dpm: %d busy fractions vs %d idle times", len(busy), len(idle))
-	}
 	out := make([]power.CoreState, len(busy))
+	if err := p.StatesInto(out, busy, idle); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StatesInto is States writing into dst (same length as busy) so the
+// per-tick loop need not allocate.
+func (p *Policy) StatesInto(dst []power.CoreState, busy []float64, idle []units.Second) error {
+	if len(busy) != len(idle) {
+		return fmt.Errorf("dpm: %d busy fractions vs %d idle times", len(busy), len(idle))
+	}
+	if len(dst) != len(busy) {
+		return fmt.Errorf("dpm: %d state slots for %d cores", len(dst), len(busy))
+	}
 	for i := range busy {
 		switch {
 		case busy[i] > 0:
-			out[i] = power.StateActive
+			dst[i] = power.StateActive
 		case p.Enabled && idle[i] >= p.Timeout:
-			out[i] = power.StateSleep
+			dst[i] = power.StateSleep
 		default:
-			out[i] = power.StateIdle
+			dst[i] = power.StateIdle
 		}
 	}
-	return out, nil
+	return nil
 }

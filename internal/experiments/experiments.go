@@ -11,12 +11,8 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sync"
 
-	"repro/internal/controller"
-	"repro/internal/floorplan"
-	"repro/internal/grid"
-	"repro/internal/pump"
+	"repro/internal/platform"
 	"repro/internal/rcnet"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -46,6 +42,11 @@ type Options struct {
 	// zero value rcnet.SolverAuto is the cached-LDLᵀ direct solver;
 	// rcnet.SolverCG reproduces the iterative path as a cross-check.
 	Solver rcnet.SolverKind
+	// Cache shares built platform artifacts (grid, solver analysis, LUT,
+	// weight tables) across experiment calls — cmd/repro sets one cache
+	// for its whole figure sweep. Nil gives every experiment call a
+	// private cache, which still deduplicates within the call.
+	Cache *platform.Cache
 }
 
 // DefaultOptions reproduces the figures at full fidelity (minutes of CPU).
@@ -77,110 +78,47 @@ func (o Options) benchmarks() ([]workload.Benchmark, error) {
 	return out, nil
 }
 
-// tables reuses the expensive LUT/weight analyses across the runs of one
-// experiment matrix. Access is serialized by a mutex so scenario workers
-// can share one instance; runMatrix additionally pre-builds every table it
-// will need before fanning out, keeping the build order (and therefore the
-// analyses themselves) deterministic.
-type tables struct {
-	mu      sync.Mutex
-	lut     map[int]*controller.LUT            // by layer count
-	weights map[string]*controller.WeightTable // by layers+cooling
+// cacheOrNew returns the platform cache every model, LUT and weight
+// analysis of one experiment call goes through: the shared one when the
+// caller set Options.Cache, otherwise a private per-call cache. Either
+// way each (layers, cooling class, grid, solver) platform — and each of
+// its artifacts — is built at most once and read concurrently by the
+// scenario workers. This replaces the package's former private
+// lut/weights table cache (and its second copy in the inlet sweep).
+func (o Options) cacheOrNew() *platform.Cache {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return platform.NewCache(0)
 }
 
-func (o Options) newTables() *tables {
-	return &tables{lut: map[int]*controller.LUT{}, weights: map[string]*controller.WeightTable{}}
-}
-
-func (o Options) stackFor(layers int, liquid bool) (*floorplan.Stack, error) {
-	switch layers {
-	case 2:
-		return floorplan.NewT1Stack2(liquid), nil
-	case 4:
-		return floorplan.NewT1Stack4(liquid), nil
-	default:
-		return nil, fmt.Errorf("experiments: unsupported layer count %d", layers)
-	}
-}
-
-func (o Options) modelFor(layers int, liquid bool) (*rcnet.Model, *pump.Pump, error) {
-	stack, err := o.stackFor(layers, liquid)
-	if err != nil {
-		return nil, nil, err
-	}
-	g, err := grid.Build(stack, grid.DefaultParams(o.GridNX, o.GridNY))
-	if err != nil {
-		return nil, nil, err
-	}
+// spec is the platform key of one experiment configuration.
+func (o Options) spec(layers int, liquid bool) platform.Spec {
 	rcCfg := rcnet.DefaultConfig()
 	rcCfg.Solver = o.Solver
-	m, err := rcnet.New(g, rcCfg)
-	if err != nil {
-		return nil, nil, err
+	return platform.Spec{
+		Layers: layers, Liquid: liquid,
+		GridNX: o.GridNX, GridNY: o.GridNY,
+		RC: rcCfg,
 	}
-	var pm *pump.Pump
-	if liquid {
-		pm, err = pump.New(stack.NumCavities())
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	return m, pm, nil
 }
 
-// lutFor builds (or reuses) the flow LUT for a layer count.
-func (o Options) lutFor(ctx context.Context, t *tables, layers int) (*controller.LUT, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if l, ok := t.lut[layers]; ok {
-		return l, nil
-	}
-	m, pm, err := o.modelFor(layers, true)
-	if err != nil {
-		return nil, err
-	}
-	stack := m.Grid.Stack
-	lut, err := controller.BuildLUT(ctx, m, pm, sim.FullLoadPowers(stack),
-		controller.TargetTemp, controller.DefaultLadder())
-	if err != nil {
-		return nil, err
-	}
-	t.lut[layers] = lut
-	return lut, nil
-}
-
-// weightsFor builds (or reuses) the TALB weights for a configuration.
-func (o Options) weightsFor(ctx context.Context, t *tables, layers int, liquid bool) (*controller.WeightTable, error) {
-	key := fmt.Sprintf("%d-%v", layers, liquid)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if w, ok := t.weights[key]; ok {
-		return w, nil
-	}
-	m, pm, err := o.modelFor(layers, liquid)
-	if err != nil {
-		return nil, err
-	}
-	w, err := controller.BuildWeights(ctx, m, pm, 3)
-	if err != nil {
-		return nil, err
-	}
-	t.weights[key] = w
-	return w, nil
-}
-
-// prebuild constructs every LUT and weight table the given combos will
-// need, serially and in combo order, so the parallel fan-out only ever
-// reads the shared tables.
-func (o Options) prebuild(ctx context.Context, t *tables, layers int, combos []Combo) error {
+// prebuild constructs every platform artifact the given combos will need,
+// serially and in combo order, so the parallel fan-out only ever reads
+// shared state and every artifact is built exactly once.
+func (o Options) prebuild(ctx context.Context, cache *platform.Cache, layers int, combos []Combo) error {
 	for _, combo := range combos {
+		p, err := cache.Get(o.spec(layers, combo.Cooling != sim.Air))
+		if err != nil {
+			return err
+		}
 		if combo.Cooling == sim.LiquidVar {
-			if _, err := o.lutFor(ctx, t, layers); err != nil {
+			if _, err := p.LUT(ctx); err != nil {
 				return err
 			}
 		}
 		if combo.Policy == sched.TALB {
-			if _, err := o.weightsFor(ctx, t, layers, combo.Cooling != sim.Air); err != nil {
+			if _, err := p.Weights(ctx); err != nil {
 				return err
 			}
 		}
@@ -220,8 +158,8 @@ func Fig8Combos() []Combo {
 	}
 }
 
-// run executes one cell of an experiment matrix.
-func (o Options) run(ctx context.Context, t *tables, layers int, combo Combo,
+// run executes one cell of an experiment matrix on the shared platform.
+func (o Options) run(ctx context.Context, cache *platform.Cache, layers int, combo Combo,
 	bench workload.Benchmark, dpmOn bool) (*sim.Result, error) {
 	cfg := sim.DefaultConfig()
 	cfg.Layers = layers
@@ -234,20 +172,11 @@ func (o Options) run(ctx context.Context, t *tables, layers int, combo Combo,
 	cfg.GridNX, cfg.GridNY = o.GridNX, o.GridNY
 	cfg.DPMEnabled = dpmOn
 	cfg.Solver = o.Solver
-	if combo.Cooling == sim.LiquidVar {
-		lut, err := o.lutFor(ctx, t, layers)
-		if err != nil {
-			return nil, err
-		}
-		cfg.LUT = lut
+	p, err := cache.Get(o.spec(layers, combo.Cooling != sim.Air))
+	if err != nil {
+		return nil, err
 	}
-	if combo.Policy == sched.TALB {
-		w, err := o.weightsFor(ctx, t, layers, combo.Cooling != sim.Air)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Weights = w
-	}
+	cfg.Platform = p
 	return sim.Run(ctx, cfg)
 }
 

@@ -213,7 +213,7 @@ func TestOptionsValidation(t *testing.T) {
 	if _, err := Fig6(context.Background(), o); err == nil {
 		t.Error("expected error for unknown workload")
 	}
-	if _, err := o.stackFor(3, true); err == nil {
+	if _, err := o.cacheOrNew().Get(o.spec(3, true)); err == nil {
 		t.Error("expected error for 3 layers")
 	}
 }

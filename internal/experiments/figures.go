@@ -45,18 +45,28 @@ type Fig5Result struct {
 func Fig5(ctx context.Context, o Options) ([]Fig5Result, error) {
 	stacks := []int{2, 4}
 	out := make([]Fig5Result, len(stacks))
+	cache := o.cacheOrNew()
 	err := par.ForEach(ctx, o.Workers, len(stacks), func(si int) error {
 		layers := stacks[si]
-		m, pm, err := o.modelFor(layers, true)
+		p, err := cache.Get(o.spec(layers, true))
 		if err != nil {
 			return err
 		}
-		t := o.newTables()
-		lut, err := o.lutFor(ctx, t, layers)
+		// The bisection sweeps mutate model state, so this study gets its
+		// own model; the LUT and full-load map come warm from the platform.
+		m, err := p.NewModel(ctx)
 		if err != nil {
 			return err
 		}
-		full := sim.FullLoadPowers(m.Grid.Stack)
+		pm := p.Pump()
+		lut, err := p.LUT(ctx)
+		if err != nil {
+			return err
+		}
+		full, err := p.FullLoadPowers(ctx)
+		if err != nil {
+			return err
+		}
 		res := Fig5Result{Layers: layers}
 		maxFlow := float64(pm.PerCavityFlow(pump.MaxSetting()))
 		for k, lambda := range lut.Ladder {
@@ -204,15 +214,15 @@ func (o Options) runMatrix(ctx context.Context, layers int, combos []Combo, dpmO
 	if err != nil {
 		return nil, err
 	}
-	t := o.newTables()
-	if err := o.prebuild(ctx, t, layers, combos); err != nil {
+	cache := o.cacheOrNew()
+	if err := o.prebuild(ctx, cache, layers, combos); err != nil {
 		return nil, err
 	}
 	nb := len(benches)
 	runs := make([]*sim.Result, len(combos)*nb)
 	err = par.ForEach(ctx, o.Workers, len(runs), func(i int) error {
 		combo, b := combos[i/nb], benches[i%nb]
-		r, err := o.run(ctx, t, layers, combo, b, dpmOn)
+		r, err := o.run(ctx, cache, layers, combo, b, dpmOn)
 		if err != nil {
 			return fmt.Errorf("experiments: %s on %s: %w", combo.Label, b.Name, err)
 		}

@@ -5,10 +5,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/controller"
-	"repro/internal/grid"
 	"repro/internal/par"
-	"repro/internal/pump"
 	"repro/internal/rcnet"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -43,35 +40,27 @@ func InletSweep(ctx context.Context, o Options, bench string, inletsC []float64)
 	if err != nil {
 		return nil, err
 	}
-	// Each inlet temperature is a self-contained study (its own thermal
-	// model, LUT and pair of runs), so the sweep fans out one job per
-	// inlet; rows land in per-index slots to keep the output order fixed.
+	// Each inlet temperature is a self-contained study: a distinct
+	// platform spec (its own RC config), whose LUT/weights/model are
+	// built once and shared by the inlet's pair of runs. The sweep fans
+	// out one job per inlet; rows land in per-index slots to keep the
+	// output order fixed.
 	out := make([]InletSweepRow, len(inletsC))
+	cache := o.cacheOrNew()
 	err = par.ForEach(ctx, o.Workers, len(inletsC), func(ii int) error {
 		inlet := inletsC[ii]
 		rcCfg := rcnet.DefaultConfig()
 		rcCfg.CoolantInlet = units.Celsius(inlet).ToKelvin()
 		rcCfg.Solver = o.Solver
 
+		spec := o.spec(2, true)
+		spec.RC = rcCfg
+		p, err := cache.Get(spec)
+		if err != nil {
+			return err
+		}
 		// Feasibility + LUT from the steady-state sweep.
-		stack, err := o.stackFor(2, true)
-		if err != nil {
-			return err
-		}
-		g, err := grid.Build(stack, grid.DefaultParams(o.GridNX, o.GridNY))
-		if err != nil {
-			return err
-		}
-		m, err := rcnet.New(g, rcCfg)
-		if err != nil {
-			return err
-		}
-		pm, err := pump.New(stack.NumCavities())
-		if err != nil {
-			return err
-		}
-		lut, err := controller.BuildLUT(ctx, m, pm, sim.FullLoadPowers(stack),
-			controller.TargetTemp, controller.DefaultLadder())
+		lut, err := p.LUT(ctx)
 		if err != nil {
 			return err
 		}
@@ -96,9 +85,7 @@ func InletSweep(ctx context.Context, o Options, bench string, inletsC []float64)
 			cfg.Warmup = o.Warmup
 			cfg.GridNX, cfg.GridNY = o.GridNX, o.GridNY
 			cfg.RC = &rcCfg
-			if cooling == sim.LiquidVar {
-				cfg.LUT = lut
-			}
+			cfg.Platform = p
 			return sim.Run(ctx, cfg)
 		}
 		vr, err := run(sim.LiquidVar)

@@ -22,8 +22,9 @@ var ErrNotPositiveDefinite = errors.New("mat: matrix not positive definite")
 // neither allocates; consequently it must not be used from more than one
 // goroutine at a time.
 type LDLSymbolic struct {
-	n    int
-	nnzA int // stored entries of the analyzed matrix (structure check)
+	n      int
+	nnzA   int    // stored entries of the analyzed matrix (structure check)
+	fprint uint64 // fingerprint of the analyzed sparsity pattern (Matches)
 
 	perm []int // perm[k] = original index of the node eliminated k-th
 	pinv []int // pinv[perm[k]] = k
@@ -61,9 +62,64 @@ type LDLNumeric struct {
 // N returns the system dimension.
 func (s *LDLSymbolic) N() int { return s.n }
 
+// Clone returns a symbolic analysis that shares the immutable products of
+// AnalyzeLDL — the fill-reducing permutation, the permuted upper triangle,
+// the elimination tree and the column pointers of L — but owns its
+// L-row-index storage and scratch buffers. The clone can therefore
+// factorize and solve concurrently with the original (and with other
+// clones), which is what lets one expensive analysis serve every model of
+// a shared platform. Cloning costs a handful of O(n)/O(nnz(L))
+// allocations; the ordering and symbolic passes are not repeated.
+func (s *LDLSymbolic) Clone() *LDLSymbolic {
+	return &LDLSymbolic{
+		n:      s.n,
+		nnzA:   s.nnzA,
+		fprint: s.fprint,
+		perm:   s.perm,
+		pinv:   s.pinv,
+		cp:     s.cp, ci: s.ci, csrc: s.csrc,
+		parent: s.parent,
+		lp:     s.lp,
+		// li is rewritten in full by every Factorize (the up-looking pass
+		// emits each column's row indices as it goes), so a zeroed copy is
+		// correct; flag/lnz likewise carry no state across factorizations
+		// beyond what each column re-initializes.
+		li:      make([]int32, len(s.li)),
+		y:       make([]float64, s.n),
+		pattern: make([]int, s.n),
+		flag:    make([]int, s.n),
+		lnz:     make([]int, s.n),
+		w:       make([]float64, s.n),
+	}
+}
+
 // NNZL returns the stored entry count of the L factor (fill diagnostics;
 // excludes the unit diagonal and D).
 func (s *LDLSymbolic) NNZL() int { return s.lp[s.n] }
+
+// Matches reports whether a has the sparsity structure this analysis was
+// performed for: dimension, stored-entry count and a fingerprint of the
+// actual pattern (two grids can agree on n and nnz — e.g. an nx×ny vs
+// ny×nx discretization — while their adjacency differs; factorizing
+// through the wrong pattern would silently scatter entries to the wrong
+// slots, so the pattern itself is checked).
+func (s *LDLSymbolic) Matches(a *CSR) bool {
+	return a.N == s.n && a.NNZ() == s.nnzA && structFingerprint(a) == s.fprint
+}
+
+// structFingerprint hashes a matrix's sparsity pattern (FNV-1a over the
+// row pointers and column indices; values are ignored).
+func structFingerprint(a *CSR) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, p := range a.RowPtr {
+		h = (h ^ uint64(p)) * prime
+	}
+	for _, c := range a.Col {
+		h = (h ^ uint64(c)) * prime
+	}
+	return h
+}
 
 // AnalyzeLDL performs the symbolic analysis of a: it computes the
 // fill-reducing ordering, the elimination tree of the permuted matrix and
@@ -74,9 +130,10 @@ func (s *LDLSymbolic) NNZL() int { return s.lp[s.n] }
 func AnalyzeLDL(a *CSR, ord Ordering) (*LDLSymbolic, error) {
 	n := a.N
 	s := &LDLSymbolic{
-		n:    n,
-		nnzA: a.NNZ(),
-		perm: ord.Permutation(a),
+		n:      n,
+		nnzA:   a.NNZ(),
+		fprint: structFingerprint(a),
+		perm:   ord.Permutation(a),
 	}
 	if len(s.perm) != n {
 		return nil, fmt.Errorf("mat: ordering produced %d of %d nodes", len(s.perm), n)

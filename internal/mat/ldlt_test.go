@@ -274,3 +274,38 @@ func TestLDLHotPathAllocFree(t *testing.T) {
 		t.Errorf("reusing Factorize allocates %v objects, want 0", allocs)
 	}
 }
+
+// TestMatchesRejectsDifferentPattern: a matrix with the same dimension
+// and nonzero count but a different sparsity pattern must not match the
+// analysis (a 4-node path vs a 4-node star both have n=4, nnz=10).
+func TestMatchesRejectsDifferentPattern(t *testing.T) {
+	build := func(edges [][2]int) *CSR {
+		b := NewBuilder(4)
+		for i := 0; i < 4; i++ {
+			b.Add(i, i, 4)
+		}
+		for _, e := range edges {
+			b.Add(e[0], e[1], -1)
+			b.Add(e[1], e[0], -1)
+		}
+		return b.Build()
+	}
+	path := build([][2]int{{0, 1}, {1, 2}, {2, 3}})
+	star := build([][2]int{{1, 0}, {1, 2}, {1, 3}})
+	s, err := AnalyzeLDL(path, OrderNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Matches(path) {
+		t.Error("analysis must match its own matrix")
+	}
+	if path.NNZ() != star.NNZ() {
+		t.Fatalf("test premise broken: nnz %d vs %d", path.NNZ(), star.NNZ())
+	}
+	if s.Matches(star) {
+		t.Error("same-n same-nnz different-pattern matrix must not match")
+	}
+	if !s.Clone().Matches(path) {
+		t.Error("clone must carry the pattern fingerprint")
+	}
+}

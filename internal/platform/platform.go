@@ -1,0 +1,336 @@
+// Package platform owns the expensive, immutable artifacts of one
+// physical stack configuration — the floorplan, the discretized thermal
+// grid, the pump model, the LDLᵀ symbolic analysis of the thermal system
+// matrix, the flow-rate controller's lookup table and the TALB thermal
+// weight table — and shares them across any number of concurrent
+// simulation runs, sessions, experiment matrices and service jobs.
+//
+// The paper's evaluation (and a production deployment of the service) is
+// hundreds of (system, cooling, policy, workload) runs over the same few
+// physical stacks. Everything above except per-run mutable state depends
+// only on the (layers, cooling class, grid resolution, thermal boundary
+// config) tuple, which Spec canonicalizes into a comparable cache key.
+// Each artifact is built at most once per Platform via singleflight-style
+// deduplication: the first caller builds while later callers wait, and a
+// failed build (a canceled context) is not cached, so a later caller
+// retries. Build counters make "was this warm?" testable.
+//
+// A Platform is immutable after construction and safe for unlimited
+// concurrent use. Mutable solver state is never shared: NewModel hands
+// every caller its own rcnet.Model, seeded with a private clone of the
+// shared symbolic analysis.
+package platform
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/controller"
+	"repro/internal/floorplan"
+	"repro/internal/grid"
+	"repro/internal/mat"
+	"repro/internal/power"
+	"repro/internal/pump"
+	"repro/internal/rcnet"
+	"repro/internal/units"
+)
+
+// Spec is the canonical identity of a platform: everything the built
+// artifacts depend on, and nothing they don't (policy, workload, seed,
+// duration and faults are per-run concerns). The struct is comparable, so
+// it doubles as the cache key.
+type Spec struct {
+	// Layers is the stack height (2 or 4, the paper's T1 systems).
+	Layers int
+	// Liquid selects the liquid-cooled package (true for the Max and Var
+	// cooling modes, false for Air). Air platforms carry no pump and no
+	// flow LUT, but do carry TALB weights.
+	Liquid bool
+	// GridNX, GridNY are the thermal grid resolution.
+	GridNX, GridNY int
+	// RC is the thermal boundary/solver configuration (comparable: no
+	// slices or pointers).
+	RC rcnet.Config
+}
+
+// Canonical returns the spec with defaulted fields normalized, so two
+// specs that build identical artifacts compare equal (and hit the same
+// cache entry).
+func (s Spec) Canonical() Spec {
+	if s.RC.SolverTol == 0 {
+		s.RC.SolverTol = rcnet.DefaultConfig().SolverTol
+	}
+	return s
+}
+
+// Validate reports whether the spec is buildable.
+func (s Spec) Validate() error {
+	if s.Layers != 2 && s.Layers != 4 {
+		return fmt.Errorf("platform: unsupported layer count %d (want 2 or 4)", s.Layers)
+	}
+	if s.GridNX <= 0 || s.GridNY <= 0 {
+		return fmt.Errorf("platform: non-positive grid %dx%d", s.GridNX, s.GridNY)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer (cache diagnostics).
+func (s Spec) String() string {
+	cooling := "air"
+	if s.Liquid {
+		cooling = "liquid"
+	}
+	return fmt.Sprintf("%dL/%s/%dx%d/solver=%v", s.Layers, cooling, s.GridNX, s.GridNY, s.RC.Solver)
+}
+
+// Stats counts the expensive builds a platform has performed. Each
+// counter saturates at one over the platform's lifetime unless a build
+// failed and was retried; warm consumers observe the counters unchanged.
+type Stats struct {
+	// SymbolicBuilds counts LDLᵀ symbolic analyses (orderings + fill).
+	SymbolicBuilds int
+	// LUTBuilds counts flow-LUT steady-state sweeps.
+	LUTBuilds int
+	// WeightBuilds counts TALB weight-table steady-state analyses.
+	WeightBuilds int
+	// Models counts rcnet models handed out by NewModel.
+	Models int
+}
+
+// once deduplicates one expensive build: the first caller executes it
+// while later callers wait on the pending channel (or their context). A
+// successful result is cached forever; a failure is not, so the next
+// caller retries — a canceled LUT sweep must not poison the platform.
+type once[T any] struct {
+	val     T
+	built   bool
+	builds  int
+	pending chan struct{}
+}
+
+// get runs build under p.mu-coordinated deduplication. mu must be the
+// platform mutex guarding this cell.
+func (o *once[T]) get(ctx context.Context, mu *sync.Mutex, build func() (T, error)) (T, error) {
+	for {
+		mu.Lock()
+		if o.built {
+			v := o.val
+			mu.Unlock()
+			return v, nil
+		}
+		if o.pending == nil {
+			ch := make(chan struct{})
+			o.pending = ch
+			mu.Unlock()
+			// Waiters must be released even if build panics — otherwise
+			// every later consumer of this artifact would block forever on
+			// a channel nobody will close. The deferred cleanup lets them
+			// retry (and propagates the panic to this caller).
+			finished := false
+			defer func() {
+				if finished {
+					return
+				}
+				mu.Lock()
+				o.pending = nil
+				close(ch)
+				mu.Unlock()
+			}()
+			v, err := build()
+			mu.Lock()
+			o.pending = nil
+			if err == nil {
+				o.val, o.built = v, true
+				o.builds++
+			}
+			close(ch)
+			mu.Unlock()
+			finished = true
+			return v, err
+		}
+		ch := o.pending
+		mu.Unlock()
+		select {
+		case <-ch:
+			// Either built (loop returns it) or failed (loop may rebuild).
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// Platform bundles the shared artifacts of one Spec. Zero value is
+// unusable; construct with New (or through a Cache).
+type Platform struct {
+	spec  Spec
+	stack *floorplan.Stack
+	grid  *grid.Grid
+	pump  *pump.Pump // nil for air-cooled platforms
+
+	mu       sync.Mutex
+	symb     once[*mat.LDLSymbolic]
+	lut      once[*controller.LUT]
+	weights  once[*controller.WeightTable]
+	fullLoad once[[][]float64]
+	models   int
+}
+
+// New builds the cheap skeleton of a platform — floorplan, grid, pump.
+// The expensive artifacts (symbolic analysis, LUT, weights) are built
+// lazily by their accessors, deduplicated across concurrent callers.
+func New(spec Spec) (*Platform, error) {
+	spec = spec.Canonical()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var stack *floorplan.Stack
+	switch spec.Layers {
+	case 2:
+		stack = floorplan.NewT1Stack2(spec.Liquid)
+	case 4:
+		stack = floorplan.NewT1Stack4(spec.Liquid)
+	}
+	g, err := grid.Build(stack, grid.DefaultParams(spec.GridNX, spec.GridNY))
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{spec: spec, stack: stack, grid: g}
+	if spec.Liquid {
+		p.pump, err = pump.New(stack.NumCavities())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Spec returns the canonical identity the platform was built for.
+func (p *Platform) Spec() Spec { return p.spec }
+
+// Stack returns the shared floorplan (read-only).
+func (p *Platform) Stack() *floorplan.Stack { return p.stack }
+
+// Grid returns the shared discretized grid (read-only).
+func (p *Platform) Grid() *grid.Grid { return p.grid }
+
+// Pump returns the shared pump model, nil for air-cooled platforms.
+func (p *Platform) Pump() *pump.Pump { return p.pump }
+
+// symbolic builds (once) the LDLᵀ symbolic analysis of the platform's
+// thermal system matrix, via a throwaway probe model.
+func (p *Platform) symbolic(ctx context.Context) (*mat.LDLSymbolic, error) {
+	return p.symb.get(ctx, &p.mu, func() (*mat.LDLSymbolic, error) {
+		probe, err := rcnet.New(p.grid, p.spec.RC)
+		if err != nil {
+			return nil, err
+		}
+		return probe.EnsureSymbolic()
+	})
+}
+
+// NewModel returns a fresh thermal model on the shared grid. Every model
+// owns its mutable state (temperatures, factors, scratch); with the
+// direct solver it is seeded with a private clone of the shared symbolic
+// analysis, so per-model construction skips the ordering and fill
+// analysis entirely. ctx bounds the wait on a concurrent symbolic build.
+func (p *Platform) NewModel(ctx context.Context) (*rcnet.Model, error) {
+	var symb *mat.LDLSymbolic
+	if p.spec.RC.Solver != rcnet.SolverCG {
+		s, err := p.symbolic(ctx)
+		if err != nil {
+			return nil, err
+		}
+		symb = s
+	}
+	m, err := rcnet.NewWithSymbolic(p.grid, p.spec.RC, symb)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.models++
+	p.mu.Unlock()
+	return m, nil
+}
+
+// FullLoadPowers returns the per-layer per-block reference power map used
+// by the LUT sweep: full utilization with leakage evaluated at the target
+// temperature. The slices are shared and must not be modified.
+func (p *Platform) FullLoadPowers(ctx context.Context) ([][]float64, error) {
+	return p.fullLoad.get(ctx, &p.mu, func() ([][]float64, error) {
+		return FullLoadPowers(p.stack)
+	})
+}
+
+// LUT returns the flow-rate controller's lookup table, building it on
+// first use (a steady-state sweep over every pump setting — seconds of
+// solver time at paper resolution) and sharing it with every later
+// caller. Only liquid-cooled platforms carry a LUT.
+func (p *Platform) LUT(ctx context.Context) (*controller.LUT, error) {
+	if !p.spec.Liquid {
+		return nil, fmt.Errorf("platform: flow LUT needs a liquid-cooled platform (%v)", p.spec)
+	}
+	return p.lut.get(ctx, &p.mu, func() (*controller.LUT, error) {
+		full, err := p.FullLoadPowers(ctx)
+		if err != nil {
+			return nil, err
+		}
+		m, err := p.NewModel(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return controller.BuildLUT(ctx, m, p.pump, full,
+			controller.TargetTemp, controller.DefaultLadder())
+	})
+}
+
+// Weights returns the TALB thermal weight table, building it on first use
+// (one steady-state analysis) and sharing it afterwards. Both liquid- and
+// air-cooled platforms carry weights.
+func (p *Platform) Weights(ctx context.Context) (*controller.WeightTable, error) {
+	return p.weights.get(ctx, &p.mu, func() (*controller.WeightTable, error) {
+		m, err := p.NewModel(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return controller.BuildWeights(ctx, m, p.pump, power.CoreActivePower)
+	})
+}
+
+// Stats returns the platform's build counters.
+func (p *Platform) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		SymbolicBuilds: p.symb.builds,
+		LUTBuilds:      p.lut.builds,
+		WeightBuilds:   p.weights.builds,
+		Models:         p.models,
+	}
+}
+
+// FullLoadPowers computes the full-utilization per-layer per-block power
+// map of a stack with leakage evaluated at the controller target
+// temperature — the reference load the LUT sweep's ladder scales.
+func FullLoadPowers(stack *floorplan.Stack) ([][]float64, error) {
+	pm := power.New(stack)
+	n := len(stack.Cores())
+	act := power.Activity{
+		CoreBusy:    make([]float64, n),
+		CoreState:   make([]power.CoreState, n),
+		MemActivity: 1,
+	}
+	for i := range act.CoreBusy {
+		act.CoreBusy[i] = 1
+		act.CoreState[i] = power.StateActive
+	}
+	temps := make([][]units.Celsius, len(stack.Layers))
+	for li, layer := range stack.Layers {
+		temps[li] = make([]units.Celsius, len(layer.Blocks))
+		for bi := range temps[li] {
+			temps[li][bi] = controller.TargetTemp
+		}
+	}
+	return pm.BlockPowers(act, temps)
+}

@@ -115,11 +115,26 @@ type Model struct {
 	Leak  Leakage
 	// cores caches the stack's core references.
 	cores []floorplan.CoreRef
+	// coreIdx[li][bi] is the core index of block bi on layer li, or -1
+	// for non-core blocks — precomputed so the per-tick leakage pass
+	// needs no map.
+	coreIdx [][]int
 }
 
 // New builds a power model for the stack.
 func New(s *floorplan.Stack) *Model {
-	return &Model{Stack: s, Leak: DefaultLeakage(), cores: s.Cores()}
+	m := &Model{Stack: s, Leak: DefaultLeakage(), cores: s.Cores()}
+	m.coreIdx = make([][]int, len(s.Layers))
+	for li, layer := range s.Layers {
+		m.coreIdx[li] = make([]int, len(layer.Blocks))
+		for bi := range m.coreIdx[li] {
+			m.coreIdx[li][bi] = -1
+		}
+	}
+	for ci, ref := range m.cores {
+		m.coreIdx[ref.Layer][ref.Block] = ci
+	}
+	return m
 }
 
 // NumCores returns the core count.
@@ -129,23 +144,46 @@ func (m *Model) NumCores() int { return len(m.cores) }
 // described by act, evaluating leakage at the per-block temperatures
 // blockTemp (same indexing; may be nil to skip leakage).
 func (m *Model) BlockPowers(act Activity, blockTemp [][]units.Celsius) ([][]float64, error) {
-	if len(act.CoreBusy) != len(m.cores) || len(act.CoreState) != len(m.cores) {
-		return nil, fmt.Errorf("power: activity for %d/%d cores, want %d",
-			len(act.CoreBusy), len(act.CoreState), len(m.cores))
-	}
-	if act.MemActivity < 0 || act.MemActivity > 1 {
-		return nil, fmt.Errorf("power: memory activity %g outside [0,1]", act.MemActivity)
-	}
 	out := make([][]float64, len(m.Stack.Layers))
 	for li, layer := range m.Stack.Layers {
 		out[li] = make([]float64, len(layer.Blocks))
 	}
+	if err := m.BlockPowersInto(out, act, blockTemp); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BlockPowersInto is BlockPowers writing into dst, which must be shaped
+// like the stack (one slice per layer, one slot per block) — the
+// allocation-free variant the per-tick loop uses.
+func (m *Model) BlockPowersInto(dst [][]float64, act Activity, blockTemp [][]units.Celsius) error {
+	if len(act.CoreBusy) != len(m.cores) || len(act.CoreState) != len(m.cores) {
+		return fmt.Errorf("power: activity for %d/%d cores, want %d",
+			len(act.CoreBusy), len(act.CoreState), len(m.cores))
+	}
+	if act.MemActivity < 0 || act.MemActivity > 1 {
+		return fmt.Errorf("power: memory activity %g outside [0,1]", act.MemActivity)
+	}
+	if len(dst) != len(m.Stack.Layers) {
+		return fmt.Errorf("power: dst has %d layers, want %d", len(dst), len(m.Stack.Layers))
+	}
+	for li, layer := range m.Stack.Layers {
+		if len(dst[li]) != len(layer.Blocks) {
+			return fmt.Errorf("power: dst layer %d has %d blocks, want %d",
+				li, len(dst[li]), len(layer.Blocks))
+		}
+		for bi := range dst[li] {
+			dst[li][bi] = 0
+		}
+	}
+	out := dst
 
 	activeCores := 0
 	for ci, ref := range m.cores {
 		busy := act.CoreBusy[ci]
 		if busy < 0 || busy > 1 {
-			return nil, fmt.Errorf("power: core %d busy fraction %g outside [0,1]", ci, busy)
+			return fmt.Errorf("power: core %d busy fraction %g outside [0,1]", ci, busy)
 		}
 		var dyn float64
 		switch act.CoreState[ci] {
@@ -156,7 +194,7 @@ func (m *Model) BlockPowers(act Activity, blockTemp [][]units.Celsius) ([][]floa
 		case StateActive:
 			dyn = busy*CoreActivePower + (1-busy)*CoreIdlePower
 		default:
-			return nil, fmt.Errorf("power: core %d invalid state %v", ci, act.CoreState[ci])
+			return fmt.Errorf("power: core %d invalid state %v", ci, act.CoreState[ci])
 		}
 		if busy > 0 {
 			activeCores++
@@ -184,13 +222,9 @@ func (m *Model) BlockPowers(act Activity, blockTemp [][]units.Celsius) ([][]floa
 
 	// Leakage on top of dynamic, gated for sleeping cores.
 	if blockTemp != nil {
-		coreOf := map[[2]int]int{}
-		for ci, ref := range m.cores {
-			coreOf[[2]int{ref.Layer, ref.Block}] = ci
-		}
 		for li, layer := range m.Stack.Layers {
 			if len(blockTemp[li]) != len(layer.Blocks) {
-				return nil, fmt.Errorf("power: layer %d temps %d blocks, want %d",
+				return fmt.Errorf("power: layer %d temps %d blocks, want %d",
 					li, len(blockTemp[li]), len(layer.Blocks))
 			}
 			for bi, b := range layer.Blocks {
@@ -198,7 +232,7 @@ func (m *Model) BlockPowers(act Activity, blockTemp [][]units.Celsius) ([][]floa
 				if peak == 0 {
 					continue
 				}
-				if ci, isCore := coreOf[[2]int{li, bi}]; isCore && act.CoreState[ci] == StateSleep {
+				if ci := m.coreIdx[li][bi]; ci >= 0 && act.CoreState[ci] == StateSleep {
 					// Power-gated: negligible leakage, already covered
 					// by the 0.02 W sleep floor.
 					continue
@@ -207,7 +241,7 @@ func (m *Model) BlockPowers(act Activity, blockTemp [][]units.Celsius) ([][]floa
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // PeakDynamic returns the peak dynamic power for a block kind, the base

@@ -90,11 +90,9 @@ func (m *Model) solveDirect(dt float64) (bool, error) {
 		return true, nil
 	}
 	if m.symb == nil {
-		s, err := mat.AnalyzeLDL(m.sys, mat.OrderAuto)
-		if err != nil {
+		if _, err := m.EnsureSymbolic(); err != nil {
 			return m.factorFailed(key, err)
 		}
-		m.symb = s
 	}
 	var reuse *mat.LDLNumeric
 	if len(m.factorSeq) >= maxCachedFactors {

@@ -189,6 +189,43 @@ func New(g *grid.Grid, cfg Config) (*Model, error) {
 	return m, nil
 }
 
+// NewWithSymbolic builds the thermal network for g like New, but seeds the
+// direct solver with a private clone of a previously computed symbolic
+// analysis (see Model.EnsureSymbolic), so the per-model ordering and fill
+// analysis is skipped. Any number of models may be built from one source
+// analysis concurrently — each clone owns its scratch. A nil symb behaves
+// exactly like New.
+func NewWithSymbolic(g *grid.Grid, cfg Config, symb *mat.LDLSymbolic) (*Model, error) {
+	m, err := New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if symb != nil && cfg.Solver != SolverCG {
+		if !symb.Matches(m.sys) {
+			return nil, fmt.Errorf("rcnet: shared symbolic analysis is for a different structure (%d nodes, model has %d)",
+				symb.N(), m.n)
+		}
+		m.symb = symb.Clone()
+	}
+	return m, nil
+}
+
+// EnsureSymbolic performs (or returns the already-performed) symbolic
+// LDLᵀ analysis of the model's system matrix. The result can seed
+// NewWithSymbolic so further models on the same grid skip the ordering
+// and fill analysis; it must not be handed to concurrent users directly
+// (they receive private clones through NewWithSymbolic).
+func (m *Model) EnsureSymbolic() (*mat.LDLSymbolic, error) {
+	if m.symb == nil {
+		s, err := mat.AnalyzeLDL(m.sys, mat.OrderAuto)
+		if err != nil {
+			return nil, err
+		}
+		m.symb = s
+	}
+	return m.symb, nil
+}
+
 // conductivity returns the (lateral, vertical) conductivities of a cell.
 // Liquid cavities use the silicon-walled channel-structure model; plain
 // bonding interfaces (air-cooled stacks) use the homogenized polymer+TSV

@@ -98,6 +98,11 @@ type Scheduler struct {
 	// arrival) when Execute is driven through ExecuteAt with a clock.
 	responseSum units.Second
 	responded   int64
+
+	// free recycles completed Thread objects into Assign, so the
+	// steady-state tick path allocates no per-arrival Thread (nothing
+	// outside the scheduler retains queued thread pointers).
+	free []*workload.Thread
 }
 
 // recentHalfLife controls how fast the fair-share memory fades.
@@ -169,8 +174,15 @@ func (s *Scheduler) Assign(threads []workload.Thread) {
 				best, bestScore = c, score
 			}
 		}
-		th := threads[i]
-		s.Cores[best].Queue = append(s.Cores[best].Queue, &th)
+		var th *workload.Thread
+		if n := len(s.free); n > 0 {
+			th = s.free[n-1]
+			s.free = s.free[:n-1]
+		} else {
+			th = new(workload.Thread)
+		}
+		*th = threads[i]
+		s.Cores[best].Queue = append(s.Cores[best].Queue, th)
 		s.recent[best]++
 	}
 }
@@ -237,7 +249,10 @@ func (s *Scheduler) ReactiveMigrate(coreTemp []units.Celsius) error {
 			continue
 		}
 		th := s.Cores[c].Queue[0]
-		s.Cores[c].Queue = s.Cores[c].Queue[1:]
+		n := len(s.Cores[c].Queue)
+		copy(s.Cores[c].Queue, s.Cores[c].Queue[1:])
+		s.Cores[c].Queue[n-1] = nil
+		s.Cores[c].Queue = s.Cores[c].Queue[:n-1]
 		th.Remaining += MigrationPenalty
 		th.Migrations++
 		s.Cores[coolest].Queue = append(s.Cores[coolest].Queue, th)
@@ -271,7 +286,14 @@ func (s *Scheduler) ExecuteAt(now, dt units.Second) int {
 			if th.Remaining <= budget {
 				budget -= th.Remaining
 				th.Remaining = 0
-				core.Queue = core.Queue[1:]
+				// Pop by compacting so the backing array's front capacity
+				// is kept — re-slicing from the head would force append to
+				// grow a fresh array over and over (steady-state garbage).
+				n := len(core.Queue)
+				copy(core.Queue, core.Queue[1:])
+				core.Queue[n-1] = nil
+				core.Queue = core.Queue[:n-1]
+				s.free = append(s.free, th)
 				s.completed++
 				done++
 				if now >= 0 {
@@ -309,10 +331,21 @@ func (s *Scheduler) MeanResponse() units.Second {
 // BusyFractions returns the per-core busy fractions of the last Execute.
 func (s *Scheduler) BusyFractions() []float64 {
 	out := make([]float64, len(s.Cores))
-	for i := range s.Cores {
-		out[i] = s.Cores[i].LastBusy
-	}
+	s.BusyFractionsInto(out)
 	return out
+}
+
+// BusyFractionsInto fills dst (length = core count) with the per-core
+// busy fractions of the last Execute — the allocation-free variant the
+// per-tick loop uses.
+func (s *Scheduler) BusyFractionsInto(dst []float64) error {
+	if len(dst) != len(s.Cores) {
+		return fmt.Errorf("sched: %d slots for %d cores", len(dst), len(s.Cores))
+	}
+	for i := range s.Cores {
+		dst[i] = s.Cores[i].LastBusy
+	}
+	return nil
 }
 
 // QueueLengths returns the per-core thread counts.

@@ -15,7 +15,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/dpm"
 	"repro/internal/floorplan"
-	"repro/internal/grid"
+	"repro/internal/platform"
 	"repro/internal/power"
 	"repro/internal/pump"
 	"repro/internal/rcnet"
@@ -92,9 +92,15 @@ type Config struct {
 	UtilSchedule func(t units.Second) float64
 	// LUT and Weights allow reuse of precomputed tables across runs of
 	// the same system (they depend only on stack + cooling, not on
-	// policy or workload). Nil means build internally.
+	// policy or workload). Nil means take them from the Platform (which
+	// builds each at most once and shares it).
 	LUT     *controller.LUT
 	Weights *controller.WeightTable
+	// Platform, when non-nil, supplies the shared per-stack artifacts
+	// (floorplan, grid, pump, solver symbolic analysis, LUT, weight
+	// table). Its spec must match this config (PlatformSpec); New
+	// validates that. Nil builds a private platform — the cold path.
+	Platform *platform.Platform
 	// Faults injects failure modes (robustness experiments).
 	Faults Faults
 	// FlowPolicy overrides the flow controller for LiquidVar runs
@@ -175,6 +181,10 @@ type Sim struct {
 	WTab   *controller.WeightTable
 	Stats  *stats.Collector
 
+	// cores caches Stack.Cores() (which allocates per call) for the
+	// per-tick temperature read.
+	cores []floorplan.CoreRef
+
 	// The clock is tick-counted so a 100 ms step never accumulates
 	// floating-point drift: time = tick0 + steps·Tick.
 	tick0      units.Second // −Warmup
@@ -192,12 +202,42 @@ type Sim struct {
 	lastTmax   units.Celsius
 	lastChip   units.Watt // chip power drawn during the latest tick
 	flowTime   float64    // ∫ flow dt for MeanFlowLPM
+
+	// Reused per-tick buffers: the stats-collection tick path is
+	// allocation-free in steady state (TestStepAllocationFree guards it).
+	busyBuf   []float64
+	idleBuf   []units.Second
+	statesBuf []power.CoreState
+	blocksBuf [][]float64
+}
+
+// PlatformSpec lowers the run configuration to the canonical key of the
+// platform it executes on: the (layers, cooling class, grid resolution,
+// thermal config) tuple every shared artifact depends on.
+func (cfg Config) PlatformSpec() (platform.Spec, error) {
+	rcCfg := rcnet.DefaultConfig()
+	if cfg.RC != nil {
+		rcCfg = *cfg.RC
+	}
+	if cfg.Solver != rcnet.SolverAuto {
+		rcCfg.Solver = cfg.Solver
+	}
+	spec := platform.Spec{
+		Layers: cfg.Layers,
+		Liquid: cfg.Cooling != Air,
+		GridNX: cfg.GridNX,
+		GridNY: cfg.GridNY,
+		RC:     rcCfg,
+	}.Canonical()
+	return spec, spec.Validate()
 }
 
 // New assembles a simulation. Construction can be expensive for
-// LiquidVar/TALB runs (it may build the controller LUT and weight tables
-// via steady-state sweeps), so ctx is honored there too: cancellation
-// aborts the build within one steady-state solve.
+// LiquidVar/TALB runs on a cold platform (the controller LUT and weight
+// tables come from steady-state sweeps), so ctx is honored there too:
+// cancellation aborts the build within one steady-state solve. With
+// Cfg.Platform set, everything per-stack is reused and construction cost
+// drops to the per-run mutable state.
 func New(ctx context.Context, cfg Config) (*Sim, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -208,34 +248,29 @@ func New(ctx context.Context, cfg Config) (*Sim, error) {
 	if cfg.Duration <= 0 {
 		return nil, fmt.Errorf("sim: non-positive duration")
 	}
-	var stack *floorplan.Stack
+	spec, err := cfg.PlatformSpec()
+	if err != nil {
+		return nil, err
+	}
 	liquid := cfg.Cooling != Air
-	switch cfg.Layers {
-	case 2:
-		stack = floorplan.NewT1Stack2(liquid)
-	case 4:
-		stack = floorplan.NewT1Stack4(liquid)
-	default:
-		return nil, fmt.Errorf("sim: unsupported layer count %d", cfg.Layers)
+	p := cfg.Platform
+	if p == nil {
+		p, err = platform.New(spec)
+		if err != nil {
+			return nil, err
+		}
+	} else if p.Spec() != spec {
+		return nil, fmt.Errorf("sim: shared platform is %v but the run config needs %v",
+			p.Spec(), spec)
 	}
-	g, err := grid.Build(stack, grid.DefaultParams(cfg.GridNX, cfg.GridNY))
+	stack := p.Stack()
+	model, err := p.NewModel(ctx)
 	if err != nil {
 		return nil, err
 	}
-	rcCfg := rcnet.DefaultConfig()
-	if cfg.RC != nil {
-		rcCfg = *cfg.RC
-	}
-	if cfg.Solver != rcnet.SolverAuto {
-		rcCfg.Solver = cfg.Solver
-	}
-	model, err := rcnet.New(g, rcCfg)
-	if err != nil {
-		return nil, err
-	}
-	s := &Sim{Cfg: cfg, Stack: stack, Model: model}
+	s := &Sim{Cfg: cfg, Stack: stack, Model: model, cores: stack.Cores()}
 
-	s.Sched, err = sched.New(cfg.Policy, len(stack.Cores()))
+	s.Sched, err = sched.New(cfg.Policy, len(s.cores))
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +278,7 @@ func New(ctx context.Context, cfg Config) (*Sim, error) {
 	if cfg.Arrivals != nil {
 		s.Source = cfg.Arrivals
 	} else {
-		s.Gen = workload.NewGenerator(cfg.Bench, len(stack.Cores()), cfg.Seed)
+		s.Gen = workload.NewGenerator(cfg.Bench, len(s.cores), cfg.Seed)
 		s.Source = s.Gen
 	}
 	if cfg.DPMEnabled {
@@ -251,32 +286,25 @@ func New(ctx context.Context, cfg Config) (*Sim, error) {
 	} else {
 		s.DPM = dpm.Disabled()
 	}
-	s.Stats, err = stats.NewCollector(len(stack.Cores()))
+	s.Stats, err = stats.NewCollector(len(s.cores))
 	if err != nil {
 		return nil, err
 	}
 
 	if liquid {
-		s.Pump, err = pump.New(stack.NumCavities())
-		if err != nil {
-			return nil, err
-		}
+		s.Pump = p.Pump()
 	}
 
-	// Controller LUT and TALB weights come from steady-state analyses on
-	// a scratch model so the run model's state is untouched.
+	// Controller LUT and TALB weights are platform artifacts: built at
+	// most once per platform (on scratch models, so this run's model
+	// state is untouched) and shared by every concurrent consumer.
 	if cfg.Cooling == LiquidVar {
 		if cfg.FlowPolicy != nil {
 			s.Flow = cfg.FlowPolicy
 		} else {
 			lut := cfg.LUT
 			if lut == nil {
-				scratch, err := rcnet.New(g, rcCfg)
-				if err != nil {
-					return nil, err
-				}
-				lut, err = controller.BuildLUT(ctx, scratch, s.Pump, FullLoadPowers(stack),
-					controller.TargetTemp, controller.DefaultLadder())
+				lut, err = p.LUT(ctx)
 				if err != nil {
 					return nil, err
 				}
@@ -297,11 +325,7 @@ func New(ctx context.Context, cfg Config) (*Sim, error) {
 	if cfg.Policy == sched.TALB {
 		wt := cfg.Weights
 		if wt == nil {
-			scratch, err := rcnet.New(g, rcCfg)
-			if err != nil {
-				return nil, err
-			}
-			wt, err = controller.BuildWeights(ctx, scratch, s.Pump, power.CoreActivePower)
+			wt, err = p.Weights(ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -309,7 +333,7 @@ func New(ctx context.Context, cfg Config) (*Sim, error) {
 		s.WTab = wt
 	}
 
-	s.faults = newFaultState(cfg.Faults, cfg.Seed, len(stack.Cores()))
+	s.faults = newFaultState(cfg.Faults, cfg.Seed, len(s.cores))
 	if cfg.Faults.PumpStuck != nil {
 		if err := pump.Validate(*cfg.Faults.PumpStuck); err != nil {
 			return nil, err
@@ -329,14 +353,20 @@ func New(ctx context.Context, cfg Config) (*Sim, error) {
 		s.delivered = pump.Off
 	}
 
-	s.coreTemps = make([]units.Celsius, len(stack.Cores()))
+	ncores := len(s.cores)
+	s.coreTemps = make([]units.Celsius, ncores)
 	s.blockTemps = make([][]units.Celsius, len(stack.Layers))
+	s.blocksBuf = make([][]float64, len(stack.Layers))
 	nblocks := 0
 	for li, layer := range stack.Layers {
 		s.blockTemps[li] = make([]units.Celsius, len(layer.Blocks))
+		s.blocksBuf[li] = make([]float64, len(layer.Blocks))
 		nblocks += len(layer.Blocks)
 	}
 	s.unitTemps = make([]units.Celsius, nblocks)
+	s.busyBuf = make([]float64, ncores)
+	s.idleBuf = make([]units.Second, ncores)
+	s.statesBuf = make([]power.CoreState, ncores)
 	s.tick0 = -cfg.Warmup
 	s.time = s.tick0
 	s.readTemps()
@@ -345,29 +375,12 @@ func New(ctx context.Context, cfg Config) (*Sim, error) {
 
 // FullLoadPowers returns the per-layer per-block reference power map used
 // by the LUT sweep: full utilization with leakage evaluated at the target
-// temperature.
+// temperature. Thin forwarder — the implementation lives with the other
+// shared artifacts in internal/platform.
 func FullLoadPowers(stack *floorplan.Stack) [][]float64 {
-	pm := power.New(stack)
-	n := len(stack.Cores())
-	act := power.Activity{
-		CoreBusy:    make([]float64, n),
-		CoreState:   make([]power.CoreState, n),
-		MemActivity: 1,
-	}
-	for i := range act.CoreBusy {
-		act.CoreBusy[i] = 1
-		act.CoreState[i] = power.StateActive
-	}
-	temps := make([][]units.Celsius, len(stack.Layers))
-	for li, layer := range stack.Layers {
-		temps[li] = make([]units.Celsius, len(layer.Blocks))
-		for bi := range temps[li] {
-			temps[li][bi] = controller.TargetTemp
-		}
-	}
-	blocks, err := pm.BlockPowers(act, temps)
+	blocks, err := platform.FullLoadPowers(stack)
 	if err != nil {
-		// Construction of act above satisfies every precondition.
+		// FullLoadPowers constructs a valid activity for its own stack.
 		panic(err)
 	}
 	return blocks
@@ -376,7 +389,7 @@ func FullLoadPowers(stack *floorplan.Stack) [][]float64 {
 // readTemps refreshes the cached per-core and per-block temperatures from
 // the thermal model.
 func (s *Sim) readTemps() {
-	for i, c := range s.Stack.Cores() {
+	for i, c := range s.cores {
 		s.coreTemps[i] = s.Model.BlockMaxTemp(c.Layer, c.Block).ToCelsius()
 	}
 	u := 0
@@ -427,26 +440,28 @@ func (s *Sim) Step() error {
 	completed := s.Sched.ExecuteAt(from, dt)
 
 	// DPM.
-	idle := make([]units.Second, len(s.Sched.Cores))
 	for i := range s.Sched.Cores {
-		idle[i] = s.Sched.Cores[i].IdleTime
+		s.idleBuf[i] = s.Sched.Cores[i].IdleTime
 	}
-	states, err := s.DPM.States(s.Sched.BusyFractions(), idle)
-	if err != nil {
+	if err := s.Sched.BusyFractionsInto(s.busyBuf); err != nil {
 		return err
 	}
+	if err := s.DPM.StatesInto(s.statesBuf, s.busyBuf, s.idleBuf); err != nil {
+		return err
+	}
+	states := s.statesBuf
 	for i := range states {
 		s.Sched.Cores[i].Asleep = states[i] == power.StateSleep
 	}
 
 	// Power.
 	act := power.Activity{
-		CoreBusy:    s.Sched.BusyFractions(),
+		CoreBusy:    s.busyBuf,
 		CoreState:   states,
 		MemActivity: s.Cfg.Bench.MemActivity(),
 	}
-	blocks, err := s.Power.BlockPowers(act, s.blockTemps)
-	if err != nil {
+	blocks := s.blocksBuf
+	if err := s.Power.BlockPowersInto(blocks, act, s.blockTemps); err != nil {
 		return err
 	}
 	for li := range blocks {

@@ -20,7 +20,9 @@ type Trace struct {
 
 // Capture materializes the generator's arrivals over [0, horizon).
 func Capture(g *Generator, horizon units.Second) *Trace {
-	return &Trace{Bench: g.Bench, Threads: g.Arrivals(0, horizon)}
+	// Arrivals reuses the generator's buffer; a trace outlives it.
+	threads := append([]Thread(nil), g.Arrivals(0, horizon)...)
+	return &Trace{Bench: g.Bench, Threads: threads}
 }
 
 // WriteCSV serializes the trace (one thread per row).

@@ -106,6 +106,7 @@ type Generator struct {
 	nextArr  units.Second
 	nextReal bool // whether nextArr is an arrival (vs a zero-load recheck)
 	started  bool
+	buf      []Thread // reused Arrivals result buffer
 }
 
 // NewGenerator returns a generator with the default modulation, seeded
@@ -155,9 +156,12 @@ func (g *Generator) scheduleNext(t units.Second) {
 }
 
 // Arrivals returns the threads arriving in [from, to), advancing the
-// generator.
+// generator. The returned slice reuses a generator-owned buffer — it is
+// valid until the next Arrivals call and must be copied to be retained
+// (the per-tick loop consumes it immediately, so steady-state ticks
+// allocate nothing here).
 func (g *Generator) Arrivals(from, to units.Second) []Thread {
-	var out []Thread
+	out := g.buf[:0]
 	if !g.started {
 		// Lazy start so configuration after NewGenerator (UtilScale,
 		// modulation) applies from the very first arrival.
@@ -177,6 +181,7 @@ func (g *Generator) Arrivals(from, to units.Second) []Thread {
 		}
 		g.scheduleNext(g.nextArr)
 	}
+	g.buf = out
 	return out
 }
 
