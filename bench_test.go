@@ -17,6 +17,7 @@ import (
 	"repro/internal/rcnet"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/stepper"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -363,6 +364,25 @@ func BenchmarkControllerDecide(b *testing.B) {
 
 func BenchmarkSimTick(b *testing.B) {
 	benchutil.SimTick(b)
+}
+
+// BenchmarkAdaptiveQuietPhase compares SimTick-equivalent throughput of
+// the fixed and adaptive stepping engines on a thermally quiet phase
+// (idle generator, DPM asleep, flow pinned): the adaptive engine covers
+// the phase with max-length macro-steps, so its per-emitted-tick cost
+// drops to the base-tick phases plus ~3 cached-factor solves per 16
+// ticks. Acceptance: adaptive ≥ 3× faster per tick (the matching ≤ 0.1 °C
+// error bound is pinned by sim.TestAdaptiveQuietPhaseMacroSteps).
+func BenchmarkAdaptiveQuietPhase(b *testing.B) {
+	b.Run("fixed", benchutil.QuietPhase(stepper.Fixed, 23, 20))
+	b.Run("adaptive", benchutil.QuietPhase(stepper.Adaptive, 23, 20))
+}
+
+// BenchmarkAnalyzePaperResolution measures the direct solver's symbolic
+// analysis plus first numeric factorization at the paper's 115×100 grid,
+// reporting L-factor fill — the numbers the opt-in nightly CI job tracks.
+func BenchmarkAnalyzePaperResolution(b *testing.B) {
+	benchutil.AnalyzePaper(b)
 }
 
 // BenchmarkRunManyCold / BenchmarkRunManyWarm bracket the platform

@@ -7,6 +7,10 @@
 //
 //	benchjson            # writes BENCH_<yyyy-mm-dd>.json in the cwd
 //	benchjson -o out.json
+//	benchjson -paper     # adds the paper-resolution factor/fill trackers
+//	                     # (symbolic analysis + first factorization at
+//	                     # 115×100, with the L fill reported) — the
+//	                     # opt-in nightly CI job's configuration
 //
 // The benchmark bodies are the ones bench_test.go runs (shared through
 // internal/benchutil): ThermalStepCoarse, ThermalStepPaperResolution plus
@@ -30,6 +34,7 @@ import (
 
 	"repro/internal/benchutil"
 	"repro/internal/rcnet"
+	"repro/internal/stepper"
 )
 
 // Result is one benchmark measurement.
@@ -40,6 +45,9 @@ type Result struct {
 	MsPerOp     float64 `json:"ms_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra carries benchmark-reported metrics (b.ReportMetric), e.g. the
+	// L-factor fill of the paper-resolution analysis tracker.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Snapshot is the emitted file layout.
@@ -54,6 +62,8 @@ type Snapshot struct {
 
 func main() {
 	out := flag.String("o", "", "output path (default BENCH_<yyyy-mm-dd>.json)")
+	paper := flag.Bool("paper", false,
+		"add the paper-resolution (115x100) factor/fill trackers (nightly CI configuration)")
 	flag.Parse()
 
 	benches := []struct {
@@ -66,8 +76,16 @@ func main() {
 		{"SteadyState", benchutil.SteadyState},
 		{"SimTick", benchutil.SimTick},
 		{"SessionStep", benchutil.SessionStep},
+		{"QuietPhaseFixed", benchutil.QuietPhase(stepper.Fixed, 23, 20)},
+		{"QuietPhaseAdaptive", benchutil.QuietPhase(stepper.Adaptive, 23, 20)},
 		{"RunManyCold", benchutil.RunManyCold},
 		{"RunManyWarm", benchutil.RunManyWarm},
+	}
+	if *paper {
+		benches = append(benches, struct {
+			name string
+			fn   func(b *testing.B)
+		}{"AnalyzePaperResolution", benchutil.AnalyzePaper})
 	}
 
 	snap := Snapshot{
@@ -80,14 +98,21 @@ func main() {
 	for _, bench := range benches {
 		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", bench.name)
 		r := testing.Benchmark(bench.fn)
-		snap.Benchmarks = append(snap.Benchmarks, Result{
+		res := Result{
 			Name:        bench.name,
 			Iterations:  r.N,
 			NsPerOp:     r.NsPerOp(),
 			MsPerOp:     float64(r.NsPerOp()) / 1e6,
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = map[string]float64{}
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
+		}
+		snap.Benchmarks = append(snap.Benchmarks, res)
 		fmt.Fprintf(os.Stderr, "benchjson: %s %d ops, %.3f ms/op, %d B/op, %d allocs/op\n",
 			bench.name, r.N, float64(r.NsPerOp())/1e6, r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}

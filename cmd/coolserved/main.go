@@ -48,10 +48,12 @@ func main() {
 			"finished jobs kept in memory for replay; oldest evicted beyond this (<= 0 keeps all)")
 		pcache = flag.Int("platform-cache", 8,
 			"stack shapes whose built artifacts (grid, solver analysis, controller tables) are kept warm; LRU-evicted beyond this (<= 0 keeps all)")
+		cacheDir = flag.String("cache-dir", "",
+			"directory for persisted platform artifacts (controller LUT JSON); a restarted daemon warm-starts its sweeps from here (empty = memory only)")
 	)
 	flag.Parse()
 
-	s := newServer(*workers, *retain, *pcache)
+	s := newServer(*workers, *retain, *pcache, *cacheDir)
 	srv := &http.Server{Addr: *addr, Handler: s.handler()}
 
 	sigCh := make(chan os.Signal, 2)

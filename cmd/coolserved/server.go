@@ -63,16 +63,36 @@ type server struct {
 	seq      int
 	retain   int // finished jobs kept for replay; oldest evicted beyond it
 	draining bool
-	started  int64 // jobs that entered execution (metrics)
+	started  int64          // jobs that entered execution (metrics)
+	stepping steppingTotals // per-run stepper counters, summed at completion
 }
 
-func newServer(workers, retain, platformCacheSize int) *server {
+// steppingTotals aggregates the stepping-engine counters of every
+// completed run, so operators can see how much work adaptive jobs saved
+// (macro_ticks vs base_ticks) across the daemon's lifetime.
+type steppingTotals struct {
+	BaseTicks     int64 `json:"base_ticks"`
+	MacroSteps    int64 `json:"macro_steps"`
+	MacroTicks    int64 `json:"macro_ticks"`
+	Refinements   int64 `json:"refinements"`
+	ThermalSolves int64 `json:"thermal_solves"`
+}
+
+func (t *steppingTotals) add(r *coolsim.Report) {
+	t.BaseTicks += int64(r.BaseTicks)
+	t.MacroSteps += int64(r.MacroSteps)
+	t.MacroTicks += int64(r.MacroTicks)
+	t.Refinements += int64(r.Refinements)
+	t.ThermalSolves += int64(r.ThermalSolves)
+}
+
+func newServer(workers, retain, platformCacheSize int, cacheDir string) *server {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &server{
 		pool:    par.NewPool(workers),
 		baseCtx: ctx,
 		abort:   cancel,
-		pcache:  coolsim.NewPlatformCache(platformCacheSize),
+		pcache:  coolsim.NewPlatformCacheDir(platformCacheSize, cacheDir),
 		jobs:    map[string]*job{},
 		retain:  retain,
 	}
@@ -225,6 +245,11 @@ func (s *server) execute(ctx context.Context, j *job) {
 			j.mu.Unlock()
 		}))
 
+	if err == nil {
+		s.mu.Lock()
+		s.stepping.add(report)
+		s.mu.Unlock()
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	defer j.cond.Broadcast()
@@ -402,7 +427,9 @@ type metricsView struct {
 		Started  int64 `json:"started"`
 	} `json:"jobs"`
 	PlatformCache coolsim.PlatformCacheStats `json:"platform_cache"`
-	Draining      bool                       `json:"draining"`
+	// Stepping sums the time-advance counters of every completed run.
+	Stepping steppingTotals `json:"stepping"`
+	Draining bool           `json:"draining"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -414,6 +441,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	v.Jobs.Retained = len(s.jobs)
 	v.Jobs.Started = s.started
+	v.Stepping = s.stepping
 	v.Draining = s.draining
 	s.mu.Unlock()
 	for _, j := range jobs {

@@ -16,7 +16,7 @@ import (
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(2, 0, 0)
+	s := newServer(2, 0, 0, "")
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -182,7 +182,7 @@ func TestStreamDisconnectCancelsJob(t *testing.T) {
 // TestDeleteCancelsQueuedAndRunning covers the explicit cancel endpoint
 // for both a running job and one still waiting behind it in the queue.
 func TestDeleteCancelsQueuedAndRunning(t *testing.T) {
-	s := newServer(1, 0, 0) // single worker: the second job must queue
+	s := newServer(1, 0, 0, "") // single worker: the second job must queue
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() { ts.Close(); s.drain(0) })
 
@@ -256,7 +256,7 @@ func TestListRuns(t *testing.T) {
 // cap of 1, finishing a second run must evict the first (404 afterwards),
 // while queued/running jobs are untouchable.
 func TestRetentionEvictsOldestFinished(t *testing.T) {
-	s := newServer(1, 1, 0)
+	s := newServer(1, 1, 0, "")
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() { ts.Close(); s.drain(0) })
 
@@ -281,7 +281,7 @@ func TestRetentionEvictsOldestFinished(t *testing.T) {
 }
 
 func TestDrainRejectsNewJobs(t *testing.T) {
-	s := newServer(1, 0, 0)
+	s := newServer(1, 0, 0, "")
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	id := submit(t, ts, quickBody)

@@ -42,6 +42,12 @@ func main() {
 	flag.IntVar(&sc.GridNY, "ny", 20, "thermal grid cells in y")
 	flag.StringVar(&sc.Solver, "solver", "auto",
 		"thermal linear solver: auto (cached LDLT direct, CG fallback)|direct|cg")
+	flag.StringVar(&sc.Stepping.Mode, "stepper", "fixed",
+		"time-advance engine: fixed (paper's 100 ms lock-step)|adaptive (thermal macro-steps through quiet phases)")
+	flag.Float64Var(&sc.Stepping.ToleranceC, "step-tol", 0,
+		"adaptive stepping: per-macro-step temperature error bound in C (0 = default 0.05)")
+	flag.Float64Var(&sc.Stepping.MaxStepS, "step-max", 0,
+		"adaptive stepping: longest thermal macro-step in seconds (0 = default 1.6)")
 	trace := flag.String("trace", "", "write a per-tick CSV trace to this file (single workload only)")
 	workers := flag.Int("workers", 0, "worker goroutines for a multi-workload batch (0 = NumCPU)")
 	flag.Parse()

@@ -28,6 +28,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/platform"
 	"repro/internal/rcnet"
+	"repro/internal/stepper"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 			"scenario-level worker goroutines (0 = NumCPU); output is byte-identical for any value")
 		solver = flag.String("solver", "auto",
 			"thermal linear solver: auto (cached LDLT direct, CG fallback)|direct|cg")
+		stepperMode = flag.String("stepper", "fixed",
+			"time-advance engine for every simulation run: fixed (paper-exact)|adaptive (thermal macro-steps, <=0.05C tolerance)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,12 @@ func main() {
 		os.Exit(1)
 	}
 	opt.Solver = sk
+	kind, err := stepper.ParseKind(*stepperMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	opt.Stepping.Kind = kind
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {

@@ -17,8 +17,12 @@
 // Every entry point takes a context.Context and honors cancellation
 // within one simulated tick. Configuration is a Scenario value plus
 // functional options (WithWorkers, WithGrid, WithSolver, WithTick,
-// WithObserver, WithPlatformCache); failures surface as typed errors
-// (ErrUnknownWorkload, ErrUnknownCooling, ...) that wrap into errors.Is.
+// WithStepper, WithObserver, WithPlatformCache); failures surface as
+// typed errors (ErrUnknownWorkload, ErrUnknownCooling, ...) that wrap
+// into errors.Is. Scenario.Stepping/WithStepper select the time-advance
+// engine: the default fixed 100 ms loop, or adaptive thermal
+// macro-stepping (≤ 0.1 °C from fixed, several-fold faster through
+// thermally quiet phases), with samples at the base tick either way.
 //
 // Runs of the same stack shape can share their expensive setup — grid,
 // solver analysis, controller tables — through a PlatformCache; see
@@ -35,6 +39,7 @@ import (
 	"repro/internal/rcnet"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/stepper"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -95,6 +100,9 @@ type Scenario struct {
 	// Solver selects the thermal linear solver: "auto" (default, cached
 	// LDLᵀ direct with CG fallback), "direct", or "cg".
 	Solver string `json:"solver,omitempty"`
+	// Stepping selects and tunes the time-advance engine. The zero value
+	// is the fixed base-tick loop.
+	Stepping Stepping `json:"stepping,omitzero"`
 	// Faults injects failure modes (robustness experiments).
 	Faults Faults `json:"faults,omitzero"`
 	// UtilSchedule, if non-nil, rescales workload intensity over time
@@ -102,6 +110,24 @@ type Scenario struct {
 	// start (warm-up has t < 0) and returns a utilization scale. Not
 	// serialized.
 	UtilSchedule func(t float64) float64 `json:"-"`
+}
+
+// Stepping selects the simulator's time-advance engine. The zero value
+// is the fixed 100 ms lock-step loop of the paper. Mode "adaptive"
+// advances the thermal RC network in long macro-steps (up to MaxStepS)
+// while power and flow are stable and a step-doubling error estimate
+// stays under ToleranceC, refining back to the base tick around power
+// transitions, pump-setting changes and temperature thresholds. Samples
+// still arrive at every base tick regardless of the internal stepping;
+// the Report's MacroSteps/Refinements counters show what the engine did.
+type Stepping struct {
+	// Mode: "" or "fixed" (default), or "adaptive".
+	Mode string `json:"mode,omitempty"`
+	// ToleranceC bounds the estimated per-macro-step temperature error
+	// (°C). Default 0.05.
+	ToleranceC float64 `json:"tolerance_c,omitempty"`
+	// MaxStepS bounds the thermal macro-step (seconds). Default 1.6.
+	MaxStepS float64 `json:"max_step_s,omitempty"`
 }
 
 // DefaultScenario is a 2-layer TALB(Var) run of Web-med.
@@ -160,6 +186,15 @@ type Report struct {
 	// Scheduler activity.
 	Migrations   int64 `json:"migrations"`
 	BalanceMoves int64 `json:"balance_moves"`
+	// Stepping-engine work: base ticks emitted, accepted thermal
+	// macro-steps and the ticks they covered, error-estimate rejections
+	// re-solved at the base tick, and total thermal solves. A fixed-tick
+	// run has MacroSteps = Refinements = 0 and ThermalSolves = BaseTicks.
+	BaseTicks     int `json:"base_ticks"`
+	MacroSteps    int `json:"macro_steps"`
+	MacroTicks    int `json:"macro_ticks"`
+	Refinements   int `json:"refinements"`
+	ThermalSolves int `json:"thermal_solves"`
 }
 
 // Run executes a scenario to completion. Cancel ctx to abort: Run then
@@ -266,6 +301,11 @@ func newReport(sc Scenario, r *sim.Result) *Report {
 		Refits:        r.Refits,
 		Migrations:    r.Migrations,
 		BalanceMoves:  r.BalanceMoves,
+		BaseTicks:     r.Stepping.BaseTicks,
+		MacroSteps:    r.Stepping.MacroSteps,
+		MacroTicks:    r.Stepping.MacroTicks,
+		Refinements:   r.Stepping.Refinements,
+		ThermalSolves: r.Stepping.Solves,
 	}
 }
 
@@ -289,6 +329,10 @@ func (r *Report) WriteSummary(w io.Writer) {
 	}
 	if r.Migrations > 0 {
 		fmt.Fprintf(w, "  migrations:       %d\n", r.Migrations)
+	}
+	if r.MacroSteps > 0 || r.Refinements > 0 {
+		fmt.Fprintf(w, "  stepping:         %d macro-steps covering %d/%d ticks, %d refinements, %d thermal solves\n",
+			r.MacroSteps, r.MacroTicks, r.BaseTicks, r.Refinements, r.ThermalSolves)
 	}
 }
 
@@ -372,6 +416,19 @@ func (sc Scenario) simConfig(rc config) (sim.Config, error) {
 		return sim.Config{}, fmt.Errorf("%w: %q (want auto|direct|cg)", ErrUnknownSolver, solverName)
 	}
 	cfg.Solver = solver
+	stepping := sc.Stepping
+	if rc.stepping != nil {
+		stepping = *rc.stepping
+	}
+	kind, err := stepper.ParseKind(stepping.Mode)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("%w: %q (want fixed|adaptive)", ErrUnknownStepping, stepping.Mode)
+	}
+	cfg.Stepper = stepper.Config{
+		Kind:       kind,
+		ToleranceC: stepping.ToleranceC,
+		MaxStep:    units.Second(stepping.MaxStepS),
+	}
 	if sc.Faults.PumpStuck != nil {
 		ps := pump.Setting(*sc.Faults.PumpStuck)
 		cfg.Faults.PumpStuck = &ps

@@ -16,6 +16,8 @@ var (
 	ErrUnknownWorkload = errors.New("coolsim: unknown workload")
 	// ErrUnknownSolver: Scenario.Solver is not auto|direct|cg.
 	ErrUnknownSolver = errors.New("coolsim: unknown solver")
+	// ErrUnknownStepping: Scenario.Stepping.Mode is not fixed|adaptive.
+	ErrUnknownStepping = errors.New("coolsim: unknown stepping mode")
 	// ErrBadLayers: Scenario.Layers is not 2 or 4.
 	ErrBadLayers = errors.New("coolsim: unsupported layer count")
 	// ErrSessionDone is returned by Session.Step once the configured

@@ -10,6 +10,7 @@ type config struct {
 	gridNX, gridNY int
 	solver         string
 	tick           float64
+	stepping       *Stepping
 	observer       func(*Sample)
 	pcache         *PlatformCache
 }
@@ -44,6 +45,15 @@ func WithSolver(name string) Option {
 // paper's 100 ms tick).
 func WithTick(seconds float64) Option {
 	return func(c *config) { c.tick = seconds }
+}
+
+// WithStepper overrides the time-advance engine of every scenario in the
+// call, taking precedence over Scenario.Stepping: Stepping{} keeps the
+// fixed base-tick loop, Stepping{Mode: "adaptive"} (plus optional
+// ToleranceC / MaxStepS knobs) enables adaptive thermal macro-stepping.
+// Samples are emitted at the base tick either way.
+func WithStepper(st Stepping) Option {
+	return func(c *config) { c.stepping = &st }
 }
 
 // WithPlatformCache makes the call reuse (and populate) pc's shared

@@ -34,6 +34,17 @@ func NewPlatformCache(maxStacks int) *PlatformCache {
 	return &PlatformCache{cache: platform.NewCache(maxStacks)}
 }
 
+// NewPlatformCacheDir is NewPlatformCache plus on-disk persistence of the
+// flow-rate controller's lookup tables: a platform whose LUT was swept by
+// a previous process (or a lutgen run) sharing dir loads it in
+// milliseconds instead of re-running seconds of steady-state analysis,
+// and freshly swept tables are saved back (atomically, best-effort).
+// Stats().LUTDiskLoads counts the warm starts. cmd/coolserved exposes
+// this as -cache-dir so a restarted daemon keeps its sweeps.
+func NewPlatformCacheDir(maxStacks int, dir string) *PlatformCache {
+	return &PlatformCache{cache: platform.NewDiskCache(maxStacks, dir)}
+}
+
 // PlatformCacheStats is a point-in-time snapshot of a PlatformCache.
 type PlatformCacheStats struct {
 	// Platforms is the number of cached stack shapes.
@@ -48,6 +59,9 @@ type PlatformCacheStats struct {
 	SymbolicBuilds int `json:"symbolic_builds"`
 	LUTBuilds      int `json:"lut_builds"`
 	WeightBuilds   int `json:"weight_builds"`
+	// LUTDiskLoads counts LUTs warm-started from the persistence
+	// directory (NewPlatformCacheDir) instead of swept.
+	LUTDiskLoads int `json:"lut_disk_loads"`
 }
 
 // Stats snapshots the cache counters (the coolserved metrics endpoint
@@ -62,6 +76,7 @@ func (pc *PlatformCache) Stats() PlatformCacheStats {
 		SymbolicBuilds: st.Builds.SymbolicBuilds,
 		LUTBuilds:      st.Builds.LUTBuilds,
 		WeightBuilds:   st.Builds.WeightBuilds,
+		LUTDiskLoads:   st.Builds.LUTDiskLoads,
 	}
 }
 

@@ -147,7 +147,7 @@ func (ss *Session) fill(measured bool) {
 	ss.sample.FlowMLMin = s.DeliveredFlow().MilliLitersPerMinute()
 	ss.sample.ChipPowerW = float64(s.ChipPower())
 	ss.sample.PumpPowerW = float64(s.PumpPower())
-	ss.sample.Migrations = s.Sched.Migrations()
+	ss.sample.Migrations = s.Migrations()
 	ss.sample.Refits = s.Refits()
 }
 

@@ -9,8 +9,9 @@
 // The public API is the repro/coolsim package: context-cancellable
 // Run/RunMany/RunTraced over plain Scenario values, a Session/Sample
 // streaming API yielding allocation-free per-tick observations, functional
-// options (WithWorkers, WithGrid, WithSolver, WithTick, WithObserver,
-// WithPlatformCache), typed errors, and the offline Analysis sweeps.
+// options (WithWorkers, WithGrid, WithSolver, WithTick, WithStepper,
+// WithObserver, WithPlatformCache), typed errors, and the offline
+// Analysis sweeps.
 // Runs sharing a stack shape share their expensive setup — grid, solver
 // symbolic analysis, controller LUT and weight tables — through a
 // PlatformCache (internal/platform underneath), built once and reused by
@@ -19,6 +20,17 @@
 // examples on the public surface. cmd/coolserved serves scenarios as an
 // HTTP job service (submit, poll, stream NDJSON samples, warm-start
 // platform cache, /v1/metrics — see SERVICE.md).
+//
+// Time advance is a layered stepping subsystem (internal/stepper): the
+// simulator exposes its tick phases and an engine sequences them. The
+// default Fixed engine reproduces the paper's 100 ms lock-step loop byte
+// for byte (golden-pinned); the Adaptive engine exploits the solver's
+// cached per-(flow, dt) factors to advance the thermal network in
+// macro-steps of up to 1.6 s through thermally quiet stretches, under a
+// step-doubling error estimate, refining to the base tick on power and
+// flow transitions and near policy thresholds — per-layer temperatures
+// stay within 0.1 °C of the fixed reference while quiet phases run ~5×
+// faster (Scenario.Stepping, WithStepper, -stepper).
 //
 // See README.md for the build/test/bench quickstart, the layout, the
 // parallel experiment engine (the -workers flag on cmd/repro and
@@ -29,6 +41,7 @@
 // preconditioned CG as the selectable cross-check and automatic fallback
 // (-solver, rcnet.Config.Solver). EXPERIMENTS.md documents the experiment knobs and
 // calibration; cmd/benchjson snapshots the substrate benchmarks to
-// BENCH_<date>.json per PR. The benchmark harness in bench_test.go
-// regenerates every table and figure.
+// BENCH_<date>.json per PR (the opt-in nightly workflow adds the
+// paper-resolution factor/fill trackers). The benchmark harness in
+// bench_test.go regenerates every table and figure.
 package repro

@@ -12,7 +12,9 @@ import (
 	"repro/internal/floorplan"
 	"repro/internal/grid"
 	"repro/internal/rcnet"
+	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/stepper"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -199,6 +201,79 @@ func RunManyWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// QuietPhase benchmarks one emitted tick of a thermally quiet regime —
+// the workload generator scaled to zero, DPM sleeping every core, flow
+// pinned at the max setting — under the given stepping engine and grid.
+// The simulator is settled for 60 simulated seconds first, past the
+// cool-down transient, so the timed region is the steady quiet phase the
+// adaptive engine takes full-length macro-steps through. The fixed/
+// adaptive pair at the same grid is the SimTick-equivalent throughput
+// comparison of the multirate engine (acceptance: ≥ 3× on this phase
+// with ≤ 0.1 °C error, which TestAdaptiveQuietPhaseMacroSteps pins).
+func QuietPhase(kind stepper.Kind, nx, ny int) func(b *testing.B) {
+	return func(b *testing.B) {
+		bench, err := workload.ByName("Web-med")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Bench = bench
+		cfg.Cooling = sim.LiquidMax
+		cfg.Policy = sched.LB
+		cfg.DPMEnabled = true
+		cfg.Duration = 1e9 // stepped manually
+		cfg.Warmup = 0
+		cfg.GridNX, cfg.GridNY = nx, ny
+		cfg.UtilSchedule = func(units.Second) float64 { return 0 }
+		cfg.Stepper = stepper.Config{Kind: kind}
+		s, err := sim.New(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 600; i++ {
+			if err := s.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// AnalyzePaper measures the direct solver's symbolic analysis (ordering +
+// elimination tree + fill pattern) and first numeric factorization on the
+// paper-resolution 115×100 grid, reporting the L-factor fill as a metric.
+// The nightly CI job tracks these — the ROADMAP's paper-resolution
+// trajectory item.
+func AnalyzePaper(b *testing.B) {
+	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(115, 100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := rcnet.New(g, rcnet.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SetFlow(0.5); err != nil {
+		b.Fatal(err)
+	}
+	var fill int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		symb, num, err := m.AnalyzeAndFactor(0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fill = symb.NNZL()
+		_ = num
+	}
+	b.ReportMetric(float64(fill), "nnzL")
 }
 
 // SimTick benchmarks one full simulator tick (workload, scheduling, DPM,

@@ -16,6 +16,7 @@ import (
 	"repro/internal/rcnet"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/stepper"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -42,6 +43,11 @@ type Options struct {
 	// zero value rcnet.SolverAuto is the cached-LDLᵀ direct solver;
 	// rcnet.SolverCG reproduces the iterative path as a cross-check.
 	Solver rcnet.SolverKind
+	// Stepping selects the time-advance engine for every simulation run
+	// of the experiment. The zero value is the fixed base-tick loop;
+	// stepper.Adaptive trades ≤ tolerance temperature error for long
+	// thermal macro-steps through quiet stretches.
+	Stepping stepper.Config
 	// Cache shares built platform artifacts (grid, solver analysis, LUT,
 	// weight tables) across experiment calls — cmd/repro sets one cache
 	// for its whole figure sweep. Nil gives every experiment call a
@@ -172,6 +178,7 @@ func (o Options) run(ctx context.Context, cache *platform.Cache, layers int, com
 	cfg.GridNX, cfg.GridNY = o.GridNX, o.GridNY
 	cfg.DPMEnabled = dpmOn
 	cfg.Solver = o.Solver
+	cfg.Stepper = o.Stepping
 	p, err := cache.Get(o.spec(layers, combo.Cooling != sim.Air))
 	if err != nil {
 		return nil, err

@@ -28,7 +28,8 @@ type CacheStats struct {
 // experiment engine.
 type Cache struct {
 	mu        sync.Mutex
-	max       int // entry bound; <= 0 means unbounded
+	max       int    // entry bound; <= 0 means unbounded
+	dir       string // artifact persistence directory ("" = memory only)
 	entries   map[Spec]*Platform
 	order     []Spec // LRU order, most recently used last
 	hits      int64
@@ -40,7 +41,16 @@ type Cache struct {
 // The bound counts stacks, not artifacts: one entry holds everything for
 // one (layers, cooling class, grid, thermal config) combination.
 func NewCache(max int) *Cache {
-	return &Cache{max: max, entries: map[Spec]*Platform{}}
+	return NewDiskCache(max, "")
+}
+
+// NewDiskCache is NewCache plus artifact persistence: platforms built by
+// Get warm-start their flow LUTs from spec-keyed JSON files in dir (see
+// NewWithDir) and save freshly swept ones there, so a restarted process
+// skips the previous one's steady-state sweeps. An empty dir keeps
+// everything in memory.
+func NewDiskCache(max int, dir string) *Cache {
+	return &Cache{max: max, dir: dir, entries: map[Spec]*Platform{}}
 }
 
 // Get returns the cached platform for spec, building the skeleton on a
@@ -62,7 +72,7 @@ func (c *Cache) Get(spec Spec) (*Platform, error) {
 	// Build the skeleton outside the lock (grid construction is real
 	// work at paper resolution); a concurrent duplicate build of the same
 	// spec is harmless — the loser is discarded below.
-	p, err := New(spec)
+	p, err := NewWithDir(spec, c.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -126,6 +136,7 @@ func (c *Cache) Stats() CacheStats {
 		st.Builds.LUTBuilds += ps.LUTBuilds
 		st.Builds.WeightBuilds += ps.WeightBuilds
 		st.Builds.Models += ps.Models
+		st.Builds.LUTDiskLoads += ps.LUTDiskLoads
 	}
 	return st
 }

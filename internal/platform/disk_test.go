@@ -1,0 +1,118 @@
+package platform
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/rcnet"
+)
+
+func diskSpec() Spec {
+	return Spec{Layers: 2, Liquid: true, GridNX: 12, GridNY: 10, RC: rcnet.DefaultConfig()}
+}
+
+// TestLUTDiskWarmStart: a second cache sharing the persistence directory
+// loads the first one's swept LUT from disk — identical table, zero
+// sweeps — which is exactly what a restarted coolserved does.
+func TestLUTDiskWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cold := NewDiskCache(0, dir)
+	p1, err := cold.Get(diskSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lut1, err := p1.LUT(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p1.Stats(); st.LUTBuilds != 1 || st.LUTDiskLoads != 0 {
+		t.Fatalf("cold build: LUTBuilds=%d LUTDiskLoads=%d, want 1/0", st.LUTBuilds, st.LUTDiskLoads)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "lut-2l-liquid-12x10-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("expected one persisted LUT file, got %v (%v)", files, err)
+	}
+
+	// "Restarted process": a fresh cache on the same directory.
+	warm := NewDiskCache(0, dir)
+	p2, err := warm.Get(diskSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lut2, err := p2.LUT(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p2.Stats(); st.LUTBuilds != 0 || st.LUTDiskLoads != 1 {
+		t.Fatalf("warm start: LUTBuilds=%d LUTDiskLoads=%d, want 0/1", st.LUTBuilds, st.LUTDiskLoads)
+	}
+	if !reflect.DeepEqual(lut1, lut2) {
+		t.Error("disk-loaded LUT differs from the swept one")
+	}
+}
+
+// TestLUTDiskCorruptFileRebuilds: garbage in the artifact file must not
+// poison the platform — the sweep simply runs again (and rewrites it).
+func TestLUTDiskCorruptFileRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	p1, err := NewWithDir(diskSpec(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.LUT(ctx); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "lut-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("expected one persisted LUT, got %v", files)
+	}
+	if err := os.WriteFile(files[0], []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewWithDir(diskSpec(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.LUT(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := p2.Stats(); st.LUTBuilds != 1 || st.LUTDiskLoads != 0 {
+		t.Fatalf("corrupt file: LUTBuilds=%d LUTDiskLoads=%d, want 1/0", st.LUTBuilds, st.LUTDiskLoads)
+	}
+}
+
+// TestLUTDiskSpecKeying: platforms of different specs sharing one
+// directory never read each other's tables.
+func TestLUTDiskSpecKeying(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	a, err := NewWithDir(diskSpec(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.LUT(ctx); err != nil {
+		t.Fatal(err)
+	}
+	other := diskSpec()
+	other.GridNX, other.GridNY = 14, 12
+	b, err := NewWithDir(other, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.LUT(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.LUTDiskLoads != 0 {
+		t.Fatalf("different spec warm-started from a foreign LUT file")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "lut-*.json"))
+	if len(files) != 2 {
+		t.Fatalf("expected two spec-keyed LUT files, got %v", files)
+	}
+}

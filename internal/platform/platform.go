@@ -24,6 +24,9 @@ package platform
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/controller"
@@ -96,6 +99,9 @@ type Stats struct {
 	WeightBuilds int
 	// Models counts rcnet models handed out by NewModel.
 	Models int
+	// LUTDiskLoads counts LUTs warm-started from the persistence
+	// directory instead of swept (excluded from LUTBuilds).
+	LUTDiskLoads int
 }
 
 // once deduplicates one expensive build: the first caller executes it
@@ -168,19 +174,30 @@ type Platform struct {
 	stack *floorplan.Stack
 	grid  *grid.Grid
 	pump  *pump.Pump // nil for air-cooled platforms
+	dir   string     // artifact persistence directory ("" = memory only)
 
-	mu       sync.Mutex
-	symb     once[*mat.LDLSymbolic]
-	lut      once[*controller.LUT]
-	weights  once[*controller.WeightTable]
-	fullLoad once[[][]float64]
-	models   int
+	mu        sync.Mutex
+	symb      once[*mat.LDLSymbolic]
+	lut       once[*controller.LUT]
+	weights   once[*controller.WeightTable]
+	fullLoad  once[[][]float64]
+	models    int
+	diskLoads int // LUTs warm-started from dir instead of swept
 }
 
 // New builds the cheap skeleton of a platform — floorplan, grid, pump.
 // The expensive artifacts (symbolic analysis, LUT, weights) are built
 // lazily by their accessors, deduplicated across concurrent callers.
-func New(spec Spec) (*Platform, error) {
+func New(spec Spec) (*Platform, error) { return NewWithDir(spec, "") }
+
+// NewWithDir is New plus artifact persistence: with a non-empty dir the
+// flow LUT — the platform's most expensive artifact, a steady-state sweep
+// over every pump setting — is loaded from a spec-keyed JSON file in dir
+// when one exists and saved there after a fresh build, so a restarted
+// process warm-starts from the previous one's sweeps. Corrupt or stale
+// files are ignored (the sweep simply runs again); save failures are
+// non-fatal for the same reason.
+func NewWithDir(spec Spec, dir string) (*Platform, error) {
 	spec = spec.Canonical()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -196,7 +213,7 @@ func New(spec Spec) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Platform{spec: spec, stack: stack, grid: g}
+	p := &Platform{spec: spec, stack: stack, grid: g, dir: dir}
 	if spec.Liquid {
 		p.pump, err = pump.New(stack.NumCavities())
 		if err != nil {
@@ -272,6 +289,12 @@ func (p *Platform) LUT(ctx context.Context) (*controller.LUT, error) {
 		return nil, fmt.Errorf("platform: flow LUT needs a liquid-cooled platform (%v)", p.spec)
 	}
 	return p.lut.get(ctx, &p.mu, func() (*controller.LUT, error) {
+		if lut := p.loadLUT(); lut != nil {
+			p.mu.Lock()
+			p.diskLoads++
+			p.mu.Unlock()
+			return lut, nil
+		}
 		full, err := p.FullLoadPowers(ctx)
 		if err != nil {
 			return nil, err
@@ -280,8 +303,13 @@ func (p *Platform) LUT(ctx context.Context) (*controller.LUT, error) {
 		if err != nil {
 			return nil, err
 		}
-		return controller.BuildLUT(ctx, m, p.pump, full,
+		lut, err := controller.BuildLUT(ctx, m, p.pump, full,
 			controller.TargetTemp, controller.DefaultLadder())
+		if err != nil {
+			return nil, err
+		}
+		p.saveLUT(lut)
+		return lut, nil
 	})
 }
 
@@ -298,15 +326,78 @@ func (p *Platform) Weights(ctx context.Context) (*controller.WeightTable, error)
 	})
 }
 
+// lutPath is the spec-keyed artifact file: human-scannable dimensions
+// plus a hash of the full thermal configuration, so two specs that would
+// sweep different LUTs never share a file.
+func (p *Platform) lutPath() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", p.spec)
+	cooling := "air"
+	if p.spec.Liquid {
+		cooling = "liquid"
+	}
+	name := fmt.Sprintf("lut-%dl-%s-%dx%d-%016x.json",
+		p.spec.Layers, cooling, p.spec.GridNX, p.spec.GridNY, h.Sum64())
+	return filepath.Join(p.dir, name)
+}
+
+// loadLUT returns the persisted LUT for this spec, or nil when no dir is
+// configured, the file is absent, or it fails validation.
+func (p *Platform) loadLUT() *controller.LUT {
+	if p.dir == "" {
+		return nil
+	}
+	f, err := os.Open(p.lutPath())
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	lut, err := controller.LoadLUT(f)
+	if err != nil || lut.Target != controller.TargetTemp {
+		return nil
+	}
+	return lut
+}
+
+// saveLUT persists a freshly built LUT, atomically (temp file + rename)
+// so concurrent processes sharing the directory never read a torn file.
+// Best-effort: a failure only means the next process re-sweeps.
+func (p *Platform) saveLUT(lut *controller.LUT) {
+	if p.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		return
+	}
+	path := p.lutPath()
+	tmp, err := os.CreateTemp(p.dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return
+	}
+	if err := lut.SaveJSON(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
 // Stats returns the platform's build counters.
 func (p *Platform) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return Stats{
 		SymbolicBuilds: p.symb.builds,
-		LUTBuilds:      p.lut.builds,
+		LUTBuilds:      p.lut.builds - p.diskLoads,
 		WeightBuilds:   p.weights.builds,
 		Models:         p.models,
+		LUTDiskLoads:   p.diskLoads,
 	}
 }
 

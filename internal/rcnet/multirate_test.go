@@ -1,0 +1,155 @@
+package rcnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/grid"
+)
+
+func multirateModel(t *testing.T) *Model {
+	t.Helper()
+	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(12, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, layer := range g.Stack.Layers {
+		p := make([]float64, len(layer.Blocks))
+		for bi, blk := range layer.Blocks {
+			if blk.Kind == floorplan.KindCore {
+				p[bi] = 3
+			} else {
+				p[bi] = 1
+			}
+		}
+		if err := m.SetLayerPower(li, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.SetFlow(0.5); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTransientStateRoundTrip: save → perturb (a solve) → restore leaves
+// the model bit-identical, so a rejected macro-step replays exactly.
+func TestTransientStateRoundTrip(t *testing.T) {
+	m := multirateModel(t)
+	var st TransientState
+	m.SaveTransient(&st)
+	before := m.TempsCopy()
+	if err := m.Step(0.8); err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for i, v := range m.Temps() {
+		if v != before[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("step did not change the field; the round-trip test is vacuous")
+	}
+	if err := m.RestoreTransient(&st); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.Temps() {
+		if v != before[i] {
+			t.Fatalf("node %d differs after restore: %g vs %g", i, v, before[i])
+		}
+	}
+	// Restored state must integrate identically to never having solved.
+	if err := m.Step(0.1); err != nil {
+		t.Fatal(err)
+	}
+	restored := m.TempsCopy()
+	m2 := multirateModel(t)
+	if err := m2.Step(0.1); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m2.Temps() {
+		if v != restored[i] {
+			t.Fatalf("node %d: replay after restore diverges (%g vs %g)", i, v, restored[i])
+		}
+	}
+}
+
+// TestStepWithEstimateMatchesHalfSteps: the kept solution equals two
+// plain half steps exactly, and the estimate equals the full-vs-half
+// difference.
+func TestStepWithEstimateMatchesHalfSteps(t *testing.T) {
+	const dt = 0.8
+	a := multirateModel(t)
+	est, err := a.StepWithEstimate(dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= 0 {
+		t.Fatalf("estimate = %g, want > 0 for a warming transient", est)
+	}
+	b := multirateModel(t)
+	if err := b.Step(dt / 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Step(dt / 2); err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := a.Temps(), b.Temps()
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("node %d: estimator solution differs from plain half steps (%g vs %g)", i, ta[i], tb[i])
+		}
+	}
+	c := multirateModel(t)
+	if err := c.Step(dt); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i, v := range c.Temps() {
+		if d := math.Abs(v - tb[i]); d > want {
+			want = d
+		}
+	}
+	if math.Abs(est-want) > 1e-12 {
+		t.Fatalf("estimate = %g, full-vs-half difference = %g", est, want)
+	}
+}
+
+// TestStepWithEstimateShrinksWithDt: near equilibrium (the regime the
+// adaptive engine takes macro-steps in — a cold start is integrated at
+// the base tick by the drift limiter) the step-doubling estimate must
+// shrink with dt, and be small in absolute terms.
+func TestStepWithEstimateShrinksWithDt(t *testing.T) {
+	warm := func(t *testing.T) *Model {
+		m := multirateModel(t)
+		for i := 0; i < 100; i++ {
+			if err := m.Step(0.1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m
+	}
+	long := warm(t)
+	estLong, err := long.StepWithEstimate(1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := warm(t)
+	estShort, err := short.StepWithEstimate(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estShort >= estLong {
+		t.Fatalf("estimate did not shrink with dt: %g (0.4s) vs %g (1.6s)", estShort, estLong)
+	}
+	if estLong > 0.05 {
+		t.Fatalf("near-equilibrium 1.6 s estimate = %g °C; macro-steps would never be accepted", estLong)
+	}
+}

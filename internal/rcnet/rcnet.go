@@ -139,6 +139,10 @@ type Model struct {
 	factors   map[factorKey]*mat.LDLNumeric
 	factorSeq []factorKey // insertion order, for FIFO eviction
 	nFactor   int         // numeric factorizations performed (diagnostics)
+
+	// Step-doubling estimator scratch (StepWithEstimate).
+	estState TransientState
+	estFull  []float64
 }
 
 // New builds the thermal network for g.

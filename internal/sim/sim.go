@@ -21,6 +21,7 @@ import (
 	"repro/internal/rcnet"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/stepper"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -112,6 +113,11 @@ type Config struct {
 	// selects a workload.Generator seeded with Seed. UtilSchedule only
 	// applies to the generator.
 	Arrivals ArrivalSource
+	// Stepper selects and tunes the time-advance engine. The zero value
+	// is the fixed base-tick loop, bit-identical to the pre-stepper
+	// simulator; stepper.Adaptive takes long thermal macro-steps through
+	// thermally quiet stretches (see internal/stepper).
+	Stepper stepper.Config
 }
 
 // ArrivalSource produces the thread arrivals of consecutive windows.
@@ -149,6 +155,11 @@ func DefaultConfig() Config {
 // Result bundles the metrics of one run.
 type Result struct {
 	stats.Report
+	// Stepping reports the time-advance engine's work counters: base
+	// ticks, accepted thermal macro-steps, refinements, solves. Excluded
+	// from the JSON golden surface — the fixed engine's output is pinned
+	// byte-identical to the pre-stepper loop.
+	Stepping stepper.Counters `json:"-"`
 	// Migrations and BalanceMoves from the scheduler.
 	Migrations   int64
 	BalanceMoves int64
@@ -185,23 +196,59 @@ type Sim struct {
 	// per-tick temperature read.
 	cores []floorplan.CoreRef
 
-	// The clock is tick-counted so a 100 ms step never accumulates
-	// floating-point drift: time = tick0 + steps·Tick.
-	tick0      units.Second // −Warmup
-	steps      int
-	time       units.Second // cached Time() (tick0 + steps·Tick)
-	applied    pump.Setting // commanded (post-transition) setting
-	delivered  pump.Setting // flow actually reaching the cavities
-	pending    pump.Setting
-	pendingAt  units.Second
-	inFlight   bool
-	faults     *faultState
-	coreTemps  []units.Celsius
-	blockTemps [][]units.Celsius // per-block mean (leakage evaluation)
-	unitTemps  []units.Celsius   // per-block hottest cell (gradient metric)
-	lastTmax   units.Celsius
-	lastChip   units.Watt // chip power drawn during the latest tick
-	flowTime   float64    // ∫ flow dt for MeanFlowLPM
+	// engine sequences the tick phases (internal/stepper); the adaptive
+	// engine may run the base-tick stages ahead of emission, so the
+	// simulator keeps two clocks. Both are tick-counted so a 100 ms step
+	// never accumulates floating-point drift: time = tick0 + steps·Tick.
+	engine stepper.Engine
+	tick0  units.Second // −Warmup
+	steps  int          // emitted ticks
+	time   units.Second // emitted clock (tick0 + steps·Tick)
+	fSteps int          // forward (run-ahead) ticks
+	fTime  units.Second // forward clock
+	// totalTicks is the tick count of the configured run (warm-up plus
+	// duration), bounding the engine's run-ahead.
+	totalTicks int
+
+	applied   pump.Setting // commanded (post-transition) setting
+	delivered pump.Setting // flow actually reaching the cavities
+	pending   pump.Setting
+	pendingAt units.Second
+	inFlight  bool
+	faults    *faultState
+
+	// held is what the base-tick policies observe: the model state at the
+	// last completed thermal solve (equal to the emitted state under the
+	// fixed engine, ahead of it while the adaptive engine runs forward).
+	held       derived
+	endScratch derived // macro-step end state for interpolation
+	thermSnap  rcnet.TransientState
+	thresholds []float64 // policy/metric temperature edges (°C)
+
+	// Tick records between running and emission: recs[0:completedN) are
+	// finalized (emitNext of them already emitted), recs[completedN:pendN)
+	// are run but not yet solved. Capacity bounds the macro-step length.
+	recs       []tickRec
+	pendN      int
+	completedN int
+	emitNext   int
+
+	// Emitted view: the per-tick state every accessor and the trace
+	// recorder read, refreshed once per Step from the emitted record.
+	coreTemps     []units.Celsius
+	blockTemps    [][]units.Celsius // per-block mean (leakage evaluation)
+	unitTemps     []units.Celsius   // per-block hottest cell (gradient metric)
+	lastTmax      units.Celsius
+	lastChip      units.Watt // chip power drawn during the latest tick
+	outSetting    int
+	outPumpW      units.Watt
+	outFlow       units.LitersPerMinute
+	outMigrations int64
+	outBalance    int64
+	outPending    int
+	outResponse   units.Second
+	outRefits     int
+	flowTime      float64 // ∫ flow dt for MeanFlowLPM
 
 	// Reused per-tick buffers: the stats-collection tick path is
 	// allocation-free in steady state (TestStepAllocationFree guards it).
@@ -209,6 +256,7 @@ type Sim struct {
 	idleBuf   []units.Second
 	statesBuf []power.CoreState
 	blocksBuf [][]float64
+	prevPower [][]float64 // previous tick's block powers (stability signal)
 }
 
 // PlatformSpec lowers the run configuration to the canonical key of the
@@ -348,9 +396,13 @@ func New(ctx context.Context, cfg Config) (*Sim, error) {
 		if err := model.SetFlow(s.Pump.PerCavityFlow(s.delivered)); err != nil {
 			return nil, err
 		}
+		s.outSetting = int(s.delivered)
+		s.outPumpW = pump.Power(s.delivered)
+		s.outFlow = s.Pump.PerCavityFlow(s.delivered)
 	case Air:
 		s.applied = pump.Off
 		s.delivered = pump.Off
+		s.outSetting = -1
 	}
 
 	ncores := len(s.cores)
@@ -358,9 +410,11 @@ func New(ctx context.Context, cfg Config) (*Sim, error) {
 	s.blockTemps = make([][]units.Celsius, len(stack.Layers))
 	s.blocksBuf = make([][]float64, len(stack.Layers))
 	nblocks := 0
+	s.prevPower = make([][]float64, len(stack.Layers))
 	for li, layer := range stack.Layers {
 		s.blockTemps[li] = make([]units.Celsius, len(layer.Blocks))
 		s.blocksBuf[li] = make([]float64, len(layer.Blocks))
+		s.prevPower[li] = make([]float64, len(layer.Blocks))
 		nblocks += len(layer.Blocks)
 	}
 	s.unitTemps = make([]units.Celsius, nblocks)
@@ -369,7 +423,56 @@ func New(ctx context.Context, cfg Config) (*Sim, error) {
 	s.statesBuf = make([]power.CoreState, ncores)
 	s.tick0 = -cfg.Warmup
 	s.time = s.tick0
-	s.readTemps()
+	s.fTime = s.tick0
+
+	// Time-advance engine and its tick-record buffers (+1 slot: a tick
+	// that sees a flow or power transition carries into the next macro
+	// interval).
+	s.engine = stepper.New(cfg.Stepper)
+	maxTicks := 1
+	if cfg.Stepper.Kind == stepper.Adaptive {
+		maxTicks = cfg.Stepper.MaxTicks(cfg.Tick)
+	}
+	s.recs = make([]tickRec, maxTicks+1)
+	for i := range s.recs {
+		rec := &s.recs[i]
+		rec.blocks = make([][]float64, len(stack.Layers))
+		for li, layer := range stack.Layers {
+			rec.blocks[li] = make([]float64, len(layer.Blocks))
+		}
+		s.allocDerived(&rec.d)
+	}
+	s.allocDerived(&s.held)
+	s.allocDerived(&s.endScratch)
+
+	// Policy and metric temperature edges the adaptive engine must not
+	// step across: the controller target, the hot-spot/migration
+	// threshold, and the TALB weight bands when active.
+	s.thresholds = []float64{float64(controller.TargetTemp), float64(stats.HotSpotThreshold)}
+	if s.WTab != nil {
+		for _, b := range s.WTab.Bands {
+			s.thresholds = append(s.thresholds, float64(b))
+		}
+	}
+
+	// Tick count of the configured run: the first n with
+	// tick0 + n·Tick ≥ Duration, matching Run's loop condition exactly.
+	n := int(float64((cfg.Duration - s.tick0) / cfg.Tick))
+	for n > 0 && s.tick0+units.Second(n-1)*cfg.Tick >= cfg.Duration {
+		n--
+	}
+	for s.tick0+units.Second(n)*cfg.Tick < cfg.Duration {
+		n++
+	}
+	s.totalTicks = n
+
+	s.readDerived(&s.held)
+	copy(s.coreTemps, s.held.coreTemps)
+	for li := range s.blockTemps {
+		copy(s.blockTemps[li], s.held.blockTemps[li])
+	}
+	copy(s.unitTemps, s.held.unitTemps)
+	s.lastTmax = s.held.tmax
 	return s, nil
 }
 
@@ -386,147 +489,47 @@ func FullLoadPowers(stack *floorplan.Stack) [][]float64 {
 	return blocks
 }
 
-// readTemps refreshes the cached per-core and per-block temperatures from
-// the thermal model.
-func (s *Sim) readTemps() {
-	for i, c := range s.cores {
-		s.coreTemps[i] = s.Model.BlockMaxTemp(c.Layer, c.Block).ToCelsius()
-	}
-	u := 0
-	for li, layer := range s.Stack.Layers {
-		for bi, b := range layer.Blocks {
-			s.blockTemps[li][bi] = s.Model.BlockTemp(li, bi).ToCelsius()
-			// Unit sensors: cores report their hot spot (where the
-			// thermal sensor sits), uniform blocks their mean.
-			if b.Kind == floorplan.KindCore {
-				s.unitTemps[u] = s.Model.BlockMaxTemp(li, bi).ToCelsius()
-			} else {
-				s.unitTemps[u] = s.blockTemps[li][bi]
-			}
-			u++
-		}
-	}
-	s.lastTmax = s.Model.MaxDieTemp().ToCelsius()
-}
-
-// Step advances one tick.
+// Step advances the emitted state by one base tick. The engine may have
+// to do more than one tick of forward work (the adaptive engine runs a
+// whole macro interval at once and buffers its ticks); emission is always
+// at base-tick granularity.
 func (s *Sim) Step() error {
-	dt := s.Cfg.Tick
-	from := s.time
-	to := s.tick0 + units.Second(s.steps+1)*dt
-
-	// Workload arrivals (UtilSchedule may modulate generator intensity).
-	if s.Cfg.UtilSchedule != nil && s.Gen != nil {
-		s.Gen.UtilScale = s.Cfg.UtilSchedule(s.time)
-	}
-	arrivals := s.Source.Arrivals(from, to)
-
-	// Policies act on observed (possibly faulty) temperatures; metrics
-	// later use ground truth.
-	obsCore, obsTmax := s.faults.observe(s.coreTemps, s.lastTmax)
-
-	// Scheduling.
-	if s.Cfg.Policy == sched.TALB && s.WTab != nil {
-		if err := s.Sched.SetWeights(s.WTab.Lookup(obsTmax)); err != nil {
+	if s.emitNext >= s.completedN {
+		// All finalized ticks consumed: recycle their records, keeping a
+		// carried (run but unsolved) tick at the front, and advance.
+		carry := s.pendN - s.completedN
+		for i := 0; i < carry; i++ {
+			s.recs[i], s.recs[s.completedN+i] = s.recs[s.completedN+i], s.recs[i]
+		}
+		s.pendN, s.completedN, s.emitNext = carry, 0, 0
+		if err := s.engine.Advance(enginePhases{s}); err != nil {
 			return err
 		}
-	}
-	s.Sched.DecayRecent(dt)
-	s.Sched.Assign(arrivals)
-	s.Sched.Rebalance()
-	if err := s.Sched.ReactiveMigrate(obsCore); err != nil {
-		return err
-	}
-	completed := s.Sched.ExecuteAt(from, dt)
-
-	// DPM.
-	for i := range s.Sched.Cores {
-		s.idleBuf[i] = s.Sched.Cores[i].IdleTime
-	}
-	if err := s.Sched.BusyFractionsInto(s.busyBuf); err != nil {
-		return err
-	}
-	if err := s.DPM.StatesInto(s.statesBuf, s.busyBuf, s.idleBuf); err != nil {
-		return err
-	}
-	states := s.statesBuf
-	for i := range states {
-		s.Sched.Cores[i].Asleep = states[i] == power.StateSleep
-	}
-
-	// Power.
-	act := power.Activity{
-		CoreBusy:    s.busyBuf,
-		CoreState:   states,
-		MemActivity: s.Cfg.Bench.MemActivity(),
-	}
-	blocks := s.blocksBuf
-	if err := s.Power.BlockPowersInto(blocks, act, s.blockTemps); err != nil {
-		return err
-	}
-	for li := range blocks {
-		if err := s.Model.SetLayerPower(li, blocks[li]); err != nil {
-			return err
+		if s.completedN == 0 {
+			return fmt.Errorf("sim: stepping engine completed no tick")
 		}
 	}
-
-	// Flow control.
-	if s.Cfg.Cooling == LiquidVar {
-		s.Flow.Observe(obsTmax)
-		desired := s.Flow.Decide()
-		if desired != s.applied && !s.inFlight {
-			s.pending = desired
-			s.pendingAt = to + pump.TransitionTime
-			s.inFlight = true
-		}
-		if s.inFlight && to >= s.pendingAt {
-			s.applied = s.pending
-			s.inFlight = false
-		}
-	}
-	if s.Cfg.Cooling != Air {
-		if eff := s.faults.effectiveSetting(s.applied); eff != s.delivered {
-			s.delivered = eff
-			if err := s.Model.SetFlow(s.Pump.PerCavityFlow(s.delivered)); err != nil {
-				return err
-			}
-		}
-	}
-
-	// Thermal step.
-	if err := s.Model.Step(dt); err != nil {
-		return err
-	}
-	s.readTemps()
-	s.steps++
-	s.time = to
-	s.lastChip = power.Total(blocks)
-
-	// Metrics (measurement window only).
-	if from >= 0 {
-		var pumpPower units.Watt
-		setting := -1
-		if s.Cfg.Cooling != Air {
-			pumpPower = pump.Power(s.delivered)
-			setting = int(s.delivered)
-			s.flowTime += float64(s.Pump.PerCavityFlow(s.delivered)) * float64(dt)
-		}
-		if err := s.Stats.Sample(s.lastTmax, s.coreTemps, s.unitTemps,
-			s.lastChip, pumpPower, setting, dt, completed); err != nil {
-			return err
-		}
-	}
-	return nil
+	rec := &s.recs[s.emitNext]
+	s.emitNext++
+	return s.emit(rec)
 }
 
-// Time returns the simulation clock (negative during warm-up).
+// Time returns the emitted simulation clock (negative during warm-up).
+// The adaptive engine's internal forward clock may run ahead of it by up
+// to one macro-step.
 func (s *Sim) Time() units.Second { return s.time }
 
-// Tmax returns the latest sampled maximum die temperature.
+// Tmax returns the latest emitted maximum die temperature.
 func (s *Sim) Tmax() units.Celsius { return s.lastTmax }
 
-// AppliedSetting returns the pump setting currently delivering flow.
+// AppliedSetting returns the pump setting currently commanded by the
+// controller (forward state: under adaptive stepping it may be ahead of
+// the emitted tick).
 func (s *Sim) AppliedSetting() pump.Setting { return s.applied }
+
+// Migrations returns the scheduler's cumulative migration count as of the
+// latest emitted tick.
+func (s *Sim) Migrations() int64 { return s.outMigrations }
 
 // CoreTemperatures returns a copy of the latest per-core temperatures.
 func (s *Sim) CoreTemperatures() []units.Celsius {
@@ -538,39 +541,40 @@ func (s *Sim) CoreTemperatures() []units.Celsius {
 func (s *Sim) ChipPower() units.Watt { return s.lastChip }
 
 // PumpPower returns the pump's electrical power at the delivered setting
-// (0 for air-cooled runs).
+// of the latest emitted tick (0 for air-cooled runs).
 func (s *Sim) PumpPower() units.Watt {
 	if s.Cfg.Cooling == Air {
 		return 0
 	}
-	return pump.Power(s.delivered)
+	return s.outPumpW
 }
 
 // DeliveredSetting returns the pump setting actually delivering flow
-// (after transition delays and pump faults), or -1 for air-cooled runs.
+// (after transition delays and pump faults) at the latest emitted tick,
+// or -1 for air-cooled runs.
 func (s *Sim) DeliveredSetting() int {
 	if s.Cfg.Cooling == Air {
 		return -1
 	}
-	return int(s.delivered)
+	return s.outSetting
 }
 
-// DeliveredFlow returns the per-cavity flow currently reaching the
-// cavities (0 for air-cooled runs).
+// DeliveredFlow returns the per-cavity flow reaching the cavities at the
+// latest emitted tick (0 for air-cooled runs).
 func (s *Sim) DeliveredFlow() units.LitersPerMinute {
 	if s.Pump == nil {
 		return 0
 	}
-	return s.Pump.PerCavityFlow(s.delivered)
+	return s.outFlow
 }
 
-// Refits returns the flow controller's ARMA reconstruction count (0 when
-// the paper's controller is not active).
+// Refits returns the flow controller's ARMA reconstruction count as of
+// the latest emitted tick (0 when the paper's controller is not active).
 func (s *Sim) Refits() int {
 	if s.Ctrl == nil {
 		return 0
 	}
-	return s.Ctrl.Refits()
+	return s.outRefits
 }
 
 // NumLayers returns the number of stack layers.
@@ -622,20 +626,24 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	return s.Result(), nil
 }
 
-// Result finalizes metrics for the elapsed measurement window.
+// Result finalizes metrics for the elapsed measurement window. Every
+// field reflects the latest *emitted* tick, so a mid-session report is
+// internally consistent even while the adaptive engine's forward pass
+// runs ahead of emission.
 func (s *Sim) Result() *Result {
 	r := &Result{
 		Report:       s.Stats.Report(),
-		Migrations:   s.Sched.Migrations(),
-		BalanceMoves: s.Sched.BalanceMoves(),
-		PendingAtEnd: s.Sched.Pending(),
-		MeanResponse: s.Sched.MeanResponse(),
+		Migrations:   s.outMigrations,
+		BalanceMoves: s.outBalance,
+		PendingAtEnd: s.outPending,
+		MeanResponse: s.outResponse,
 	}
 	if s.Ctrl != nil {
-		r.Refits = s.Ctrl.Refits()
+		r.Refits = s.outRefits
 	}
 	if secs := float64(r.SimTime); secs > 0 {
 		r.MeanFlowLPM = s.flowTime / secs
 	}
+	r.Stepping = s.engine.Counters()
 	return r
 }

@@ -38,12 +38,12 @@ func (t *TraceRecorder) Record() error {
 	}
 	var flow units.LitersPerMinute
 	if t.sim.Pump != nil {
-		flow = t.sim.Pump.PerCavityFlow(t.sim.delivered)
+		flow = t.sim.outFlow
 	}
 	row := []string{
 		strconv.FormatFloat(float64(t.sim.time), 'f', 3, 64),
 		strconv.FormatFloat(float64(t.sim.lastTmax), 'f', 3, 64),
-		strconv.Itoa(int(t.sim.delivered)),
+		strconv.Itoa(t.sim.outSetting),
 		strconv.FormatFloat(flow.MilliLitersPerMinute(), 'f', 1, 64),
 	}
 	for _, c := range t.sim.coreTemps {
