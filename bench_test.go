@@ -385,6 +385,35 @@ func BenchmarkAnalyzePaperResolution(b *testing.B) {
 	benchutil.AnalyzePaper(b)
 }
 
+// BenchmarkSolveBatch8 measures one blocked multi-RHS sweep of the
+// paper-resolution factor (8 right-hand sides per op) against the same
+// 8 systems solved one at a time. The blocked kernel traverses the
+// factor once for the whole panel, so its per-RHS cost must be ≤ 50% of
+// a lone Solve — the win rcnet.BatchStepper and the sim gang scheduler
+// bank on.
+func BenchmarkSolveBatch8(b *testing.B) {
+	b.Run("batch", benchutil.SolveBatch8)
+	b.Run("sequential", benchutil.SolveSequential8)
+}
+
+// BenchmarkFactorizePaperResolution compares the serial and
+// level-parallel refactorize+solve at the paper's 115×100 grid — the
+// flow-transition cost a running simulation pays. The parallel schedule
+// is bit-identical to serial (mat.TestFactorizeParallelBitIdentical);
+// acceptance is ≥ 2× at GOMAXPROCS ≥ 4 with the serial body unchanged.
+func BenchmarkFactorizePaperResolution(b *testing.B) {
+	b.Run("serial", benchutil.FactorizePaper(1))
+	b.Run("parallel", benchutil.FactorizePaper(0))
+}
+
+// BenchmarkRunManySharedFactor tracks the co-scheduled batch path: four
+// platform-sharing fixed-flow scenarios on one worker, ganged through
+// SolveBatch each tick. Compare against BenchmarkRunManyWarm for the
+// ganging win on an oversubscribed batch.
+func BenchmarkRunManySharedFactor(b *testing.B) {
+	benchutil.RunManySharedFactor(b)
+}
+
 // BenchmarkRunManyCold / BenchmarkRunManyWarm bracket the platform
 // layer's setup amortization: the same three-scenario short-run batch,
 // once with per-run artifact construction (cold) and once through a

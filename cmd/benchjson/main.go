@@ -9,8 +9,10 @@
 //	benchjson -o out.json
 //	benchjson -paper     # adds the paper-resolution factor/fill trackers
 //	                     # (symbolic analysis + first factorization at
-//	                     # 115×100, with the L fill reported) — the
-//	                     # opt-in nightly CI job's configuration
+//	                     # 115×100, with the L fill reported, plus the
+//	                     # serial-vs-level-parallel refactorize+solve
+//	                     # pair) — the opt-in nightly CI job's
+//	                     # configuration
 //
 // The benchmark bodies are the ones bench_test.go runs (shared through
 // internal/benchutil): ThermalStepCoarse, ThermalStepPaperResolution plus
@@ -20,7 +22,10 @@
 // measure the steady cached-factor path — plus the RunManyCold/
 // RunManyWarm pair, which tracks the end-to-end setup amortization of
 // the shared platform layer (cold = per-run artifact builds, warm = a
-// primed coolsim.PlatformCache).
+// primed coolsim.PlatformCache), RunManySharedFactor (the co-scheduled
+// gang path batching platform-sharing runs through one SolveBatch sweep
+// per tick) and the SolveBatch8/SolveSequential8 pair tracking the
+// blocked multi-RHS kernel's per-RHS win at paper resolution.
 package main
 
 import (
@@ -80,12 +85,25 @@ func main() {
 		{"QuietPhaseAdaptive", benchutil.QuietPhase(stepper.Adaptive, 23, 20)},
 		{"RunManyCold", benchutil.RunManyCold},
 		{"RunManyWarm", benchutil.RunManyWarm},
+		{"RunManySharedFactor", benchutil.RunManySharedFactor},
+		{"SolveBatch8", benchutil.SolveBatch8},
+		{"SolveSequential8", benchutil.SolveSequential8},
 	}
 	if *paper {
-		benches = append(benches, struct {
-			name string
-			fn   func(b *testing.B)
-		}{"AnalyzePaperResolution", benchutil.AnalyzePaper})
+		benches = append(benches,
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{"AnalyzePaperResolution", benchutil.AnalyzePaper},
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{"FactorizePaperSerial", benchutil.FactorizePaper(1)},
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{"FactorizePaperParallel", benchutil.FactorizePaper(0)},
+		)
 	}
 
 	snap := Snapshot{

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -57,6 +58,11 @@ type server struct {
 	// exposes its hit/miss/build counters.
 	pcache *coolsim.PlatformCache
 
+	// batch accumulates multi-RHS batch-solve statistics across every
+	// POST /v1/batches call for the daemon's lifetime (atomic counters;
+	// read without s.mu).
+	batch coolsim.BatchCounters
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order, compacted as jobs are evicted
@@ -64,6 +70,7 @@ type server struct {
 	retain   int // finished jobs kept for replay; oldest evicted beyond it
 	draining bool
 	started  int64          // jobs that entered execution (metrics)
+	batches  int64          // batch requests executed (metrics)
 	stepping steppingTotals // per-run stepper counters, summed at completion
 }
 
@@ -136,6 +143,7 @@ func (s *server) pruneLocked() {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/batches", s.handleBatch)
 	mux.HandleFunc("GET /v1/runs", s.handleList)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
@@ -264,6 +272,94 @@ func (s *server) execute(ctx context.Context, j *job) {
 		j.status = statusFailed
 		j.errMsg = err.Error()
 	}
+}
+
+// batchRequest is the wire form of POST /v1/batches: a slice of
+// scenarios executed together, with the worker-slot count steering how
+// aggressively platform-sharing scenarios are co-scheduled into batched
+// multi-RHS solves (fewer slots than scenarios → wider batches).
+type batchRequest struct {
+	// Scenarios decode individually over DefaultScenario(), so unset
+	// fields inherit the same defaults a /v1/runs submission gets.
+	Scenarios []json.RawMessage `json:"scenarios"`
+	// Workers bounds the batch's worker pool; 0 defaults to 1, which
+	// gangs every compatible scenario through shared solves.
+	Workers int `json:"workers,omitempty"`
+}
+
+type batchResponse struct {
+	Reports []*coolsim.Report `json:"reports"`
+}
+
+// handleBatch executes a scenario batch synchronously through
+// coolsim.RunMany on the server's platform cache: scenarios sharing a
+// stack shape reuse one platform, and — when they outnumber the worker
+// slots — advance in lock-step with their thermal solves served by
+// shared multi-RHS sweeps. Reports are byte-identical to submitting each
+// scenario as its own run; /v1/metrics shows the batching statistics.
+// Unlike /v1/runs, the call holds the HTTP request open until the batch
+// completes (client disconnect or server drain cancels it).
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad batch JSON: %v", err))
+		return
+	}
+	if len(req.Scenarios) == 0 {
+		httpError(w, http.StatusBadRequest, "batch has no scenarios")
+		return
+	}
+	scs := make([]coolsim.Scenario, len(req.Scenarios))
+	for i, raw := range req.Scenarios {
+		sc := coolsim.DefaultScenario()
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sc); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("scenario %d: %v", i, err))
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("scenario %d: %v", i, err))
+			return
+		}
+		scs[i] = sc
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.batches++
+	s.mu.Unlock()
+
+	// Drain aborts via baseCtx; a client hang-up cancels via the request.
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	stop := context.AfterFunc(r.Context(), cancel)
+	defer stop()
+
+	reports, err := coolsim.RunMany(ctx, scs,
+		coolsim.WithPlatformCache(s.pcache),
+		coolsim.WithBatchCounters(&s.batch),
+		coolsim.WithWorkers(workers))
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(batchResponse{Reports: reports})
 }
 
 // runView is the wire form of a job's state.
@@ -429,7 +525,12 @@ type metricsView struct {
 	PlatformCache coolsim.PlatformCacheStats `json:"platform_cache"`
 	// Stepping sums the time-advance counters of every completed run.
 	Stepping steppingTotals `json:"stepping"`
-	Draining bool           `json:"draining"`
+	// Batches counts POST /v1/batches requests executed; Batch carries
+	// the lifetime batched-solve statistics (sweeps, batched_solves and
+	// the batch_width histogram).
+	Batches  int64              `json:"batches"`
+	Batch    coolsim.BatchStats `json:"batch"`
+	Draining bool               `json:"draining"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -442,8 +543,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	v.Jobs.Retained = len(s.jobs)
 	v.Jobs.Started = s.started
 	v.Stepping = s.stepping
+	v.Batches = s.batches
 	v.Draining = s.draining
 	s.mu.Unlock()
+	v.Batch = s.batch.Stats()
 	for _, j := range jobs {
 		j.mu.Lock()
 		st := j.status

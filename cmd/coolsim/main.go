@@ -48,6 +48,8 @@ func main() {
 		"adaptive stepping: per-macro-step temperature error bound in C (0 = default 0.05)")
 	flag.Float64Var(&sc.Stepping.MaxStepS, "step-max", 0,
 		"adaptive stepping: longest thermal macro-step in seconds (0 = default 1.6)")
+	flag.IntVar(&sc.ControlEvery, "control-every", 0,
+		"flow-controller decision period in base ticks (0 = default 1: a decision every tick)")
 	trace := flag.String("trace", "", "write a per-tick CSV trace to this file (single workload only)")
 	workers := flag.Int("workers", 0, "worker goroutines for a multi-workload batch (0 = NumCPU)")
 	flag.Parse()

@@ -17,16 +17,24 @@
 // Every entry point takes a context.Context and honors cancellation
 // within one simulated tick. Configuration is a Scenario value plus
 // functional options (WithWorkers, WithGrid, WithSolver, WithTick,
-// WithStepper, WithObserver, WithPlatformCache); failures surface as
-// typed errors (ErrUnknownWorkload, ErrUnknownCooling, ...) that wrap
-// into errors.Is. Scenario.Stepping/WithStepper select the time-advance
+// WithStepper, WithObserver, WithPlatformCache, WithControlEvery,
+// WithSolveParallelism, WithBatchCounters); failures surface as typed
+// errors (ErrUnknownWorkload, ErrUnknownCooling, ...) that wrap into
+// errors.Is. Scenario.Stepping/WithStepper select the time-advance
 // engine: the default fixed 100 ms loop, or adaptive thermal
 // macro-stepping (≤ 0.1 °C from fixed, several-fold faster through
 // thermally quiet phases), with samples at the base tick either way.
 //
 // Runs of the same stack shape can share their expensive setup — grid,
 // solver analysis, controller tables — through a PlatformCache; see
-// WithPlatformCache.
+// WithPlatformCache. An oversubscribed RunMany additionally
+// co-schedules platform-sharing fixed-flow runs so their per-tick
+// thermal solves ride one blocked multi-RHS sweep of the shared factor
+// — reports stay byte-identical to solo runs at any worker count, and
+// Report.BatchedSolves / WithBatchCounters expose what was ganged.
+// WithSolveParallelism enables level-parallel factorization and solves
+// inside a single run (bit-identical to serial) for paper-resolution
+// grids.
 package coolsim
 
 import (
@@ -100,6 +108,12 @@ type Scenario struct {
 	// Solver selects the thermal linear solver: "auto" (default, cached
 	// LDLᵀ direct with CG fallback), "direct", or "cg".
 	Solver string `json:"solver,omitempty"`
+	// ControlEvery is the flow-controller decision cadence in base ticks
+	// (the control period). The controller still observes temperatures
+	// every tick; only its Decide step runs at the period. 0 keeps the
+	// default of 1 — a decision every 100 ms tick, the paper's behavior.
+	// Negative values fail validation with ErrBadControlEvery.
+	ControlEvery int `json:"control_every,omitempty"`
 	// Stepping selects and tunes the time-advance engine. The zero value
 	// is the fixed base-tick loop.
 	Stepping Stepping `json:"stepping,omitzero"`
@@ -195,6 +209,12 @@ type Report struct {
 	MacroTicks    int `json:"macro_ticks"`
 	Refinements   int `json:"refinements"`
 	ThermalSolves int `json:"thermal_solves"`
+	// BatchedSolves is the number of this scenario's thermal solves that
+	// were served through shared multi-RHS sweeps — nonzero only when
+	// RunMany co-schedules platform-sharing scenarios over fewer worker
+	// slots (see WithPlatformCache, WithWorkers, WithBatchCounters).
+	// Batching never changes the simulated trajectory.
+	BatchedSolves int64 `json:"batched_solves"`
 }
 
 // Run executes a scenario to completion. Cancel ctx to abort: Run then
@@ -306,6 +326,7 @@ func newReport(sc Scenario, r *sim.Result) *Report {
 		MacroTicks:    r.Stepping.MacroTicks,
 		Refinements:   r.Stepping.Refinements,
 		ThermalSolves: r.Stepping.Solves,
+		BatchedSolves: r.BatchedSolves,
 	}
 }
 
@@ -424,10 +445,22 @@ func (sc Scenario) simConfig(rc config) (sim.Config, error) {
 	if err != nil {
 		return sim.Config{}, fmt.Errorf("%w: %q (want fixed|adaptive)", ErrUnknownStepping, stepping.Mode)
 	}
+	controlEvery := sc.ControlEvery
+	if rc.controlEvery != 0 {
+		controlEvery = rc.controlEvery
+	}
+	if controlEvery < 0 {
+		return sim.Config{}, fmt.Errorf("%w: %d (want > 0)", ErrBadControlEvery, controlEvery)
+	}
 	cfg.Stepper = stepper.Config{
-		Kind:       kind,
-		ToleranceC: stepping.ToleranceC,
-		MaxStep:    units.Second(stepping.MaxStepS),
+		Kind:         kind,
+		ToleranceC:   stepping.ToleranceC,
+		MaxStep:      units.Second(stepping.MaxStepS),
+		ControlEvery: controlEvery,
+	}
+	cfg.SolveWorkers = rc.solveWorkers
+	if rc.batch != nil {
+		cfg.BatchCounters = &rc.batch.inner
 	}
 	if sc.Faults.PumpStuck != nil {
 		ps := pump.Setting(*sc.Faults.PumpStuck)

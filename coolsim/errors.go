@@ -20,6 +20,9 @@ var (
 	ErrUnknownStepping = errors.New("coolsim: unknown stepping mode")
 	// ErrBadLayers: Scenario.Layers is not 2 or 4.
 	ErrBadLayers = errors.New("coolsim: unsupported layer count")
+	// ErrBadControlEvery: the flow-controller decision period
+	// (Scenario.ControlEvery / WithControlEvery) is negative.
+	ErrBadControlEvery = errors.New("coolsim: bad control period")
 	// ErrSessionDone is returned by Session.Step once the configured
 	// duration has elapsed (the io.EOF of the streaming API).
 	ErrSessionDone = errors.New("coolsim: session complete")

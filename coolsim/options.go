@@ -13,6 +13,9 @@ type config struct {
 	stepping       *Stepping
 	observer       func(*Sample)
 	pcache         *PlatformCache
+	controlEvery   int
+	solveWorkers   int
+	batch          *BatchCounters
 }
 
 func buildConfig(opts []Option) config {
@@ -73,4 +76,30 @@ func WithPlatformCache(pc *PlatformCache) Option {
 // observer adds no allocations to the tick path. RunMany ignores it.
 func WithObserver(fn func(*Sample)) Option {
 	return func(c *config) { c.observer = fn }
+}
+
+// WithControlEvery overrides the flow-controller decision cadence (base
+// ticks) of every scenario in the call, taking precedence over
+// Scenario.ControlEvery. n must be positive (0 restores the scenario's
+// own setting); negative values fail with ErrBadControlEvery.
+func WithControlEvery(n int) Option {
+	return func(c *config) { c.controlEvery = n }
+}
+
+// WithSolveParallelism enables level-parallel LDLᵀ factorization and
+// triangular solves inside each scenario's thermal model, using up to n
+// workers per solve. Results are bit-identical to the serial solver at
+// any n; n ≤ 1 (the default) keeps the serial sweeps, which are faster
+// below roughly the paper's 115×100 resolution.
+func WithSolveParallelism(n int) Option {
+	return func(c *config) { c.solveWorkers = n }
+}
+
+// WithBatchCounters makes the call report batched-solve statistics into
+// ctr: when RunMany co-schedules platform-sharing scenarios over fewer
+// worker slots, each lock-stepped tick serves compatible thermal solves
+// through one multi-RHS sweep, and ctr counts those sweeps and their
+// widths. ctr may be shared across calls and read concurrently.
+func WithBatchCounters(ctr *BatchCounters) Option {
+	return func(c *config) { c.batch = ctr }
 }

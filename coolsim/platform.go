@@ -35,12 +35,13 @@ func NewPlatformCache(maxStacks int) *PlatformCache {
 }
 
 // NewPlatformCacheDir is NewPlatformCache plus on-disk persistence of the
-// flow-rate controller's lookup tables: a platform whose LUT was swept by
-// a previous process (or a lutgen run) sharing dir loads it in
-// milliseconds instead of re-running seconds of steady-state analysis,
-// and freshly swept tables are saved back (atomically, best-effort).
-// Stats().LUTDiskLoads counts the warm starts. cmd/coolserved exposes
-// this as -cache-dir so a restarted daemon keeps its sweeps.
+// flow-rate controller's lookup tables and the TALB weight tables: a
+// platform whose artifacts were built by a previous process (or a lutgen
+// run) sharing dir loads them in milliseconds instead of re-running
+// seconds of steady-state analysis, and freshly built tables are saved
+// back (atomically, best-effort). Stats().LUTDiskLoads and
+// .WeightDiskLoads count the warm starts. cmd/coolserved exposes this as
+// -cache-dir so a restarted daemon keeps its sweeps.
 func NewPlatformCacheDir(maxStacks int, dir string) *PlatformCache {
 	return &PlatformCache{cache: platform.NewDiskCache(maxStacks, dir)}
 }
@@ -60,8 +61,10 @@ type PlatformCacheStats struct {
 	LUTBuilds      int `json:"lut_builds"`
 	WeightBuilds   int `json:"weight_builds"`
 	// LUTDiskLoads counts LUTs warm-started from the persistence
-	// directory (NewPlatformCacheDir) instead of swept.
-	LUTDiskLoads int `json:"lut_disk_loads"`
+	// directory (NewPlatformCacheDir) instead of swept;
+	// WeightDiskLoads the same for TALB weight tables.
+	LUTDiskLoads    int `json:"lut_disk_loads"`
+	WeightDiskLoads int `json:"weight_disk_loads"`
 }
 
 // Stats snapshots the cache counters (the coolserved metrics endpoint
@@ -69,14 +72,15 @@ type PlatformCacheStats struct {
 func (pc *PlatformCache) Stats() PlatformCacheStats {
 	st := pc.cache.Stats()
 	return PlatformCacheStats{
-		Platforms:      st.Platforms,
-		Hits:           st.Hits,
-		Misses:         st.Misses,
-		Evictions:      st.Evictions,
-		SymbolicBuilds: st.Builds.SymbolicBuilds,
-		LUTBuilds:      st.Builds.LUTBuilds,
-		WeightBuilds:   st.Builds.WeightBuilds,
-		LUTDiskLoads:   st.Builds.LUTDiskLoads,
+		Platforms:       st.Platforms,
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		Evictions:       st.Evictions,
+		SymbolicBuilds:  st.Builds.SymbolicBuilds,
+		LUTBuilds:       st.Builds.LUTBuilds,
+		WeightBuilds:    st.Builds.WeightBuilds,
+		LUTDiskLoads:    st.Builds.LUTDiskLoads,
+		WeightDiskLoads: st.Builds.WeightDiskLoads,
 	}
 }
 

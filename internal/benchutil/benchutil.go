@@ -6,11 +6,13 @@ package benchutil
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"repro/coolsim"
 	"repro/internal/floorplan"
 	"repro/internal/grid"
+	"repro/internal/mat"
 	"repro/internal/rcnet"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -274,6 +276,171 @@ func AnalyzePaper(b *testing.B) {
 		_ = num
 	}
 	b.ReportMetric(float64(fill), "nnzL")
+}
+
+// paperFactor builds the paper-resolution (115×100) thermal system and
+// returns its fresh numeric factor — the shared setup of the multi-RHS
+// solve benchmarks.
+func paperFactor(b *testing.B) (*mat.LDLNumeric, int) {
+	b.Helper()
+	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(115, 100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := rcnet.New(g, rcnet.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SetFlow(0.5); err != nil {
+		b.Fatal(err)
+	}
+	_, num, err := m.AnalyzeAndFactor(0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return num, m.NumNodes()
+}
+
+// batchRHS allocates k solution buffers and k distinct right-hand sides
+// of size n (distinct so the batch sweep cannot benefit from identical
+// columns).
+func batchRHS(n, k int) (xs, bs [][]float64) {
+	xs = make([][]float64, k)
+	bs = make([][]float64, k)
+	for j := range bs {
+		xs[j] = make([]float64, n)
+		bs[j] = make([]float64, n)
+		for i := range bs[j] {
+			bs[j][i] = 1 + float64((i+3*j)%7)
+		}
+	}
+	return xs, bs
+}
+
+// SolveBatch8 benchmarks one blocked multi-RHS sweep of the paper-
+// resolution factor: a single SolveBatch over 8 right-hand sides per op.
+// Against SolveSequential8 — the identical 8 systems as individual Solve
+// calls — it tracks the per-RHS win of traversing the factor once for
+// the whole block (acceptance: per-RHS cost ≤ 50% of a lone Solve).
+func SolveBatch8(b *testing.B) {
+	num, n := paperFactor(b)
+	xs, bs := batchRHS(n, 8)
+	num.SolveBatch(xs, bs) // warm sweep: allocates the width-8 panel buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		num.SolveBatch(xs, bs)
+	}
+}
+
+// SolveSequential8 is the unblocked reference for SolveBatch8: the same
+// factor and the same 8 right-hand sides, solved one at a time.
+func SolveSequential8(b *testing.B) {
+	num, n := paperFactor(b)
+	xs, bs := batchRHS(n, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range bs {
+			num.Solve(xs[j], bs[j])
+		}
+	}
+}
+
+// FactorizePaper returns the paper-resolution refactorize+solve
+// benchmark at a worker count: each op is one numeric factorization of
+// the 115×100 backward-Euler system into a reused factor plus one
+// triangular solve — the flow-transition cost a running simulation pays.
+// workers <= 0 uses NumCPU. The workers=1 serial body is the baseline;
+// the level-parallel body must be bit-identical to it (pinned by
+// mat.TestFactorizeParallelBitIdentical) and ≥ 2× faster at
+// GOMAXPROCS ≥ 4 on the paper grid.
+func FactorizePaper(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(115, 100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := rcnet.New(g, rcnet.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.SetFlow(0.5); err != nil {
+			b.Fatal(err)
+		}
+		sys, err := m.SystemCSR(0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		symb, err := mat.AnalyzeLDL(sys, mat.OrderAuto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+			if workers == 1 {
+				b.Log("single-CPU host: the parallel body degenerates to serial, timing is parity-only")
+			}
+		}
+		symb.SetWorkers(workers)
+		num, err := symb.Factorize(sys, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := make([]float64, sys.N)
+		rhs := make([]float64, sys.N)
+		for i := range rhs {
+			rhs[i] = 1 + float64(i%5)
+		}
+		num.Solve(x, rhs) // warm the parallel solve's level buffers
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if num, err = symb.Factorize(sys, num); err != nil {
+				b.Fatal(err)
+			}
+			num.Solve(x, rhs)
+		}
+	}
+}
+
+// RunManySharedFactor measures the co-scheduled batch path: four
+// scenarios sharing one platform and one fixed-flow factor key, squeezed
+// onto a single worker so RunMany gangs their per-tick solves through
+// SolveBatch. The body asserts the gang actually batched (a silent fall
+// back to solo stepping would leave the number meaningless) and reports
+// the batched-solve count per op.
+func RunManySharedFactor(b *testing.B) {
+	scs := make([]coolsim.Scenario, 4)
+	for i := range scs {
+		sc := coolsim.DefaultScenario()
+		sc.Workload = "Web-med"
+		sc.Seed = int64(i + 1)
+		sc.Cooling = coolsim.CoolingMax
+		sc.Duration = 2
+		sc.Warmup = 0.5
+		sc.GridNX, sc.GridNY = 12, 10
+		scs[i] = sc
+	}
+	pc := coolsim.NewPlatformCache(0)
+	var ctr coolsim.BatchCounters
+	opts := []coolsim.Option{
+		coolsim.WithPlatformCache(pc),
+		coolsim.WithWorkers(1),
+		coolsim.WithBatchCounters(&ctr),
+	}
+	if _, err := coolsim.RunMany(context.Background(), scs, opts...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coolsim.RunMany(context.Background(), scs, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := ctr.Stats()
+	if st.BatchedSolves == 0 {
+		b.Fatal("expected batched solves in the ganged batch")
+	}
+	b.ReportMetric(float64(st.BatchedSolves)/float64(b.N+1), "batched-solves/op")
 }
 
 // SimTick benchmarks one full simulator tick (workload, scheduling, DPM,

@@ -1,0 +1,62 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WeightTable serialization: the TALB weight analysis is a steady-state
+// solve per platform — cheaper than the LUT sweep but still the second
+// slowest piece of a cold start — so the platform layer persists the
+// table next to the LUT. JSON keeps the artifact inspectable; only the
+// exported fields travel (the per-band rows cache rebuilds on first
+// Lookup).
+
+// SaveJSON writes the weight table.
+func (w *WeightTable) SaveJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(w)
+}
+
+// LoadWeights reads and validates a weight table.
+func LoadWeights(r io.Reader) (*WeightTable, error) {
+	var w WeightTable
+	if err := json.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("controller: decode weights: %w", err)
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// Validate checks structural invariants: positive base weights, strictly
+// increasing band edges, and one gamma per band plus the above-all-bands
+// row.
+func (w *WeightTable) Validate() error {
+	if len(w.Base) == 0 {
+		return fmt.Errorf("controller: weight table has no cores")
+	}
+	for i, b := range w.Base {
+		if b <= 0 {
+			return fmt.Errorf("controller: weight base[%d] = %g not positive", i, b)
+		}
+	}
+	if len(w.Gammas) != len(w.Bands)+1 {
+		return fmt.Errorf("controller: weight table has %d gammas for %d bands (want bands+1)",
+			len(w.Gammas), len(w.Bands))
+	}
+	for k := 1; k < len(w.Bands); k++ {
+		if w.Bands[k] <= w.Bands[k-1] {
+			return fmt.Errorf("controller: weight bands not increasing at %d", k)
+		}
+	}
+	for i, g := range w.Gammas {
+		if g <= 0 {
+			return fmt.Errorf("controller: weight gamma[%d] = %g not positive", i, g)
+		}
+	}
+	return nil
+}

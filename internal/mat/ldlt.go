@@ -37,9 +37,26 @@ type LDLSymbolic struct {
 
 	parent []int   // elimination tree
 	lp     []int   // column pointers of L (len n+1)
-	li     []int32 // row indices of L (len nnz(L)); rewritten per Factorize
+	li     []int32 // row indices of L (len nnz(L)); filled by AnalyzeLDL
 	// (int32 halves the index traffic of the two solve sweeps, the
 	// per-tick hot path; 2³¹ nodes is far beyond any grid here)
+
+	// Level schedule of the elimination tree: level 0 holds the leaves,
+	// level l the nodes whose longest descendant path has length l. All
+	// rows of one level can be factorized (and their triangular-sweep
+	// contributions applied) independently; levels are barriers. Nodes
+	// are stored ascending within each level, so a level-ordered pass
+	// touches rows in exactly the serial elimination order.
+	lvlPtr  []int32 // len nLevels+1
+	lvlNode []int32 // len n; level l = lvlNode[lvlPtr[l]:lvlPtr[l+1]]
+
+	// Row-major view of L's pattern (the forward sweep in gather form):
+	// row i's below-diagonal entries are rcol[rp[i]:rp[i+1]] (columns,
+	// ascending — the serial scatter's update order) and the matching
+	// value positions in lx are rpos[rp[i]:rp[i+1]].
+	rp   []int32
+	rcol []int32
+	rpos []int32
 
 	// Scratch.
 	y       []float64
@@ -47,6 +64,9 @@ type LDLSymbolic struct {
 	flag    []int
 	lnz     []int
 	w       []float64 // Solve permuted work vector
+	wb      []float64 // SolveBatch panel, grown to n·k on demand
+
+	par *parState // level-parallel state; nil = serial (SetWorkers)
 }
 
 // LDLNumeric holds the numeric factors of one matrix: PAPᵀ = L·D·Lᵀ with
@@ -64,12 +84,14 @@ func (s *LDLSymbolic) N() int { return s.n }
 
 // Clone returns a symbolic analysis that shares the immutable products of
 // AnalyzeLDL — the fill-reducing permutation, the permuted upper triangle,
-// the elimination tree and the column pointers of L — but owns its
-// L-row-index storage and scratch buffers. The clone can therefore
-// factorize and solve concurrently with the original (and with other
-// clones), which is what lets one expensive analysis serve every model of
-// a shared platform. Cloning costs a handful of O(n)/O(nnz(L))
-// allocations; the ordering and symbolic passes are not repeated.
+// the elimination tree, the complete pattern of L (column pointers, row
+// indices, the level schedule and the row-major view) — but owns its
+// scratch buffers. The clone can therefore factorize and solve
+// concurrently with the original (and with other clones), which is what
+// lets one expensive analysis serve every model of a shared platform.
+// Cloning costs a handful of O(n) allocations; the ordering and symbolic
+// passes are not repeated. Worker configuration (SetWorkers) is per
+// instance and not inherited.
 func (s *LDLSymbolic) Clone() *LDLSymbolic {
 	return &LDLSymbolic{
 		n:      s.n,
@@ -78,13 +100,12 @@ func (s *LDLSymbolic) Clone() *LDLSymbolic {
 		perm:   s.perm,
 		pinv:   s.pinv,
 		cp:     s.cp, ci: s.ci, csrc: s.csrc,
-		parent: s.parent,
-		lp:     s.lp,
-		// li is rewritten in full by every Factorize (the up-looking pass
-		// emits each column's row indices as it goes), so a zeroed copy is
-		// correct; flag/lnz likewise carry no state across factorizations
-		// beyond what each column re-initializes.
-		li:      make([]int32, len(s.li)),
+		parent:  s.parent,
+		lp:      s.lp,
+		li:      s.li,
+		lvlPtr:  s.lvlPtr,
+		lvlNode: s.lvlNode,
+		rp:      s.rp, rcol: s.rcol, rpos: s.rpos,
 		y:       make([]float64, s.n),
 		pattern: make([]int, s.n),
 		flag:    make([]int, s.n),
@@ -197,7 +218,78 @@ func AnalyzeLDL(a *CSR, ord Ordering) (*LDLSymbolic, error) {
 	for k := 0; k < n; k++ {
 		s.lp[k+1] = s.lp[k] + s.lnz[k]
 	}
+
+	// Fill the row indices of L with a second reach pass. Row k of L
+	// appends k to every column i in its pattern, and successive k are
+	// appended in ascending order — exactly the positions the up-looking
+	// numeric factorization writes — so the pattern becomes immutable and
+	// Clone can share it. lnz doubles as the per-column cursor (Factorize
+	// re-derives it row by row anyway).
 	s.li = make([]int32, s.lp[n])
+	for i := range s.lnz {
+		s.lnz[i] = 0
+	}
+	for k := 0; k < n; k++ {
+		s.flag[k] = k
+		for p := s.cp[k]; p < s.cp[k+1]; p++ {
+			for i := s.ci[p]; s.flag[i] != k; i = s.parent[i] {
+				s.li[s.lp[i]+s.lnz[i]] = int32(k)
+				s.lnz[i]++
+				s.flag[i] = k
+			}
+		}
+	}
+
+	// Level schedule: lev(k) = longest path from a descendant leaf.
+	// parent[k] > k always, so one ascending pass settles every level.
+	lev := make([]int32, n)
+	maxLev := int32(0)
+	for k := 0; k < n; k++ {
+		if p := s.parent[k]; p >= 0 && lev[k]+1 > lev[p] {
+			lev[p] = lev[k] + 1
+		}
+		if lev[k] > maxLev {
+			maxLev = lev[k]
+		}
+	}
+	s.lvlPtr = make([]int32, maxLev+2)
+	for k := 0; k < n; k++ {
+		s.lvlPtr[lev[k]+1]++
+	}
+	for l := 0; l < len(s.lvlPtr)-1; l++ {
+		s.lvlPtr[l+1] += s.lvlPtr[l]
+	}
+	s.lvlNode = make([]int32, n)
+	next2 := make([]int32, maxLev+1)
+	for k := 0; k < n; k++ { // ascending k ⇒ ascending within each level
+		l := lev[k]
+		s.lvlNode[s.lvlPtr[l]+next2[l]] = int32(k)
+		next2[l]++
+	}
+
+	// Row-major view of L (forward sweep in gather form). Iterating
+	// columns ascending yields ascending column indices within each row —
+	// the serial scatter's per-row update order.
+	s.rp = make([]int32, n+1)
+	for _, r := range s.li {
+		s.rp[r+1]++
+	}
+	for i := 0; i < n; i++ {
+		s.rp[i+1] += s.rp[i]
+	}
+	s.rcol = make([]int32, len(s.li))
+	s.rpos = make([]int32, len(s.li))
+	rnext := make([]int32, n)
+	for j := 0; j < n; j++ {
+		for p := s.lp[j]; p < s.lp[j+1]; p++ {
+			r := s.li[p]
+			t := s.rp[r] + rnext[r]
+			rnext[r]++
+			s.rcol[t] = int32(j)
+			s.rpos[t] = int32(p)
+		}
+	}
+
 	s.y = make([]float64, n)
 	s.pattern = make([]int, n)
 	s.w = make([]float64, n)
@@ -222,6 +314,9 @@ func (s *LDLSymbolic) Factorize(a *CSR, f *LDLNumeric) (*LDLNumeric, error) {
 			d:    make([]float64, s.n),
 			invd: make([]float64, s.n),
 		}
+	}
+	if s.par != nil {
+		return s.factorizeParallel(a, f)
 	}
 	n := s.n
 	y, pattern, flag, lnz := s.y, s.pattern, s.flag, s.lnz
@@ -259,7 +354,6 @@ func (s *LDLSymbolic) Factorize(a *CSR, f *LDLNumeric) (*LDLNumeric, error) {
 			for p := s.lp[i]; p < p2; p++ {
 				y[s.li[p]] -= f.lx[p] * yi
 			}
-			s.li[p2] = int32(k)
 			f.lx[p2] = lki
 			lnz[i]++
 			dk -= lki * yi
@@ -287,6 +381,10 @@ func (f *LDLNumeric) Solve(x, b []float64) {
 	n := s.n
 	if len(x) != n || len(b) != n {
 		panic("mat: LDL Solve dimension mismatch")
+	}
+	if s.par != nil {
+		f.solveParallel(x, b)
+		return
 	}
 	w := s.w
 	for k := 0; k < n; k++ {

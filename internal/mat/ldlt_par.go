@@ -1,0 +1,385 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Level-parallel LDLᵀ factorization and triangular solves.
+//
+// The elimination tree exposes all the parallelism of the up-looking
+// factorization: row k of L depends only on columns i with k on i's
+// ancestor path, and every ancestor sits at a strictly higher level than
+// its descendants. Processing the level schedule (see LDLSymbolic.lvlPtr)
+// with a barrier between levels therefore touches every shared datum —
+// the column cursors lnz, the appended lx values, the solve work vector —
+// in exactly the serial elimination order:
+//
+//   - two rows of one level have disjoint patterns (a shared pattern node
+//     would make them comparable in the tree, hence differently leveled),
+//     so their lnz increments and lx appends never collide;
+//   - a row's reads (invd, lx prefixes, forward-sweep inputs) come from
+//     strictly lower levels, already complete at the barrier;
+//   - within each level the append positions are fixed by the prefilled
+//     pattern, so the chunking of a level across workers cannot reorder
+//     any floating-point operation.
+//
+// Results are consequently bit-identical to the serial paths at every
+// worker count, with one documented exception: the parallel forward sweep
+// runs in gather form and therefore does not reproduce the serial
+// scatter's skip of exact-zero multipliers. Subtracting the skipped ±0
+// products changes a result bit only when an accumulator holds -0 — never
+// the case for the strictly positive thermal systems this package serves.
+
+const (
+	// factorParCutoff is the minimum level width (rows per chunk) worth
+	// fanning out during factorization; narrower levels run on the
+	// calling goroutine.
+	factorParCutoff = 96
+	// solveParCutoff is the equivalent bound for the triangular sweeps,
+	// whose per-row work is roughly the row's entry count.
+	solveParCutoff = 512
+	// maxSolveWorkers bounds SetWorkers and the shared pool size.
+	maxSolveWorkers = 32
+)
+
+// parSlot is one worker's private factorization scratch. The flag marks
+// use a monotonic stamp (parState.stamp) instead of the serial row-index
+// trick: a chunked pass does not revisit every index each call, so plain
+// row marks could collide with a previous call's leftovers.
+type parSlot struct {
+	y       []float64
+	pattern []int
+	flag    []int
+}
+
+// parState is the per-symbolic parallel configuration and scratch.
+type parState struct {
+	workers int
+	stamp   int // flag-mark base; advanced by n per parallel factorization
+	slots   []parSlot
+	run     parRun
+}
+
+// parRun is the in-flight state of one parallel Factorize/Solve call,
+// shared by the caller and the pool workers it enlists.
+type parRun struct {
+	s    *LDLSymbolic
+	f    *LDLNumeric
+	a    *CSR
+	mark int // this call's flag-mark base
+
+	wg     sync.WaitGroup
+	failed atomic.Bool
+	errMu  sync.Mutex
+	errK   int
+	errDk  float64
+}
+
+// levelTask is one contiguous chunk of one level, queued on the shared
+// pool. A value struct: submitting allocates nothing.
+type levelTask struct {
+	r      *parRun
+	lo, hi int32
+	slot   int32
+	kind   uint8
+}
+
+const (
+	taskFactor uint8 = iota
+	taskForward
+	taskBackward
+)
+
+func (t levelTask) run() {
+	switch t.kind {
+	case taskFactor:
+		t.r.factorRows(int(t.slot), int(t.lo), int(t.hi))
+	case taskForward:
+		t.r.forwardRows(int(t.lo), int(t.hi))
+	default:
+		t.r.backwardCols(int(t.lo), int(t.hi))
+	}
+	t.r.wg.Done()
+}
+
+// solverPool is the process-wide worker pool behind every level-parallel
+// symbolic object. Goroutines start lazily on first use and park on the
+// channel when idle; tasks never block on other tasks, so a bounded pool
+// cannot deadlock however many factorizations run concurrently.
+var solverPool struct {
+	once sync.Once
+	ch   chan levelTask
+}
+
+func poolSubmit(t levelTask) {
+	solverPool.once.Do(func() {
+		solverPool.ch = make(chan levelTask, 256)
+		nw := runtime.NumCPU()
+		if nw > maxSolveWorkers {
+			nw = maxSolveWorkers
+		}
+		for i := 0; i < nw; i++ {
+			go func() {
+				for t := range solverPool.ch {
+					t.run()
+				}
+			}()
+		}
+	})
+	solverPool.ch <- t
+}
+
+// SetWorkers configures level-parallel Factorize and Solve on this
+// symbolic object: up to n goroutines (the caller plus shared-pool
+// workers) cooperate on each level of the elimination tree, with small
+// levels staying on the caller. n ≤ 1 restores the serial paths (the
+// default). Results are bit-identical to serial at every n. The worker
+// scratch is allocated here, so the per-tick paths stay allocation-free;
+// clones do not inherit the setting.
+func (s *LDLSymbolic) SetWorkers(n int) {
+	if n > maxSolveWorkers {
+		n = maxSolveWorkers
+	}
+	if n <= 1 {
+		s.par = nil
+		return
+	}
+	if s.par != nil && s.par.workers == n {
+		return
+	}
+	st := &parState{workers: n, slots: make([]parSlot, n)}
+	for i := range st.slots {
+		sl := parSlot{
+			y:       make([]float64, s.n),
+			pattern: make([]int, s.n),
+			flag:    make([]int, s.n),
+		}
+		for j := range sl.flag {
+			sl.flag[j] = -1
+		}
+		st.slots[i] = sl
+	}
+	s.par = st
+}
+
+// Workers reports the configured worker budget (1 = serial).
+func (s *LDLSymbolic) Workers() int {
+	if s.par == nil {
+		return 1
+	}
+	return s.par.workers
+}
+
+// factorizeParallel runs the up-looking factorization over the level
+// schedule. On a non-positive pivot it keeps going (garbage flows only
+// toward higher row indices, whose factors are discarded) and reports the
+// lowest failing row — the same row, with the bit-identical pivot value,
+// that the serial pass would have stopped at.
+func (s *LDLSymbolic) factorizeParallel(a *CSR, f *LDLNumeric) (*LDLNumeric, error) {
+	st := s.par
+	r := &st.run
+	r.s, r.f, r.a = s, f, a
+	r.mark = st.stamp
+	st.stamp += s.n
+	r.failed.Store(false)
+	r.errK = -1
+	nw := st.workers
+	for l := 0; l+1 < len(s.lvlPtr); l++ {
+		lo, hi := int(s.lvlPtr[l]), int(s.lvlPtr[l+1])
+		size := hi - lo
+		nc := size / factorParCutoff
+		if nc > nw {
+			nc = nw
+		}
+		if nc <= 1 {
+			r.factorRows(0, lo, hi)
+			continue
+		}
+		r.wg.Add(nc - 1)
+		for c := 1; c < nc; c++ {
+			poolSubmit(levelTask{
+				r:    r,
+				lo:   int32(lo + c*size/nc),
+				hi:   int32(lo + (c+1)*size/nc),
+				slot: int32(c),
+				kind: taskFactor,
+			})
+		}
+		r.factorRows(0, lo, lo+size/nc)
+		r.wg.Wait()
+	}
+	r.a = nil
+	if r.failed.Load() {
+		for i := range st.slots {
+			y := st.slots[i].y
+			for j := range y {
+				y[j] = 0
+			}
+		}
+		return nil, fmt.Errorf("%w: pivot %g at permuted index %d", ErrNotPositiveDefinite, r.errDk, r.errK)
+	}
+	return f, nil
+}
+
+// factorRows processes rows lvlNode[lo:hi] (one chunk of one level) with
+// slot-private scratch. The body mirrors the serial Factorize loop minus
+// the pattern write (prefilled by AnalyzeLDL).
+func (r *parRun) factorRows(slot, lo, hi int) {
+	s, f, a := r.s, r.f, r.a
+	sl := &s.par.slots[slot]
+	y, pattern, flag := sl.y, sl.pattern, sl.flag
+	lnz := s.lnz
+	n := s.n
+	for t := lo; t < hi; t++ {
+		k := int(s.lvlNode[t])
+		mark := r.mark + k
+		top := n
+		flag[k] = mark
+		lnz[k] = 0
+		for p := s.cp[k]; p < s.cp[k+1]; p++ {
+			i := s.ci[p]
+			y[i] += a.Val[s.csrc[p]]
+			ln := 0
+			for ; flag[i] != mark; i = s.parent[i] {
+				pattern[ln] = i
+				ln++
+				flag[i] = mark
+			}
+			for ln > 0 {
+				ln--
+				top--
+				pattern[top] = pattern[ln]
+			}
+		}
+		dk := y[k]
+		y[k] = 0
+		for t2 := top; t2 < n; t2++ {
+			i := pattern[t2]
+			yi := y[i]
+			y[i] = 0
+			lki := yi * f.invd[i]
+			p2 := s.lp[i] + lnz[i]
+			for p := s.lp[i]; p < p2; p++ {
+				y[s.li[p]] -= f.lx[p] * yi
+			}
+			f.lx[p2] = lki
+			lnz[i]++
+			dk -= lki * yi
+		}
+		f.d[k] = dk
+		if dk <= 0 {
+			r.recordError(k, dk)
+			f.invd[k] = 0 // poison, never a valid 1/dk for dk > 0
+			continue
+		}
+		f.invd[k] = 1 / dk
+	}
+}
+
+func (r *parRun) recordError(k int, dk float64) {
+	r.errMu.Lock()
+	if r.errK < 0 || k < r.errK {
+		r.errK, r.errDk = k, dk
+	}
+	r.errMu.Unlock()
+	r.failed.Store(true)
+}
+
+// solveParallel is Solve over the level schedule: the forward sweep in
+// row-gather form ascending levels, the backward sweep (already a gather)
+// descending levels. Per-row operation order matches the serial sweeps,
+// so results are bit-identical (see the package comment above for the
+// exact-zero caveat).
+func (f *LDLNumeric) solveParallel(x, b []float64) {
+	s := f.s
+	st := s.par
+	r := &st.run
+	r.s, r.f = s, f
+	n := s.n
+	w := s.w
+	nw := st.workers
+	for k := 0; k < n; k++ {
+		w[k] = b[s.perm[k]]
+	}
+	nLev := len(s.lvlPtr) - 1
+	for l := 0; l < nLev; l++ {
+		r.runLevel(int(s.lvlPtr[l]), int(s.lvlPtr[l+1]), nw, taskForward)
+	}
+	for j := 0; j < n; j++ {
+		w[j] *= f.invd[j]
+	}
+	for l := nLev - 1; l >= 0; l-- {
+		r.runLevel(int(s.lvlPtr[l]), int(s.lvlPtr[l+1]), nw, taskBackward)
+	}
+	for k := 0; k < n; k++ {
+		x[s.perm[k]] = w[k]
+	}
+}
+
+// runLevel fans one level's chunk list out to the pool (caller keeps the
+// first chunk) or runs it inline when too narrow to pay for the barrier.
+func (r *parRun) runLevel(lo, hi, nw int, kind uint8) {
+	size := hi - lo
+	nc := size / solveParCutoff
+	if nc > nw {
+		nc = nw
+	}
+	if nc <= 1 {
+		if kind == taskForward {
+			r.forwardRows(lo, hi)
+		} else {
+			r.backwardCols(lo, hi)
+		}
+		return
+	}
+	r.wg.Add(nc - 1)
+	for c := 1; c < nc; c++ {
+		poolSubmit(levelTask{
+			r:    r,
+			lo:   int32(lo + c*size/nc),
+			hi:   int32(lo + (c+1)*size/nc),
+			kind: kind,
+		})
+	}
+	if kind == taskForward {
+		r.forwardRows(lo, lo+size/nc)
+	} else {
+		r.backwardCols(lo, lo+size/nc)
+	}
+	r.wg.Wait()
+}
+
+// forwardRows applies the forward sweep to rows lvlNode[lo:hi] in gather
+// form: row i subtracts its L entries against already-final w values from
+// lower levels, in ascending column order (the serial update order).
+func (r *parRun) forwardRows(lo, hi int) {
+	s, f := r.s, r.f
+	w := s.w
+	for t := lo; t < hi; t++ {
+		i := int(s.lvlNode[t])
+		wi := w[i]
+		for u := s.rp[i]; u < s.rp[i+1]; u++ {
+			wi -= f.lx[s.rpos[u]] * w[s.rcol[u]]
+		}
+		w[i] = wi
+	}
+}
+
+// backwardCols applies the backward (Lᵀ) sweep to columns lvlNode[lo:hi];
+// column j reads only strictly higher levels (its tree ancestors), which
+// a descending-level pass has already finalized.
+func (r *parRun) backwardCols(lo, hi int) {
+	s, f := r.s, r.f
+	w := s.w
+	for t := lo; t < hi; t++ {
+		j := int(s.lvlNode[t])
+		wj := w[j]
+		for p := s.lp[j]; p < s.lp[j+1]; p++ {
+			wj -= f.lx[p] * w[s.li[p]]
+		}
+		w[j] = wj
+	}
+}

@@ -1,0 +1,249 @@
+package mat
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestSolveBatchMatchesSolve is the batch-path property test: for every
+// batch width, SolveBatch must reproduce k sequential Solve calls — on
+// these strictly positive systems, bit for bit (far inside the ≤ 1e-12
+// contract the gang scheduler depends on).
+func TestSolveBatchMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4; trial++ {
+		n := 40 + rng.Intn(160)
+		a := randSPD(n, 1+rng.Intn(3), rng)
+		s, err := AnalyzeLDL(a, OrderAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := s.Factorize(a, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 3, 5, 8, 17} {
+			bs := make([][]float64, k)
+			xs := make([][]float64, k)
+			want := make([][]float64, k)
+			for r := 0; r < k; r++ {
+				bs[r] = make([]float64, n)
+				for i := range bs[r] {
+					bs[r][i] = 250 + 100*rng.Float64()
+				}
+				xs[r] = make([]float64, n)
+				want[r] = make([]float64, n)
+				f.Solve(want[r], bs[r])
+			}
+			f.SolveBatch(xs, bs)
+			for r := 0; r < k; r++ {
+				for i := 0; i < n; i++ {
+					if xs[r][i] != want[r][i] {
+						t.Fatalf("n=%d k=%d rhs %d node %d: batch %g vs solve %g",
+							n, k, r, i, xs[r][i], want[r][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchAliasing: xs[r] may alias bs[r] (the thermal stepper
+// solves into the state vector the RHS was built from).
+func TestSolveBatchAliasing(t *testing.T) {
+	a := gridLaplacian(9, 7, 1.5)
+	s, err := AnalyzeLDL(a, OrderAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Factorize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	var xs, bs, want [][]float64
+	for r := 0; r < k; r++ {
+		v := make([]float64, a.N)
+		for i := range v {
+			v[i] = float64(i%11) + float64(r)
+		}
+		w := make([]float64, a.N)
+		f.Solve(w, v)
+		want = append(want, w)
+		xs = append(xs, v) // alias: solve in place
+		bs = append(bs, v)
+	}
+	f.SolveBatch(xs, bs)
+	for r := 0; r < k; r++ {
+		for i := range xs[r] {
+			if xs[r][i] != want[r][i] {
+				t.Fatalf("aliased batch rhs %d node %d: %g vs %g", r, i, xs[r][i], want[r][i])
+			}
+		}
+	}
+}
+
+// TestFactorizeParallelBitIdentical pins the determinism contract of the
+// level-parallel factorization: for every worker count the factors match
+// the serial ones bit for bit, on fresh and on recycled numeric objects.
+func TestFactorizeParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cases := []*CSR{
+		gridLaplacian(40, 33, 2.5),
+		randSPD(900, 3, rng),
+	}
+	for ci, a := range cases {
+		serial, err := AnalyzeLDL(a, OrderAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := serial.Factorize(a, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bvec := make([]float64, a.N)
+		for i := range bvec {
+			bvec[i] = 300 + 50*rng.Float64()
+		}
+		wantX := make([]float64, a.N)
+		fs.Solve(wantX, bvec)
+		for _, workers := range []int{2, 3, 4, 8} {
+			par := serial.Clone()
+			par.SetWorkers(workers)
+			if par.Workers() != workers {
+				t.Fatalf("Workers() = %d, want %d", par.Workers(), workers)
+			}
+			fp, err := par.Factorize(a, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range fs.d {
+				if fs.d[i] != fp.d[i] {
+					t.Fatalf("case %d workers %d: d[%d] %g vs serial %g", ci, workers, i, fp.d[i], fs.d[i])
+				}
+			}
+			for i := range fs.lx {
+				if fs.lx[i] != fp.lx[i] {
+					t.Fatalf("case %d workers %d: lx[%d] differs", ci, workers, i)
+				}
+			}
+			// Refactorize into the same numeric object (the per-tick
+			// reuse path) stays identical too.
+			if _, err := par.Factorize(a, fp); err != nil {
+				t.Fatal(err)
+			}
+			for i := range fs.lx {
+				if fs.lx[i] != fp.lx[i] {
+					t.Fatalf("case %d workers %d: lx[%d] differs after refactorize", ci, workers, i)
+				}
+			}
+			x := make([]float64, a.N)
+			fp.Solve(x, bvec)
+			for i := range x {
+				if x[i] != wantX[i] {
+					t.Fatalf("case %d workers %d: parallel solve x[%d]=%g vs serial %g", ci, workers, i, x[i], wantX[i])
+				}
+			}
+			// And the batch path through a parallel-factorized object.
+			xs := [][]float64{make([]float64, a.N), make([]float64, a.N)}
+			fp.SolveBatch(xs, [][]float64{bvec, bvec})
+			for r := range xs {
+				for i := range xs[r] {
+					if xs[r][i] != wantX[i] {
+						t.Fatalf("case %d workers %d: batch rhs %d diverges at %d", ci, workers, r, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFactorizeParallelNotPositiveDefinite: the parallel path must report
+// the same lowest failing pivot as the serial one and stay usable after.
+func TestFactorizeParallelNotPositiveDefinite(t *testing.T) {
+	a := gridLaplacian(30, 20, 2)
+	s, err := AnalyzeLDL(a, OrderAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make it indefinite: flip one diagonal strongly negative.
+	bad := a
+	bad.AddAt(215, 215, -1e6)
+	serialErr := func() error {
+		s2, err := AnalyzeLDL(bad, OrderAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ferr := s2.Factorize(bad, nil)
+		return ferr
+	}()
+	if !errors.Is(serialErr, ErrNotPositiveDefinite) {
+		t.Fatalf("serial: got %v", serialErr)
+	}
+	s.SetWorkers(4)
+	_, perr := s.Factorize(bad, nil)
+	if !errors.Is(perr, ErrNotPositiveDefinite) {
+		t.Fatalf("parallel: got %v", perr)
+	}
+	if perr.Error() != serialErr.Error() {
+		t.Fatalf("parallel error %q differs from serial %q", perr, serialErr)
+	}
+	// Restore and factorize again: scratch must be clean.
+	bad.AddAt(215, 215, 1e6)
+	f, err := s.Factorize(bad, nil)
+	if err != nil {
+		t.Fatalf("factorize after failure: %v", err)
+	}
+	s.SetWorkers(1)
+	fs, err := s.Factorize(bad, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs.d {
+		if fs.d[i] != f.d[i] {
+			t.Fatalf("d[%d] differs after recovery", i)
+		}
+	}
+}
+
+// TestParallelHotPathAllocFree extends the allocation contract to the
+// parallel and batch paths: after SetWorkers and the first SolveBatch of
+// a given width, refactorize, solve and batch-solve allocate nothing.
+func TestParallelHotPathAllocFree(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs GOMAXPROCS >= 2")
+	}
+	a := gridLaplacian(40, 32, 2)
+	s, err := AnalyzeLDL(a, OrderAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetWorkers(4)
+	f, err := s.Factorize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bvec := make([]float64, a.N)
+	for i := range bvec {
+		bvec[i] = 1
+	}
+	x := make([]float64, a.N)
+	xs := [][]float64{make([]float64, a.N), make([]float64, a.N), make([]float64, a.N)}
+	bs := [][]float64{bvec, bvec, bvec}
+	f.SolveBatch(xs, bs) // size the panel
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := s.Factorize(a, f); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("parallel Factorize allocates %v objects, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { f.Solve(x, bvec) }); allocs != 0 {
+		t.Errorf("parallel Solve allocates %v objects, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, func() { f.SolveBatch(xs, bs) }); allocs != 0 {
+		t.Errorf("SolveBatch allocates %v objects, want 0", allocs)
+	}
+}

@@ -137,6 +137,7 @@ func (c *Cache) Stats() CacheStats {
 		st.Builds.WeightBuilds += ps.WeightBuilds
 		st.Builds.Models += ps.Models
 		st.Builds.LUTDiskLoads += ps.LUTDiskLoads
+		st.Builds.WeightDiskLoads += ps.WeightDiskLoads
 	}
 	return st
 }

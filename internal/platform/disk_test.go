@@ -116,3 +116,80 @@ func TestLUTDiskSpecKeying(t *testing.T) {
 		t.Fatalf("expected two spec-keyed LUT files, got %v", files)
 	}
 }
+
+// TestWeightsDiskWarmStart: the TALB weight table persists next to the
+// LUT — a fresh cache on the same directory loads it instead of
+// re-running the steady-state analysis, bit-identically.
+func TestWeightsDiskWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cold := NewDiskCache(0, dir)
+	p1, err := cold.Get(diskSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt1, err := p1.Weights(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p1.Stats(); st.WeightBuilds != 1 || st.WeightDiskLoads != 0 {
+		t.Fatalf("cold build: WeightBuilds=%d WeightDiskLoads=%d, want 1/0",
+			st.WeightBuilds, st.WeightDiskLoads)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "weights-2l-liquid-12x10-*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("expected one persisted weights file, got %v (%v)", files, err)
+	}
+
+	warm := NewDiskCache(0, dir)
+	p2, err := warm.Get(diskSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt2, err := p2.Weights(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p2.Stats(); st.WeightBuilds != 0 || st.WeightDiskLoads != 1 {
+		t.Fatalf("warm start: WeightBuilds=%d WeightDiskLoads=%d, want 0/1",
+			st.WeightBuilds, st.WeightDiskLoads)
+	}
+	if !reflect.DeepEqual(wt1.Base, wt2.Base) ||
+		!reflect.DeepEqual(wt1.Bands, wt2.Bands) ||
+		!reflect.DeepEqual(wt1.Gammas, wt2.Gammas) {
+		t.Error("disk-loaded weight table differs from the analyzed one")
+	}
+}
+
+// TestWeightsDiskCorruptFileRebuilds: garbage weights must not poison
+// the platform — the analysis runs again and rewrites the file.
+func TestWeightsDiskCorruptFileRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	p1, err := NewWithDir(diskSpec(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Weights(ctx); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "weights-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("expected one persisted weights file, got %v", files)
+	}
+	if err := os.WriteFile(files[0], []byte(`{"Base":[0,-1]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewWithDir(diskSpec(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Weights(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := p2.Stats(); st.WeightBuilds != 1 || st.WeightDiskLoads != 0 {
+		t.Fatalf("corrupt file: WeightBuilds=%d WeightDiskLoads=%d, want 1/0",
+			st.WeightBuilds, st.WeightDiskLoads)
+	}
+}

@@ -102,6 +102,10 @@ type Stats struct {
 	// LUTDiskLoads counts LUTs warm-started from the persistence
 	// directory instead of swept (excluded from LUTBuilds).
 	LUTDiskLoads int
+	// WeightDiskLoads counts TALB weight tables warm-started from the
+	// persistence directory instead of analyzed (excluded from
+	// WeightBuilds).
+	WeightDiskLoads int
 }
 
 // once deduplicates one expensive build: the first caller executes it
@@ -176,13 +180,14 @@ type Platform struct {
 	pump  *pump.Pump // nil for air-cooled platforms
 	dir   string     // artifact persistence directory ("" = memory only)
 
-	mu        sync.Mutex
-	symb      once[*mat.LDLSymbolic]
-	lut       once[*controller.LUT]
-	weights   once[*controller.WeightTable]
-	fullLoad  once[[][]float64]
-	models    int
-	diskLoads int // LUTs warm-started from dir instead of swept
+	mu              sync.Mutex
+	symb            once[*mat.LDLSymbolic]
+	lut             once[*controller.LUT]
+	weights         once[*controller.WeightTable]
+	fullLoad        once[[][]float64]
+	models          int
+	diskLoads       int // LUTs warm-started from dir instead of swept
+	weightDiskLoads int // weight tables warm-started from dir
 }
 
 // New builds the cheap skeleton of a platform — floorplan, grid, pump.
@@ -192,11 +197,11 @@ func New(spec Spec) (*Platform, error) { return NewWithDir(spec, "") }
 
 // NewWithDir is New plus artifact persistence: with a non-empty dir the
 // flow LUT — the platform's most expensive artifact, a steady-state sweep
-// over every pump setting — is loaded from a spec-keyed JSON file in dir
-// when one exists and saved there after a fresh build, so a restarted
-// process warm-starts from the previous one's sweeps. Corrupt or stale
-// files are ignored (the sweep simply runs again); save failures are
-// non-fatal for the same reason.
+// over every pump setting — and the TALB weight table are loaded from
+// spec-keyed JSON files in dir when they exist and saved there after a
+// fresh build, so a restarted process warm-starts from the previous
+// one's analyses. Corrupt or stale files are ignored (the analysis
+// simply runs again); save failures are non-fatal for the same reason.
 func NewWithDir(spec Spec, dir string) (*Platform, error) {
 	spec = spec.Canonical()
 	if err := spec.Validate(); err != nil {
@@ -318,11 +323,22 @@ func (p *Platform) LUT(ctx context.Context) (*controller.LUT, error) {
 // air-cooled platforms carry weights.
 func (p *Platform) Weights(ctx context.Context) (*controller.WeightTable, error) {
 	return p.weights.get(ctx, &p.mu, func() (*controller.WeightTable, error) {
+		if wt := p.loadWeights(); wt != nil {
+			p.mu.Lock()
+			p.weightDiskLoads++
+			p.mu.Unlock()
+			return wt, nil
+		}
 		m, err := p.NewModel(ctx)
 		if err != nil {
 			return nil, err
 		}
-		return controller.BuildWeights(ctx, m, p.pump, power.CoreActivePower)
+		wt, err := controller.BuildWeights(ctx, m, p.pump, power.CoreActivePower)
+		if err != nil {
+			return nil, err
+		}
+		p.saveWeights(wt)
+		return wt, nil
 	})
 }
 
@@ -388,16 +404,78 @@ func (p *Platform) saveLUT(lut *controller.LUT) {
 	}
 }
 
+// weightsPath is the spec-keyed weight-table file, keyed like lutPath so
+// two specs with different thermal configurations never share a table.
+func (p *Platform) weightsPath() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", p.spec)
+	cooling := "air"
+	if p.spec.Liquid {
+		cooling = "liquid"
+	}
+	name := fmt.Sprintf("weights-%dl-%s-%dx%d-%016x.json",
+		p.spec.Layers, cooling, p.spec.GridNX, p.spec.GridNY, h.Sum64())
+	return filepath.Join(p.dir, name)
+}
+
+// loadWeights returns the persisted weight table for this spec, or nil
+// when no dir is configured, the file is absent, or it fails validation
+// (including a core count that no longer matches the stack).
+func (p *Platform) loadWeights() *controller.WeightTable {
+	if p.dir == "" {
+		return nil
+	}
+	f, err := os.Open(p.weightsPath())
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	wt, err := controller.LoadWeights(f)
+	if err != nil || len(wt.Base) != len(p.stack.Cores()) {
+		return nil
+	}
+	return wt
+}
+
+// saveWeights persists a freshly built weight table, atomically (temp
+// file + rename), best-effort like saveLUT.
+func (p *Platform) saveWeights(wt *controller.WeightTable) {
+	if p.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		return
+	}
+	path := p.weightsPath()
+	tmp, err := os.CreateTemp(p.dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return
+	}
+	if err := wt.SaveJSON(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
 // Stats returns the platform's build counters.
 func (p *Platform) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return Stats{
-		SymbolicBuilds: p.symb.builds,
-		LUTBuilds:      p.lut.builds - p.diskLoads,
-		WeightBuilds:   p.weights.builds,
-		Models:         p.models,
-		LUTDiskLoads:   p.diskLoads,
+		SymbolicBuilds:  p.symb.builds,
+		LUTBuilds:       p.lut.builds - p.diskLoads,
+		WeightBuilds:    p.weights.builds - p.weightDiskLoads,
+		Models:          p.models,
+		LUTDiskLoads:    p.diskLoads,
+		WeightDiskLoads: p.weightDiskLoads,
 	}
 }
 

@@ -78,20 +78,32 @@ const maxCachedFactors = 16
 // after the first solve of a key is two triangular sweeps — and zero
 // allocations.
 func (m *Model) solveDirect(dt float64) (bool, error) {
+	num, err := m.factorFor(dt)
+	if err != nil || num == nil {
+		return false, err
+	}
+	num.Solve(m.temp, m.rhs)
+	return true, nil
+}
+
+// factorFor returns the numeric factors for the current (flow, dt) key,
+// factorizing (and caching) on a miss. A nil factor with a nil error
+// means the caller should take the CG fallback — the solver is SolverCG,
+// or a factorization failed under SolverAuto (the key is then cached as
+// broken). This is solveDirect minus the solve itself, shared with the
+// gang scheduler's BatchStepper, which solves many models through one
+// factor.
+func (m *Model) factorFor(dt float64) (*mat.LDLNumeric, error) {
 	if m.Cfg.Solver == SolverCG {
-		return false, nil
+		return nil, nil
 	}
 	key := factorKey{float64(m.flow), dt}
 	if num, ok := m.factors[key]; ok {
-		if num == nil {
-			return false, nil // factorization failed before; stay on CG
-		}
-		num.Solve(m.temp, m.rhs)
-		return true, nil
+		return num, nil // num == nil: factorization failed before; stay on CG
 	}
 	if m.symb == nil {
 		if _, err := m.EnsureSymbolic(); err != nil {
-			return m.factorFailed(key, err)
+			return nil, m.factorFailedErr(key, err)
 		}
 	}
 	var reuse *mat.LDLNumeric
@@ -103,27 +115,26 @@ func (m *Model) solveDirect(dt float64) (bool, error) {
 	}
 	num, err := m.symb.Factorize(m.sys, reuse)
 	if err != nil {
-		return m.factorFailed(key, err)
+		return nil, m.factorFailedErr(key, err)
 	}
 	m.factors[key] = num
 	m.factorSeq = append(m.factorSeq, key)
 	m.nFactor++
-	num.Solve(m.temp, m.rhs)
-	return true, nil
+	return num, nil
 }
 
-// factorFailed records a failed factorization. Under SolverDirect the
+// factorFailedErr records a failed factorization. Under SolverDirect the
 // error is surfaced; under SolverAuto the key is cached as broken so every
 // later solve of this configuration goes straight to CG.
-func (m *Model) factorFailed(key factorKey, err error) (bool, error) {
+func (m *Model) factorFailedErr(key factorKey, err error) error {
 	if m.Cfg.Solver == SolverDirect {
-		return false, err
+		return err
 	}
 	if _, ok := m.factors[key]; !ok {
 		m.factors[key] = nil
 		m.factorSeq = append(m.factorSeq, key)
 	}
-	return false, nil
+	return nil
 }
 
 // Factorizations returns how many numeric LDLᵀ factorizations this model

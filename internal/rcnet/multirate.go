@@ -68,6 +68,21 @@ func (m *Model) AnalyzeAndFactor(dt units.Second) (*mat.LDLSymbolic, *mat.LDLNum
 	return symb, num, nil
 }
 
+// SystemCSR assembles the backward-Euler system matrix at dt and returns
+// it — the diagnostic companion of AnalyzeAndFactor for benchmarks that
+// analyze and refactorize outside the model's solver cache (the nightly
+// level-parallel factorization tracker). The returned matrix aliases the
+// model's assembly buffer: it stays valid until the next Step,
+// SteadyState, AnalyzeAndFactor or SystemCSR call and must not be
+// mutated.
+func (m *Model) SystemCSR(dt units.Second) (*mat.CSR, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("rcnet: non-positive dt %v", dt)
+	}
+	m.buildSystem(float64(dt))
+	return m.sys, nil
+}
+
 // StepWithEstimate advances the transient solution by dt like Step, while
 // estimating the local time-discretization error by step doubling: the
 // result of one backward-Euler step of dt is compared against two chained

@@ -135,10 +135,11 @@ type Model struct {
 
 	// Direct-solver state: one symbolic analysis per model (the sparsity
 	// is fixed at assembly), numeric factors cached per (flow, dt) key.
-	symb      *mat.LDLSymbolic
-	factors   map[factorKey]*mat.LDLNumeric
-	factorSeq []factorKey // insertion order, for FIFO eviction
-	nFactor   int         // numeric factorizations performed (diagnostics)
+	symb         *mat.LDLSymbolic
+	factors      map[factorKey]*mat.LDLNumeric
+	factorSeq    []factorKey // insertion order, for FIFO eviction
+	nFactor      int         // numeric factorizations performed (diagnostics)
+	solveWorkers int         // SetSolveWorkers; applied when symb exists
 
 	// Step-doubling estimator scratch (StepWithEstimate).
 	estState TransientState
@@ -226,8 +227,21 @@ func (m *Model) EnsureSymbolic() (*mat.LDLSymbolic, error) {
 			return nil, err
 		}
 		m.symb = s
+		m.symb.SetWorkers(m.solveWorkers)
 	}
 	return m.symb, nil
+}
+
+// SetSolveWorkers configures level-parallel direct factorization and
+// triangular solves for this model (see mat.LDLSymbolic.SetWorkers);
+// n ≤ 1 keeps the serial paths. Results are bit-identical at every
+// worker count. The setting survives a not-yet-performed symbolic
+// analysis and is applied when it happens.
+func (m *Model) SetSolveWorkers(n int) {
+	m.solveWorkers = n
+	if m.symb != nil {
+		m.symb.SetWorkers(n)
+	}
 }
 
 // conductivity returns the (lateral, vertical) conductivities of a cell.
@@ -523,10 +537,24 @@ func (m *Model) Step(dt units.Second) error {
 	if dt <= 0 {
 		return fmt.Errorf("rcnet: non-positive dt %v", dt)
 	}
+	m.prepareStep(float64(dt))
+	return m.solvePrepared(float64(dt))
+}
+
+// prepareStep runs the pre-solve half of Step: coolant march, state
+// rotation and system assembly. After it, the model's (sys, rhs) pair is
+// ready for solvePrepared — or for a gang's SolveBatch sweep (see
+// BatchStepper), which is why the halves are split.
+func (m *Model) prepareStep(dt float64) {
 	m.marchCoolant(1)
 	copy(m.old, m.temp)
-	m.buildSystem(float64(dt))
-	if done, err := m.solveDirect(float64(dt)); err != nil {
+	m.buildSystem(dt)
+}
+
+// solvePrepared runs the post-assembly half of Step: the cached direct
+// solve with the CG fallback. Step ≡ prepareStep + solvePrepared.
+func (m *Model) solvePrepared(dt float64) error {
+	if done, err := m.solveDirect(dt); err != nil {
 		return fmt.Errorf("rcnet: transient solve: %w", err)
 	} else if done {
 		return nil

@@ -16,20 +16,34 @@ import (
 // several configs share a LUT or WeightTable pointer those tables are read
 // concurrently, which is safe — they are immutable after construction.
 //
+// When configs outnumber worker slots, runs that share a platform, base
+// tick and the fixed stepping engine are co-scheduled into lock-step
+// gangs: each tick's thermal solves against a common (flow, dt)
+// factorization are served by one multi-RHS sweep instead of repeated
+// triangular solves (see rcnet.BatchStepper). Ganging changes only how
+// solves are computed, never their values — results stay byte-identical
+// to a serial loop at every worker count. Config.BatchCounters observes
+// the batching.
+//
 // Cancellation is prompt: every in-flight Run watches ctx tick by tick and
 // no queued config starts once ctx is done, so RunAll returns ctx.Err()
-// within about one simulated tick of cancellation. On plain failure the
-// error of the lowest-index config is returned; results of the configs
-// that did succeed are still filled in.
+// within about one simulated tick of cancellation. On plain failure an
+// error from the failing config of the lowest-index job is returned;
+// results of the configs that did succeed are still filled in.
 func RunAll(ctx context.Context, cfgs []Config, workers int) ([]*Result, error) {
 	out := make([]*Result, len(cfgs))
-	err := par.ForEach(ctx, workers, len(cfgs), func(i int) error {
-		r, err := Run(ctx, cfgs[i])
-		if err != nil {
-			return err
+	jobs := planJobs(cfgs, par.Workers(workers))
+	err := par.ForEach(ctx, workers, len(jobs), func(j int) error {
+		idxs := jobs[j]
+		if len(idxs) == 1 {
+			r, err := Run(ctx, cfgs[idxs[0]])
+			if err != nil {
+				return err
+			}
+			out[idxs[0]] = r
+			return nil
 		}
-		out[i] = r
-		return nil
+		return runGang(ctx, cfgs, idxs, out)
 	})
 	return out, err
 }

@@ -118,6 +118,16 @@ type Config struct {
 	// simulator; stepper.Adaptive takes long thermal macro-steps through
 	// thermally quiet stretches (see internal/stepper).
 	Stepper stepper.Config
+	// SolveWorkers > 1 enables level-parallel LDLᵀ factorization and
+	// triangular solves inside the thermal model, bit-identical to the
+	// serial sweeps at any worker count (see rcnet.Model.SetSolveWorkers).
+	// 0 or 1 keeps the serial solver.
+	SolveWorkers int
+	// BatchCounters, when non-nil, accumulates multi-RHS batch-solve
+	// statistics whenever this run is co-scheduled with platform-sharing
+	// runs by RunAll (see rcnet.BatchCounters). Safe to share across
+	// configs and concurrent calls.
+	BatchCounters *rcnet.BatchCounters
 }
 
 // ArrivalSource produces the thread arrivals of consecutive windows.
@@ -173,6 +183,11 @@ type Result struct {
 	// MeanResponse is the average thread sojourn time (s) — where
 	// migration overhead shows even when throughput is slack-absorbed.
 	MeanResponse units.Second
+	// BatchedSolves is the number of this run's thermal solves that were
+	// served through a shared multi-RHS sweep (RunAll gang scheduling);
+	// 0 for a solo Run. Excluded from the JSON golden surface — batching
+	// never changes the simulated trajectory, only how it was computed.
+	BatchedSolves int64 `json:"-"`
 }
 
 // Sim is a stepped simulation; Run drives it to completion, and the
@@ -249,6 +264,7 @@ type Sim struct {
 	outResponse   units.Second
 	outRefits     int
 	flowTime      float64 // ∫ flow dt for MeanFlowLPM
+	batchedSolves int64   // solves served through gang SolveBatch sweeps
 
 	// Reused per-tick buffers: the stats-collection tick path is
 	// allocation-free in steady state (TestStepAllocationFree guards it).
@@ -315,6 +331,9 @@ func New(ctx context.Context, cfg Config) (*Sim, error) {
 	model, err := p.NewModel(ctx)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.SolveWorkers > 1 {
+		model.SetSolveWorkers(cfg.SolveWorkers)
 	}
 	s := &Sim{Cfg: cfg, Stack: stack, Model: model, cores: stack.Cores()}
 
@@ -615,7 +634,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for s.time < cfg.Duration {
+	return s.runToEnd(ctx)
+}
+
+// runToEnd drives a freshly built simulation through its configured
+// duration — Run's loop, shared with the gang scheduler's fallback path.
+func (s *Sim) runToEnd(ctx context.Context) (*Result, error) {
+	for s.time < s.Cfg.Duration {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -645,5 +670,6 @@ func (s *Sim) Result() *Result {
 		r.MeanFlowLPM = s.flowTime / secs
 	}
 	r.Stepping = s.engine.Counters()
+	r.BatchedSolves = s.batchedSolves
 	return r
 }

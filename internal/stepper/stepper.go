@@ -235,6 +235,22 @@ type Engine interface {
 	Counters() Counters
 }
 
+// SplitEngine is an Engine whose Advance can be cut around the thermal
+// solve: AdvancePrepare runs every pre-solve phase of exactly one base
+// tick (workload, scheduling, flow push, power install), the caller then
+// performs the SolveThermal(BaseTick()) step itself — possibly batched
+// with other simulations sharing the factorized system — and
+// AdvanceFinish finalizes and completes the tick. The sequence
+// AdvancePrepare + SolveThermal + AdvanceFinish is phase-for-phase
+// identical to Advance. The fixed engine implements it (one tick per
+// Advance by construction); the adaptive engine does not (its solve
+// cadence is data-dependent).
+type SplitEngine interface {
+	Engine
+	AdvancePrepare(p Phases) error
+	AdvanceFinish(p Phases) error
+}
+
 // New returns the engine for cfg.
 func New(cfg Config) Engine {
 	cfg = cfg.withDefaults()
@@ -256,6 +272,18 @@ type fixedEngine struct {
 
 // Advance runs one complete base tick.
 func (f *fixedEngine) Advance(p Phases) error {
+	if err := f.AdvancePrepare(p); err != nil {
+		return err
+	}
+	if err := p.SolveThermal(p.BaseTick()); err != nil {
+		return err
+	}
+	return f.AdvanceFinish(p)
+}
+
+// AdvancePrepare implements SplitEngine: the pre-solve phases of one base
+// tick, in Advance's exact order.
+func (f *fixedEngine) AdvancePrepare(p Phases) error {
 	decide := f.ticks%f.cfg.ControlEvery == 0
 	f.ticks++
 	if _, err := p.RunTick(decide); err != nil {
@@ -264,12 +292,12 @@ func (f *fixedEngine) Advance(p Phases) error {
 	if err := p.PushFlow(); err != nil {
 		return err
 	}
-	if err := p.InstallTickPower(0); err != nil {
-		return err
-	}
-	if err := p.SolveThermal(p.BaseTick()); err != nil {
-		return err
-	}
+	return p.InstallTickPower(0)
+}
+
+// AdvanceFinish implements SplitEngine: finalize and complete the solved
+// tick.
+func (f *fixedEngine) AdvanceFinish(p Phases) error {
 	if err := p.FinalizeExact(0); err != nil {
 		return err
 	}
