@@ -1,0 +1,22 @@
+package main
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+// signalAwareTimeout returns a context that expires after d, or
+// immediately on a second signal (an impatient operator hitting Ctrl-C
+// twice hard-stops the drain).
+func signalAwareTimeout(sigCh <-chan os.Signal, d time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	go func() {
+		select {
+		case <-sigCh:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}

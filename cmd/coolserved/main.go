@@ -29,14 +29,19 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
+
+	"repro/internal/fleet"
 )
 
 func main() {
@@ -50,6 +55,11 @@ func main() {
 			"stack shapes whose built artifacts (grid, solver analysis, controller tables) are kept warm; LRU-evicted beyond this (<= 0 keeps all)")
 		cacheDir = flag.String("cache-dir", "",
 			"directory for persisted platform artifacts (controller LUT JSON); a restarted daemon warm-starts its sweeps from here (empty = memory only)")
+		dispatcher = flag.String("dispatcher", "",
+			"cooldispatchd base URL; when set the daemon also registers as a fleet worker and executes dispatched jobs (see SERVICE.md, Fleet)")
+		capacity = flag.Int("fleet-capacity", 0,
+			"concurrent dispatched jobs in worker mode (0 = the -workers value, else NumCPU)")
+		poll = flag.Duration("poll", 500*time.Millisecond, "dispatcher poll interval in worker mode")
 	)
 	flag.Parse()
 
@@ -58,6 +68,37 @@ func main() {
 
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	// Worker mode: register with the dispatcher and execute fleet jobs
+	// alongside the local API. stopWorker cancels the fleet loop (which
+	// abandons in-flight fleet jobs: the dispatcher deregisters us and
+	// requeues them) and waits for it to wind down.
+	stopWorker := func() {}
+	if *dispatcher != "" {
+		cap := *capacity
+		if cap <= 0 {
+			cap = *workers
+		}
+		if cap <= 0 {
+			cap = runtime.NumCPU()
+		}
+		wctx, wcancel := context.WithCancel(context.Background())
+		wk := &fleet.Worker{
+			Dispatcher:   strings.TrimRight(*dispatcher, "/"),
+			Addr:         *addr,
+			Capacity:     cap,
+			Runner:       s.runFleetJob,
+			PollInterval: *poll,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "coolserved: "+format+"\n", args...)
+			},
+		}
+		workerDone := make(chan struct{})
+		go func() { wk.Run(wctx); close(workerDone) }()
+		stopWorker = func() { wcancel(); <-workerDone }
+		fmt.Fprintf(os.Stderr, "coolserved: fleet worker mode, dispatcher %s (capacity %d)\n",
+			*dispatcher, cap)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -70,6 +111,10 @@ func main() {
 	case sig := <-sigCh:
 		fmt.Fprintf(os.Stderr, "coolserved: %v — draining (grace %v)\n", sig, *grace)
 	}
+
+	// Leave the fleet first: the dispatcher deregisters this worker and
+	// requeues anything it held onto the survivors.
+	stopWorker()
 
 	// Stop intake and let running jobs finish (or cancel them at the
 	// grace deadline); streams observe the jobs ending and close, which

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -11,6 +10,7 @@ import (
 	"time"
 
 	"repro/coolsim"
+	"repro/internal/fleet"
 	"repro/internal/par"
 )
 
@@ -174,24 +174,22 @@ type submitResponse struct {
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	// Unknown fields are rejected so a typoed knob fails loudly instead
-	// of silently simulating the default.
+	// The shared hardened decode: body size capped, unknown fields
+	// rejected (a typoed knob fails loudly instead of silently simulating
+	// the default), trailing garbage rejected, structured error bodies.
 	sc := coolsim.DefaultScenario()
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&sc); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad scenario JSON: %v", err))
+	if !fleet.DecodeJSON(w, r, 0, &sc) {
 		return
 	}
 	if err := sc.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		fleet.WriteError(w, http.StatusBadRequest, fleet.CodeBadScenario, err.Error())
 		return
 	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		fleet.WriteError(w, http.StatusServiceUnavailable, fleet.CodeDraining, "server is draining")
 		return
 	}
 	s.seq++
@@ -211,7 +209,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.errMsg = "server shut down before the job started"
 		j.cond.Broadcast()
 		j.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		fleet.WriteError(w, http.StatusServiceUnavailable, fleet.CodeDraining, "server is draining")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -301,27 +299,19 @@ type batchResponse struct {
 // completes (client disconnect or server drain cancels it).
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad batch JSON: %v", err))
+	if !fleet.DecodeJSON(w, r, 0, &req) {
 		return
 	}
 	if len(req.Scenarios) == 0 {
-		httpError(w, http.StatusBadRequest, "batch has no scenarios")
+		fleet.WriteError(w, http.StatusBadRequest, fleet.CodeBadScenario, "batch has no scenarios")
 		return
 	}
 	scs := make([]coolsim.Scenario, len(req.Scenarios))
 	for i, raw := range req.Scenarios {
-		sc := coolsim.DefaultScenario()
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&sc); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("scenario %d: %v", i, err))
-			return
-		}
-		if err := sc.Validate(); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("scenario %d: %v", i, err))
+		sc, err := fleet.DecodeScenario(raw)
+		if err != nil {
+			fleet.WriteError(w, http.StatusBadRequest, fleet.CodeBadScenario,
+				fmt.Sprintf("scenario %d: %v", i, err))
 			return
 		}
 		scs[i] = sc
@@ -334,7 +324,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		fleet.WriteError(w, http.StatusServiceUnavailable, fleet.CodeDraining, "server is draining")
 		return
 	}
 	s.batches++
@@ -351,11 +341,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		coolsim.WithBatchCounters(&s.batch),
 		coolsim.WithWorkers(workers))
 	if err != nil {
-		code := http.StatusInternalServerError
 		if errors.Is(err, context.Canceled) {
-			code = http.StatusServiceUnavailable
+			fleet.WriteError(w, http.StatusServiceUnavailable, fleet.CodeCanceled, err.Error())
+		} else {
+			fleet.WriteError(w, http.StatusInternalServerError, fleet.CodeInternal, err.Error())
 		}
-		httpError(w, code, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -386,7 +376,7 @@ func (s *server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if j == nil {
-		httpError(w, http.StatusNotFound, "no such run")
+		fleet.WriteError(w, http.StatusNotFound, fleet.CodeNotFound, "no such run")
 	}
 	return j
 }
@@ -567,10 +557,4 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	v.PlatformCache = s.pcache.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

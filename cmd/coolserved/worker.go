@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/fleet"
+)
+
+// runFleetJob is the coolserved side of worker mode: the fleet.Runner
+// that executes one dispatched job through the daemon's normal
+// machinery — the shared platform cache, the sample log, the local
+// /v1/runs API (so an operator can stream a dispatched job's ticks from
+// the worker that runs it). The local job ID is "<fleet-id>.<attempt>",
+// keeping retries of the same fleet job distinguishable.
+func (s *server) runFleetJob(ctx context.Context, wj fleet.WireJob) (json.RawMessage, error) {
+	sc, err := fleet.DecodeScenario(wj.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	j := &job{
+		id:     fmt.Sprintf("%s.%d", wj.ID, wj.Attempt),
+		sc:     sc,
+		cancel: cancel,
+		status: statusQueued,
+	}
+	j.cond = sync.NewCond(&j.mu)
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pruneLocked()
+	s.mu.Unlock()
+
+	// The dispatcher's booking already bounds concurrency to the
+	// advertised capacity; execute directly instead of re-queueing on the
+	// local pool.
+	s.execute(jctx, j)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case statusDone:
+		return json.Marshal(j.report)
+	case statusCanceled:
+		if err := jctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	default:
+		return nil, errors.New(j.errMsg)
+	}
+}

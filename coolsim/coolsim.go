@@ -81,6 +81,25 @@ type Faults struct {
 	SensorDropoutProb float64 `json:"sensor_dropout_prob,omitempty"`
 }
 
+// validate checks the fault-injection ranges, wrapping ErrBadFaults.
+func (f Faults) validate() error {
+	if f.SensorNoiseStdDev < 0 {
+		return fmt.Errorf("%w: sensor_noise_stddev %g (want >= 0)",
+			ErrBadFaults, f.SensorNoiseStdDev)
+	}
+	if f.SensorDropoutProb < 0 || f.SensorDropoutProb > 1 {
+		return fmt.Errorf("%w: sensor_dropout_prob %g (want 0..1)",
+			ErrBadFaults, f.SensorDropoutProb)
+	}
+	if f.PumpStuck != nil {
+		if err := pump.Validate(pump.Setting(*f.PumpStuck)); err != nil {
+			return fmt.Errorf("%w: pump_stuck %d (want -1 for off, or 0..%d)",
+				ErrBadFaults, *f.PumpStuck, pump.NumSettings-1)
+		}
+	}
+	return nil
+}
+
 // Scenario describes one simulation in user-level terms. The zero value
 // is not runnable; start from DefaultScenario. The struct marshals to
 // JSON (it is the wire format of cmd/coolserved's POST /v1/runs).
@@ -157,6 +176,23 @@ func DefaultScenario() Scenario {
 func (sc Scenario) Validate() error {
 	_, err := sc.simConfig(config{})
 	return err
+}
+
+// PlatformKey returns the canonical identity of the scenario's platform
+// model (stack geometry, grid, solver) as an opaque string. Scenarios
+// with equal keys share the expensive platform setup (see
+// WithPlatformCache); services use the key to route platform-affine
+// work onto the same node.
+func (sc Scenario) PlatformKey() (string, error) {
+	cfg, err := sc.simConfig(config{})
+	if err != nil {
+		return "", err
+	}
+	spec, err := cfg.PlatformSpec()
+	if err != nil {
+		return "", err
+	}
+	return spec.Canonical().String(), nil
 }
 
 // Report is the user-facing result of a scenario: flat, unit-suffixed
@@ -461,6 +497,9 @@ func (sc Scenario) simConfig(rc config) (sim.Config, error) {
 	cfg.SolveWorkers = rc.solveWorkers
 	if rc.batch != nil {
 		cfg.BatchCounters = &rc.batch.inner
+	}
+	if err := sc.Faults.validate(); err != nil {
+		return sim.Config{}, err
 	}
 	if sc.Faults.PumpStuck != nil {
 		ps := pump.Setting(*sc.Faults.PumpStuck)

@@ -23,6 +23,10 @@ var (
 	// ErrBadControlEvery: the flow-controller decision period
 	// (Scenario.ControlEvery / WithControlEvery) is negative.
 	ErrBadControlEvery = errors.New("coolsim: bad control period")
+	// ErrBadFaults: a Scenario.Faults field is out of range — a negative
+	// SensorNoiseStdDev, a SensorDropoutProb outside [0, 1], or a
+	// PumpStuck value that is not a valid pump setting.
+	ErrBadFaults = errors.New("coolsim: bad fault injection parameters")
 	// ErrSessionDone is returned by Session.Step once the configured
 	// duration has elapsed (the io.EOF of the streaming API).
 	ErrSessionDone = errors.New("coolsim: session complete")

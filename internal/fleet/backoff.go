@@ -1,0 +1,41 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+)
+
+// backoffDelay returns how long a job must wait before the attempt
+// after its attempts-th one: exponential in the attempt count
+// (base·2^(attempts−1)), capped, plus a deterministic jitter in
+// [0, delay/2] derived from the job ID and attempt count. Deterministic
+// jitter keeps retries de-synchronized across jobs (a worker crash
+// requeues many jobs at once) without introducing nondeterminism the
+// fake-clock tests would have to fight.
+func backoffDelay(base, cap time.Duration, jobID string, attempts int) time.Duration {
+	if base <= 0 {
+		base = time.Second
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	d := base
+	for i := 1; i < attempts; i++ {
+		d *= 2
+		if cap > 0 && d >= cap {
+			d = cap
+			break
+		}
+	}
+	if cap > 0 && d > cap {
+		d = cap
+	}
+	h := fnv.New64a()
+	h.Write([]byte(jobID))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(attempts))
+	h.Write(buf[:])
+	jitter := time.Duration(h.Sum64() % uint64(d/2+1))
+	return d + jitter
+}

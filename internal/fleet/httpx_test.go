@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func decodeReq(t *testing.T, body string, maxBytes int64) (*httptest.ResponseRecorder, bool) {
+	t.Helper()
+	var v struct {
+		A int `json:"a"`
+	}
+	r := httptest.NewRequest("POST", "/x", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	ok := DecodeJSON(w, r, maxBytes, &v)
+	return w, ok
+}
+
+func errCode(t *testing.T, w *httptest.ResponseRecorder) string {
+	t.Helper()
+	var e apiError
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatalf("error body not JSON: %q", w.Body.String())
+	}
+	return e.Code
+}
+
+func TestDecodeJSONOK(t *testing.T) {
+	if _, ok := decodeReq(t, `{"a":1}`, 0); !ok {
+		t.Fatal("valid body rejected")
+	}
+}
+
+func TestDecodeJSONUnknownField(t *testing.T) {
+	w, ok := decodeReq(t, `{"a":1,"typo":2}`, 0)
+	if ok || w.Code != http.StatusBadRequest || errCode(t, w) != CodeBadJSON {
+		t.Fatalf("unknown field: ok=%v code=%d body=%s", ok, w.Code, w.Body)
+	}
+}
+
+func TestDecodeJSONTrailingData(t *testing.T) {
+	w, ok := decodeReq(t, `{"a":1}{"a":2}`, 0)
+	if ok || w.Code != http.StatusBadRequest {
+		t.Fatalf("trailing data: ok=%v code=%d", ok, w.Code)
+	}
+}
+
+func TestDecodeJSONTooLarge(t *testing.T) {
+	big := `{"a":1,` + strings.Repeat(` `, 100) + `"b":2}`
+	w, ok := decodeReq(t, big, 16)
+	if ok || w.Code != http.StatusRequestEntityTooLarge || errCode(t, w) != CodeTooLarge {
+		t.Fatalf("oversize: ok=%v code=%d body=%s", ok, w.Code, w.Body)
+	}
+}
+
+func TestWriteErrorShape(t *testing.T) {
+	w := httptest.NewRecorder()
+	WriteError(w, http.StatusConflict, CodeConflict, "nope")
+	var e apiError
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if w.Code != http.StatusConflict || e.Error != "nope" || e.Code != CodeConflict {
+		t.Fatalf("got %d %+v", w.Code, e)
+	}
+}

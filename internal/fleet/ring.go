@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker IDs: each node is placed
+// at `replicas` pseudo-random points; a key is owned by the first node
+// clockwise from the key's hash. Removing a node (it became
+// unreachable or deregistered) moves only that node's keys — the other
+// workers keep their platform caches hot for "their" stack shapes.
+type ring struct {
+	replicas int
+	nodes    map[string]bool
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+func newRing(replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &ring{replicas: replicas, nodes: map[string]bool{}}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV-1a avalanches poorly in the high bits for short, similar
+	// strings ("w1#0", "w1#1", ...), which the binary search over sorted
+	// points depends on; a 64-bit finalizer mix restores the spread.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (r *ring) add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	r.rebuild()
+}
+
+func (r *ring) remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	r.rebuild()
+}
+
+func (r *ring) rebuild() {
+	r.points = r.points[:0]
+	for node := range r.nodes {
+		for i := 0; i < r.replicas; i++ {
+			r.points = append(r.points, ringPoint{ringHash(fmt.Sprintf("%s#%d", node, i)), node})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// owner returns the node owning key, or "" when the ring is empty.
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+func (r *ring) size() int { return len(r.nodes) }

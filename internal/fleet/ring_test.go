@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingStability(t *testing.T) {
+	r := newRing(64)
+	r.add("w1")
+	r.add("w2")
+	r.add("w3")
+
+	keys := make([]string, 200)
+	before := map[string]string{}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("spec-%d", i)
+		before[keys[i]] = r.owner(keys[i])
+	}
+
+	// Removing w2 must move ONLY w2's keys.
+	r.remove("w2")
+	for _, k := range keys {
+		after := r.owner(k)
+		if before[k] != "w2" && after != before[k] {
+			t.Fatalf("key %s moved from %s to %s though %s stayed", k, before[k], after, before[k])
+		}
+		if after == "w2" {
+			t.Fatalf("key %s still owned by removed node", k)
+		}
+	}
+
+	// Re-adding w2 restores exactly the original placement.
+	r.add("w2")
+	for _, k := range keys {
+		if got := r.owner(k); got != before[k] {
+			t.Fatalf("key %s: owner %s after rejoin, was %s", k, got, before[k])
+		}
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	r := newRing(64)
+	for i := 0; i < 4; i++ {
+		r.add(fmt.Sprintf("w%d", i))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		counts[r.owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for node, n := range counts {
+		if n < 50 {
+			t.Fatalf("node %s owns only %d/1000 keys — ring badly unbalanced: %v", node, n, counts)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d nodes own keys", len(counts))
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := newRing(0)
+	if r.owner("anything") != "" {
+		t.Fatal("empty ring returned an owner")
+	}
+	if r.size() != 0 {
+		t.Fatal("empty ring has size")
+	}
+}

@@ -1,0 +1,77 @@
+package fleet
+
+import "encoding/json"
+
+// Worker-protocol wire types (POST /v1/fleet/... on the dispatcher).
+// Everything is plain JSON over the same hardened decode path as the
+// client API.
+
+// WireJob is one booked job as handed to a worker.
+type WireJob struct {
+	ID       string          `json:"id"`
+	Scenario json.RawMessage `json:"scenario"`
+	// Attempt is the 1-based attempt number (diagnostics/logging).
+	Attempt int `json:"attempt"`
+}
+
+// RegisterRequest announces a worker and its capacity.
+type RegisterRequest struct {
+	// Addr is the worker's advertised address (informational).
+	Addr string `json:"addr,omitempty"`
+	// Capacity is how many jobs the worker runs concurrently.
+	Capacity int `json:"capacity"`
+}
+
+// RegisterResponse assigns the worker its identity and the intervals
+// it must honor: heartbeat every HeartbeatMs, lease renewed to
+// LeaseTTLMs on each.
+type RegisterResponse struct {
+	WorkerID    string `json:"worker_id"`
+	LeaseTTLMs  int64  `json:"lease_ttl_ms"`
+	HeartbeatMs int64  `json:"heartbeat_ms"`
+}
+
+// DeregisterRequest announces a graceful worker shutdown; the
+// dispatcher requeues anything the worker still holds immediately
+// instead of waiting out the lease TTL.
+type DeregisterRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// PollRequest asks for up to Slots jobs (≤ 0: fill free capacity).
+type PollRequest struct {
+	WorkerID string `json:"worker_id"`
+	Slots    int    `json:"slots,omitempty"`
+}
+
+// PollResponse carries the booked jobs (possibly none).
+type PollResponse struct {
+	Jobs []WireJob `json:"jobs,omitempty"`
+}
+
+// HeartbeatRequest renews the worker's leases and reports what it is
+// actually executing.
+type HeartbeatRequest struct {
+	WorkerID  string   `json:"worker_id"`
+	Executing []string `json:"executing,omitempty"`
+}
+
+// HeartbeatResponse relays dispatcher decisions: Cancel lists jobs the
+// worker must abort (operator cancellation); Unknown lists jobs the
+// dispatcher no longer credits to this worker (lease lapsed and the
+// job moved on — the worker must abandon them).
+type HeartbeatResponse struct {
+	Cancel  []string `json:"cancel,omitempty"`
+	Unknown []string `json:"unknown,omitempty"`
+}
+
+// CompleteRequest reports one attempt's end: a report on success, or an
+// error message plus its kind (OutcomeError, OutcomePanic,
+// OutcomeCanceled) on failure.
+type CompleteRequest struct {
+	WorkerID string          `json:"worker_id"`
+	JobID    string          `json:"job_id"`
+	Report   json.RawMessage `json:"report,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Kind     string          `json:"kind,omitempty"`
+}

@@ -1,0 +1,341 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Runner executes one booked job and returns its report JSON. The
+// context is canceled when the dispatcher cancels the job or the worker
+// shuts down. Panics inside the runner are isolated by the worker loop
+// and reported as failed attempts, never fatal to the process.
+type Runner func(ctx context.Context, job WireJob) (json.RawMessage, error)
+
+// Worker is the node-daemon side of the fleet: it registers its
+// capacity with a dispatcher, pulls booked jobs, executes them through
+// Runner with per-job cancellation and panic isolation, heartbeats to
+// renew its leases, and streams results back with bounded retries.
+//
+// Robustness contract: a worker that dies (SIGKILL, partition) simply
+// stops heartbeating — the dispatcher requeues its jobs after the lease
+// TTL. A worker whose dispatcher restarts sees "unknown worker",
+// abandons its in-flight jobs and re-registers. A result the dispatcher
+// no longer wants (lease lapsed, job moved on) is dropped on the
+// conflict response.
+type Worker struct {
+	// Dispatcher is the dispatcher's base URL (e.g. "http://host:8078").
+	Dispatcher string
+	// Addr is this worker's advertised address (informational).
+	Addr string
+	// Capacity is the number of jobs run concurrently (≥ 1).
+	Capacity int
+	// Runner executes one job.
+	Runner Runner
+	// PollInterval is the idle polling cadence (default 500 ms).
+	PollInterval time.Duration
+	// Client is the HTTP client (default: 30 s timeout).
+	Client *http.Client
+	// Logf, when set, receives progress/diagnostic lines.
+	Logf func(format string, args ...any)
+}
+
+// errReregister signals that the dispatcher no longer knows this
+// worker (it restarted); the loop abandons everything and re-registers.
+var errReregister = errors.New("fleet: dispatcher lost this worker; re-registering")
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Run drives the worker until ctx is canceled: register (with retry),
+// serve jobs, re-register whenever the dispatcher forgets us. Returns
+// ctx.Err() on shutdown.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Capacity <= 0 {
+		w.Capacity = 1
+	}
+	if w.Runner == nil {
+		return errors.New("fleet: worker has no Runner")
+	}
+	retry := time.Second
+	for {
+		reg, err := w.register(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("fleet worker: register: %v (retrying in %v)", err, retry)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(retry):
+			}
+			if retry < 15*time.Second {
+				retry *= 2
+			}
+			continue
+		}
+		retry = time.Second
+		w.logf("fleet worker: registered as %s (capacity %d, heartbeat %dms)",
+			reg.WorkerID, w.Capacity, reg.HeartbeatMs)
+		if err := w.serve(ctx, reg); !errors.Is(err, errReregister) {
+			// Graceful shutdown: tell the dispatcher so it requeues our
+			// jobs now instead of waiting out the lease TTL. Best-effort —
+			// a SIGKILL sends nothing and the lease machinery covers it.
+			dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = w.post(dctx, "/v1/fleet/deregister", DeregisterRequest{WorkerID: reg.WorkerID}, nil)
+			cancel()
+			return err
+		}
+		w.logf("fleet worker: %v", errReregister)
+	}
+}
+
+func (w *Worker) register(ctx context.Context) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := w.post(ctx, "/v1/fleet/register",
+		RegisterRequest{Addr: w.Addr, Capacity: w.Capacity}, &resp)
+	return resp, err
+}
+
+// serve runs one registration epoch: poll for work, heartbeat, execute.
+// Returns errReregister when the dispatcher forgot us, or ctx.Err().
+func (w *Worker) serve(ctx context.Context, reg RegisterResponse) error {
+	poll := w.PollInterval
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	hb := time.Duration(reg.HeartbeatMs) * time.Millisecond
+	if hb <= 0 {
+		hb = 5 * time.Second
+	}
+
+	var mu sync.Mutex
+	running := map[string]context.CancelFunc{} // job ID → cancel
+	var wg sync.WaitGroup
+	defer func() {
+		// Abandon in-flight jobs on exit: cancel their contexts and wait
+		// for the goroutines. On worker shutdown no failure report is
+		// sent — the dispatcher's lease machinery requeues, the same
+		// path a SIGKILL exercises.
+		mu.Lock()
+		for _, cancel := range running {
+			cancel()
+		}
+		mu.Unlock()
+		wg.Wait()
+	}()
+
+	cancelJobs := func(ids []string) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, id := range ids {
+			if cancel := running[id]; cancel != nil {
+				cancel()
+			}
+		}
+	}
+
+	pollT := time.NewTicker(poll)
+	defer pollT.Stop()
+	hbT := time.NewTicker(hb)
+	defer hbT.Stop()
+
+	for {
+		// Fill free capacity.
+		mu.Lock()
+		free := w.Capacity - len(running)
+		mu.Unlock()
+		if free > 0 {
+			var resp PollResponse
+			err := w.post(ctx, "/v1/fleet/poll",
+				PollRequest{WorkerID: reg.WorkerID, Slots: free}, &resp)
+			switch {
+			case isUnknownWorker(err):
+				return errReregister
+			case err != nil && ctx.Err() != nil:
+				return ctx.Err()
+			case err != nil:
+				w.logf("fleet worker: poll: %v", err)
+			}
+			for _, job := range resp.Jobs {
+				jctx, cancel := context.WithCancel(ctx)
+				mu.Lock()
+				running[job.ID] = cancel
+				mu.Unlock()
+				wg.Add(1)
+				go func(job WireJob) {
+					defer wg.Done()
+					w.runJob(ctx, jctx, reg.WorkerID, job)
+					mu.Lock()
+					delete(running, job.ID)
+					mu.Unlock()
+					cancel()
+				}(job)
+			}
+		}
+
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-pollT.C:
+		case <-hbT.C:
+			mu.Lock()
+			ids := make([]string, 0, len(running))
+			for id := range running {
+				ids = append(ids, id)
+			}
+			mu.Unlock()
+			var resp HeartbeatResponse
+			err := w.post(ctx, "/v1/fleet/heartbeat",
+				HeartbeatRequest{WorkerID: reg.WorkerID, Executing: ids}, &resp)
+			switch {
+			case isUnknownWorker(err):
+				return errReregister
+			case err != nil && ctx.Err() != nil:
+				return ctx.Err()
+			case err != nil:
+				w.logf("fleet worker: heartbeat: %v", err)
+			default:
+				cancelJobs(resp.Cancel)
+				cancelJobs(resp.Unknown)
+			}
+		}
+	}
+}
+
+// runJob executes one job with panic isolation and reports the outcome.
+// wctx is the worker's lifetime (governs result reporting); jctx is the
+// job's own cancellable context.
+func (w *Worker) runJob(wctx, jctx context.Context, workerID string, job WireJob) {
+	report, err, panicked := w.safeRun(jctx, job)
+
+	req := CompleteRequest{WorkerID: workerID, JobID: job.ID}
+	switch {
+	case panicked:
+		req.Kind = OutcomePanic
+		req.Error = err.Error()
+	case err == nil:
+		req.Report = report
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if wctx.Err() != nil {
+			// Worker shutdown/kill: report nothing; the dispatcher's
+			// lease expiry requeues the job.
+			return
+		}
+		req.Kind = OutcomeCanceled
+		req.Error = err.Error()
+	default:
+		req.Kind = OutcomeError
+		req.Error = err.Error()
+	}
+	w.report(wctx, req)
+}
+
+// safeRun isolates Runner panics: a panicking scenario costs one
+// attempt, never the worker process.
+func (w *Worker) safeRun(ctx context.Context, job WireJob) (report json.RawMessage, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	report, err = w.Runner(ctx, job)
+	return
+}
+
+// report delivers a completion/failure with bounded retries and
+// exponential backoff. A conflict (lease lapsed, job moved on) or
+// not-found is dropped — the dispatcher made its call; determinism
+// means a retried job reproduces this exact result anyway.
+func (w *Worker) report(ctx context.Context, req CompleteRequest) {
+	delay := 200 * time.Millisecond
+	for attempt := 0; attempt < 6; attempt++ {
+		err := w.post(ctx, "/v1/fleet/complete", req, nil)
+		if err == nil {
+			return
+		}
+		var se *statusError
+		if errors.As(err, &se) && se.status >= 400 && se.status < 500 {
+			w.logf("fleet worker: result for %s dropped: %v", req.JobID, err)
+			return
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		w.logf("fleet worker: report %s: %v (retrying in %v)", req.JobID, err, delay)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+		delay *= 2
+	}
+	w.logf("fleet worker: giving up reporting %s; dispatcher will requeue on lease expiry", req.JobID)
+}
+
+// statusError is a non-2xx response with its structured body decoded.
+type statusError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("dispatcher returned %d (%s): %s", e.status, e.code, e.msg)
+}
+
+func isUnknownWorker(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.code == CodeUnknownWorker
+}
+
+// post sends one JSON request to the dispatcher and decodes the reply.
+func (w *Worker) post(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.Dispatcher+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(raw, &ae) != nil {
+			ae.Error = string(raw)
+		}
+		return &statusError{status: resp.StatusCode, code: ae.Code, msg: ae.Error}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
