@@ -434,3 +434,10 @@ func BenchmarkRunManyWarm(b *testing.B) {
 func BenchmarkSessionStep(b *testing.B) {
 	benchutil.SessionStep(b)
 }
+
+// BenchmarkCampaignExpand measures the server-side sweep expansion a
+// campaign submission pays up front: a 1440-member cartesian grid with
+// a skip filter, materialized and validated into 1200 scenarios per op.
+func BenchmarkCampaignExpand(b *testing.B) {
+	benchutil.CampaignExpand(b)
+}

@@ -24,8 +24,10 @@
 // the shared platform layer (cold = per-run artifact builds, warm = a
 // primed coolsim.PlatformCache), RunManySharedFactor (the co-scheduled
 // gang path batching platform-sharing runs through one SolveBatch sweep
-// per tick) and the SolveBatch8/SolveSequential8 pair tracking the
-// blocked multi-RHS kernel's per-RHS win at paper resolution.
+// per tick), the SolveBatch8/SolveSequential8 pair tracking the blocked
+// multi-RHS kernel's per-RHS win at paper resolution, and CampaignExpand
+// — the server-side sweep-to-scenarios expansion every campaign
+// submission pays before its members reach the queue.
 package main
 
 import (
@@ -88,6 +90,7 @@ func main() {
 		{"RunManySharedFactor", benchutil.RunManySharedFactor},
 		{"SolveBatch8", benchutil.SolveBatch8},
 		{"SolveSequential8", benchutil.SolveSequential8},
+		{"CampaignExpand", benchutil.CampaignExpand},
 	}
 	if *paper {
 		benches = append(benches,

@@ -24,6 +24,11 @@
 //     has already built.
 //   - With zero workers registered the dispatcher degrades gracefully
 //     and executes jobs in-process (-local-workers at a time).
+//   - Campaigns (POST /v1/campaigns, see SERVICE.md "Campaigns") expand
+//     sweep specs into member jobs fanned out over the fleet at bulk
+//     priority; finished member reports are persisted under -results-dir,
+//     so a restarted dispatcher resumes campaigns without re-running
+//     members whose results are already on disk.
 package main
 
 import (
@@ -58,6 +63,8 @@ func main() {
 			"stack shapes kept warm by the local fallback executor's platform cache")
 		cacheDir = flag.String("cache-dir", "",
 			"directory for the fallback executor's persisted platform artifacts (empty = memory only)")
+		resultsDir = flag.String("results-dir", "",
+			"root of the durable campaign results tree (<dir>/<date>/<campaign>/run-N.json); a restarted dispatcher resumes campaigns from here without re-running persisted members (empty = memory only)")
 		grace = flag.Duration("grace", 30*time.Second, "drain timeout for in-process runs on shutdown")
 	)
 	flag.Parse()
@@ -79,7 +86,17 @@ func main() {
 			m.RecoveredJobs, m.CorruptJournal)
 	}
 
-	d := newDispatcher(q, *localWorkers, *pcache, *cacheDir)
+	d, err := newDispatcher(q, *localWorkers, *pcache, *cacheDir, *resultsDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cooldispatchd:", err)
+		os.Exit(1)
+	}
+	if nc, nr, err := d.camp.Resume(); err != nil {
+		fmt.Fprintln(os.Stderr, "cooldispatchd: campaign resume:", err)
+		os.Exit(1)
+	} else if nc > 0 {
+		fmt.Fprintf(os.Stderr, "cooldispatchd: resumed %d campaigns (%d members already persisted)\n", nc, nr)
+	}
 	sweepEvery := *lease / 4
 	if sweepEvery < 50*time.Millisecond {
 		sweepEvery = 50 * time.Millisecond

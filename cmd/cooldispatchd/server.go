@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/coolsim"
+	"repro/internal/campaign"
 	"repro/internal/fleet"
 )
 
@@ -42,6 +43,7 @@ func clientStatus(st fleet.State) string {
 type dispatcher struct {
 	q      *fleet.Queue
 	pcache *coolsim.PlatformCache
+	camp   *campaign.Manager
 
 	baseCtx context.Context
 	abort   context.CancelFunc
@@ -55,19 +57,30 @@ type dispatcher struct {
 	wg           sync.WaitGroup // in-flight local runs
 }
 
-func newDispatcher(q *fleet.Queue, localWorkers, platformCacheSize int, cacheDir string) *dispatcher {
+func newDispatcher(q *fleet.Queue, localWorkers, platformCacheSize int, cacheDir, resultsDir string) (*dispatcher, error) {
 	if localWorkers <= 0 {
 		localWorkers = 1
+	}
+	repo, err := campaign.NewRepo(resultsDir)
+	if err != nil {
+		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &dispatcher{
 		q:            q,
 		pcache:       coolsim.NewPlatformCacheDir(platformCacheSize, cacheDir),
+		camp:         campaign.NewManager(campaign.FleetBackend{Q: q}, repo, nil),
 		baseCtx:      ctx,
 		abort:        cancel,
 		localSlots:   make(chan struct{}, localWorkers),
 		localCancels: map[string]context.CancelFunc{},
-	}
+	}, nil
+}
+
+func (d *dispatcher) isDraining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
 }
 
 func (d *dispatcher) handler() http.Handler {
@@ -80,6 +93,8 @@ func (d *dispatcher) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/runs/{id}", d.handleCancel)
 	mux.HandleFunc("GET /healthz", d.handleHealth)
 	mux.HandleFunc("GET /v1/metrics", d.handleMetrics)
+	// Campaign API — fan-out over the fleet (see internal/campaign).
+	(&campaign.API{M: d.camp, Draining: d.isDraining}).Register(mux)
 	// Worker protocol.
 	mux.HandleFunc("POST /v1/fleet/register", d.handleRegister)
 	mux.HandleFunc("POST /v1/fleet/deregister", d.handleDeregister)
@@ -90,8 +105,10 @@ func (d *dispatcher) handler() http.Handler {
 }
 
 // loops starts the dispatcher's background drivers: the sweep ticker
-// (lease expiry + unreachable-worker detection) and the local-fallback
-// booker. Both stop when ctx is canceled.
+// (lease expiry + unreachable-worker detection), the local-fallback
+// booker, and the campaign reconciler (which persists finished member
+// reports into the results tree and submits pending members). All stop
+// when ctx is canceled.
 func (d *dispatcher) loops(ctx context.Context, sweepEvery, localEvery time.Duration) {
 	go func() {
 		t := time.NewTicker(sweepEvery)
@@ -114,6 +131,18 @@ func (d *dispatcher) loops(ctx context.Context, sweepEvery, localEvery time.Dura
 				return
 			case <-t.C:
 				d.bookLocal()
+			}
+		}
+	}()
+	go func() {
+		t := time.NewTicker(localEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				d.camp.Reconcile()
 			}
 		}
 	}()
@@ -238,6 +267,11 @@ func (d *dispatcher) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		maxAttempts = n
 	}
+	priority, err := fleet.ParsePriority(r.URL.Query().Get("priority"))
+	if err != nil {
+		fleet.WriteError(w, http.StatusBadRequest, fleet.CodeBadScenario, err.Error())
+		return
+	}
 	raw, specKey, err := fleet.CanonicalScenario(sc)
 	if err != nil {
 		fleet.WriteError(w, http.StatusBadRequest, fleet.CodeBadScenario, err.Error())
@@ -250,7 +284,7 @@ func (d *dispatcher) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		fleet.WriteError(w, http.StatusServiceUnavailable, fleet.CodeDraining, "dispatcher is draining")
 		return
 	}
-	j, err := d.q.Submit(raw, specKey, maxAttempts)
+	j, err := d.q.Submit(raw, specKey, fleet.SubmitOptions{MaxAttempts: maxAttempts, Priority: priority})
 	if err != nil {
 		fleet.WriteError(w, http.StatusInternalServerError, fleet.CodeInternal,
 			fmt.Sprintf("journal write failed: %v", err))
@@ -378,7 +412,7 @@ func (d *dispatcher) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ids := make([]string, len(entries))
 	for i, e := range entries {
-		j, err := d.q.Submit(e.raw, e.key, 0)
+		j, err := d.q.Submit(e.raw, e.key, fleet.SubmitOptions{})
 		if err != nil {
 			fleet.WriteError(w, http.StatusInternalServerError, fleet.CodeInternal,
 				fmt.Sprintf("journal write failed: %v", err))
@@ -444,6 +478,7 @@ func (d *dispatcher) handleHealth(w http.ResponseWriter, r *http.Request) {
 // attempts histogram) plus the local platform cache.
 type metricsView struct {
 	Fleet         fleet.Metrics              `json:"fleet"`
+	Campaigns     campaign.Metrics           `json:"campaigns"`
 	PlatformCache coolsim.PlatformCacheStats `json:"platform_cache"`
 	Draining      bool                       `json:"draining"`
 }
@@ -454,6 +489,7 @@ func (d *dispatcher) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	d.mu.Unlock()
 	v := metricsView{
 		Fleet:         d.q.Snapshot(),
+		Campaigns:     d.camp.Metrics(),
 		PlatformCache: d.pcache.Stats(),
 		Draining:      draining,
 	}

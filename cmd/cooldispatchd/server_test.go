@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/coolsim"
+	"repro/internal/campaign"
 	"repro/internal/fleet"
 )
 
@@ -21,6 +23,10 @@ const quickBody = `{"workload":"gzip","cooling":"var","policy":"talb","layers":2
 // for tests (lease 1 s, sweep 100 ms, local booker 20 ms) and serves it
 // over httptest.
 func newTestDispatcher(t *testing.T, stateDir string) (*dispatcher, *httptest.Server) {
+	return newTestDispatcherDirs(t, stateDir, "")
+}
+
+func newTestDispatcherDirs(t *testing.T, stateDir, resultsDir string) (*dispatcher, *httptest.Server) {
 	t.Helper()
 	q, err := fleet.NewQueue(fleet.QueueConfig{
 		LeaseTTL:    time.Second,
@@ -31,7 +37,13 @@ func newTestDispatcher(t *testing.T, stateDir string) (*dispatcher, *httptest.Se
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := newDispatcher(q, 2, 4, "")
+	d, err := newDispatcher(q, 2, 4, "", resultsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.camp.Resume(); err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	d.loops(ctx, 100*time.Millisecond, 20*time.Millisecond)
 	ts := httptest.NewServer(d.handler())
@@ -259,7 +271,10 @@ func TestRestartRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d1 := newDispatcher(q1, 1, 4, "")
+	d1, err := newDispatcher(q1, 1, 4, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts1 := httptest.NewServer(d1.handler())
 	id1 := submitRun(t, ts1.URL, quickBody, "")
 	id2 := submitRun(t, ts1.URL, quickBody, "")
@@ -361,6 +376,102 @@ func TestCancelRun(t *testing.T) {
 	resp.Body.Close()
 	if v.Status != "canceled" {
 		t.Fatalf("after cancel: %s (%s)", v.Status, v.State)
+	}
+}
+
+// TestCampaignOverHTTP: a sweep campaign submitted to the dispatcher
+// expands server-side, fans out (here onto the local fallback executor),
+// and streams its aggregate in expansion order with every line
+// byte-identical to a solo run of the expanded member. The terminal
+// status view and the campaign metrics rollup both reflect completion.
+func TestCampaignOverHTTP(t *testing.T) {
+	_, ts := newTestDispatcher(t, "")
+	spec := `{"name":"grid","sweep":{"base":` + quickBody + `,"layers":[2,4],"seeds":[1,2]}}`
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("create: %d %s", resp.StatusCode, buf.String())
+	}
+	var cv campaign.View
+	if err := json.NewDecoder(resp.Body).Decode(&cv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cv.Members != 4 || cv.Priority != "bulk" {
+		t.Fatalf("view = %+v", cv)
+	}
+
+	// The reference: expand the same spec in-process and run each member
+	// solo, uninterrupted.
+	var cspec coolsim.Campaign
+	if err := json.Unmarshal([]byte(spec), &cspec); err != nil {
+		t.Fatal(err)
+	}
+	scs, err := cspec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 4 {
+		t.Fatalf("expanded %d members", len(scs))
+	}
+
+	// The results stream follows the campaign to completion.
+	rs, err := http.Get(ts.URL + "/v1/campaigns/" + cv.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Body.Close()
+	sc := bufio.NewScanner(rs.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(scs) {
+		t.Fatalf("stream has %d lines, want %d", len(lines), len(scs))
+	}
+	for i, s := range scs {
+		rep, err := coolsim.Run(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines[i] != string(ref) {
+			t.Fatalf("member %d stream line differs from solo run", i)
+		}
+	}
+
+	var got campaign.View
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + cv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if got.State != "done" || got.Counts.Done != 4 || got.Progress != 1 {
+		t.Fatalf("final view = %+v", got)
+	}
+
+	var m metricsView
+	resp, err = http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if m.Campaigns.Done != 1 || m.Campaigns.ExpandedMembers != 4 {
+		t.Fatalf("campaign metrics = %+v", m.Campaigns)
 	}
 }
 

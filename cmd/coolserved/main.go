@@ -16,6 +16,10 @@
 //	DELETE /v1/runs/{id}        cancel a queued or running job
 //	GET    /healthz             liveness and drain state
 //	GET    /v1/metrics          job counts + platform-cache hit/miss
+//	POST   /v1/campaigns        submit a scenario list or sweep spec
+//	GET    /v1/campaigns[/{id}] campaign status, progress and ETA
+//	DELETE /v1/campaigns/{id}   cancel the remaining members
+//	GET    /v1/campaigns/{id}/results  stream the aggregate (NDJSON)
 //
 // The server keeps a process-lifetime platform cache (-platform-cache):
 // the first job on a stack shape builds the thermal grid, the solver's
@@ -55,6 +59,8 @@ func main() {
 			"stack shapes whose built artifacts (grid, solver analysis, controller tables) are kept warm; LRU-evicted beyond this (<= 0 keeps all)")
 		cacheDir = flag.String("cache-dir", "",
 			"directory for persisted platform artifacts (controller LUT JSON); a restarted daemon warm-starts its sweeps from here (empty = memory only)")
+		resultsDir = flag.String("results-dir", "",
+			"root of the durable campaign results tree (<dir>/<date>/<campaign>/run-N.json); a restarted daemon resumes campaigns from here without re-running persisted members (empty = memory only)")
 		dispatcher = flag.String("dispatcher", "",
 			"cooldispatchd base URL; when set the daemon also registers as a fleet worker and executes dispatched jobs (see SERVICE.md, Fleet)")
 		capacity = flag.Int("fleet-capacity", 0,
@@ -63,7 +69,17 @@ func main() {
 	)
 	flag.Parse()
 
-	s := newServer(*workers, *retain, *pcache, *cacheDir)
+	s, err := newServer(*workers, *retain, *pcache, *cacheDir, *resultsDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coolserved:", err)
+		os.Exit(1)
+	}
+	if nc, nr, err := s.camp.Resume(); err != nil {
+		fmt.Fprintln(os.Stderr, "coolserved: campaign resume:", err)
+		os.Exit(1)
+	} else if nc > 0 {
+		fmt.Fprintf(os.Stderr, "coolserved: resumed %d campaigns (%d members already persisted)\n", nc, nr)
+	}
 	srv := &http.Server{Addr: *addr, Handler: s.handler()}
 
 	sigCh := make(chan os.Signal, 2)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/coolsim"
+	"repro/internal/campaign"
 	"repro/internal/fleet"
 	"repro/internal/par"
 )
@@ -63,6 +64,10 @@ type server struct {
 	// read without s.mu).
 	batch coolsim.BatchCounters
 
+	// camp serves the same campaign API as cooldispatchd, backed by the
+	// in-process executor (campaign.Local) instead of the fleet.
+	camp *campaign.Manager
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order, compacted as jobs are evicted
@@ -93,9 +98,13 @@ func (t *steppingTotals) add(r *coolsim.Report) {
 	t.ThermalSolves += int64(r.ThermalSolves)
 }
 
-func newServer(workers, retain, platformCacheSize int, cacheDir string) *server {
+func newServer(workers, retain, platformCacheSize int, cacheDir, resultsDir string) (*server, error) {
+	repo, err := campaign.NewRepo(resultsDir)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &server{
+	s := &server{
 		pool:    par.NewPool(workers),
 		baseCtx: ctx,
 		abort:   cancel,
@@ -103,6 +112,24 @@ func newServer(workers, retain, platformCacheSize int, cacheDir string) *server 
 		jobs:    map[string]*job{},
 		retain:  retain,
 	}
+	s.camp = campaign.NewManager(
+		campaign.NewLocal(ctx, par.Workers(workers), coolsim.WithPlatformCache(s.pcache)),
+		repo, nil)
+	// The reconcile ticker persists finished member reports and advances
+	// campaign members; it stops when drain aborts baseCtx.
+	go func() {
+		t := time.NewTicker(100 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				s.camp.Reconcile()
+			}
+		}
+	}()
+	return s, nil
 }
 
 // pruneLocked bounds the daemon's memory: beyond the retention cap the
@@ -150,7 +177,16 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	// Campaign API — same surface as cooldispatchd, executed in-process
+	// (see internal/campaign).
+	(&campaign.API{M: s.camp, Draining: s.isDraining}).Register(mux)
 	return mux
+}
+
+func (s *server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // drain stops intake, waits up to grace for in-flight jobs to finish,
@@ -518,9 +554,11 @@ type metricsView struct {
 	// Batches counts POST /v1/batches requests executed; Batch carries
 	// the lifetime batched-solve statistics (sweeps, batched_solves and
 	// the batch_width histogram).
-	Batches  int64              `json:"batches"`
-	Batch    coolsim.BatchStats `json:"batch"`
-	Draining bool               `json:"draining"`
+	Batches int64              `json:"batches"`
+	Batch   coolsim.BatchStats `json:"batch"`
+	// Campaigns rolls up the campaign manager and its result repository.
+	Campaigns campaign.Metrics `json:"campaigns"`
+	Draining  bool             `json:"draining"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -555,6 +593,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	v.PlatformCache = s.pcache.Stats()
+	v.Campaigns = s.camp.Metrics()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
 }

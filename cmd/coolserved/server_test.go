@@ -16,8 +16,15 @@ import (
 )
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
+	return testServerConfig(t, 2, 0)
+}
+
+func testServerConfig(t *testing.T, workers, retain int) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(2, 0, 0, "")
+	s, err := newServer(workers, retain, 0, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -183,9 +190,7 @@ func TestStreamDisconnectCancelsJob(t *testing.T) {
 // TestDeleteCancelsQueuedAndRunning covers the explicit cancel endpoint
 // for both a running job and one still waiting behind it in the queue.
 func TestDeleteCancelsQueuedAndRunning(t *testing.T) {
-	s := newServer(1, 0, 0, "") // single worker: the second job must queue
-	ts := httptest.NewServer(s.handler())
-	t.Cleanup(func() { ts.Close(); s.drain(0) })
+	_, ts := testServerConfig(t, 1, 0) // single worker: the second job must queue
 
 	long := `{"workload":"gzip","cooling":"max","policy":"lb","layers":2,
 		"duration":3600,"warmup":1,"grid_nx":12,"grid_ny":10}`
@@ -257,9 +262,7 @@ func TestListRuns(t *testing.T) {
 // cap of 1, finishing a second run must evict the first (404 afterwards),
 // while queued/running jobs are untouchable.
 func TestRetentionEvictsOldestFinished(t *testing.T) {
-	s := newServer(1, 1, 0, "")
-	ts := httptest.NewServer(s.handler())
-	t.Cleanup(func() { ts.Close(); s.drain(0) })
+	_, ts := testServerConfig(t, 1, 1)
 
 	a := submit(t, ts, quickBody)
 	waitStatus(t, ts, a, statusDone, 60*time.Second)
@@ -282,7 +285,10 @@ func TestRetentionEvictsOldestFinished(t *testing.T) {
 }
 
 func TestDrainRejectsNewJobs(t *testing.T) {
-	s := newServer(1, 0, 0, "")
+	s, err := newServer(1, 0, 0, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	id := submit(t, ts, quickBody)
@@ -465,5 +471,126 @@ func TestBatchScenarioDefaults(t *testing.T) {
 	got := br.Reports[0].Scenario
 	if got.Layers != def.Layers || got.Policy != def.Policy || got.Seed != def.Seed {
 		t.Errorf("batch scenario did not inherit defaults: %+v", got)
+	}
+}
+
+// readCampaignStream collects the NDJSON result lines of one campaign.
+func readCampaignStream(t *testing.T, ts *httptest.Server, id string) []string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestCampaignLocalAndResume: coolserved serves the same campaign API as
+// the dispatcher, executed in-process. A sweep campaign streams reports
+// byte-identical to solo runs; a second daemon on the same -results-dir
+// resumes the finished campaign from disk and serves the identical
+// aggregate without re-running a single member.
+func TestCampaignLocalAndResume(t *testing.T) {
+	resultsDir := t.TempDir()
+	s1, err := newServer(2, 0, 0, "", resultsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.handler())
+	defer func() { ts1.Close(); s1.drain(0) }()
+
+	spec := `{"name":"grid","sweep":{"base":` + quickBody + `,"cooling":["air","max"],"seeds":[1,2]}}`
+	resp, err := http.Post(ts1.URL+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("create: %d %s", resp.StatusCode, buf.String())
+	}
+	var cv struct {
+		ID      string `json:"id"`
+		Members int    `json:"members"`
+	}
+	json.NewDecoder(resp.Body).Decode(&cv)
+	resp.Body.Close()
+	if cv.Members != 4 {
+		t.Fatalf("members = %d", cv.Members)
+	}
+
+	lines := readCampaignStream(t, ts1, cv.ID)
+	var cspec coolsim.Campaign
+	if err := json.Unmarshal([]byte(spec), &cspec); err != nil {
+		t.Fatal(err)
+	}
+	scs, err := cspec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(scs) {
+		t.Fatalf("stream has %d lines, want %d", len(lines), len(scs))
+	}
+	for i, sc := range scs {
+		rep, err := coolsim.Run(context.Background(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lines[i] != string(ref) {
+			t.Fatalf("member %d stream line differs from solo run", i)
+		}
+	}
+
+	// Second life on the same results tree: the campaign is resumed from
+	// disk, the aggregate is identical, and nothing re-executes.
+	s2, err := newServer(2, 0, 0, "", resultsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, nr, err := s2.camp.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc != 1 || nr != 4 {
+		t.Fatalf("resume = (%d campaigns, %d results)", nc, nr)
+	}
+	ts2 := httptest.NewServer(s2.handler())
+	defer func() { ts2.Close(); s2.drain(0) }()
+
+	lines2 := readCampaignStream(t, ts2, cv.ID)
+	if len(lines2) != len(lines) {
+		t.Fatalf("resumed stream has %d lines, want %d", len(lines2), len(lines))
+	}
+	for i := range lines {
+		if lines2[i] != lines[i] {
+			t.Fatalf("resumed member %d differs from first life", i)
+		}
+	}
+	var m metricsView
+	resp, err = http.Get(ts2.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if m.Jobs.Started != 0 {
+		t.Fatalf("resumed daemon executed %d jobs, want 0", m.Jobs.Started)
+	}
+	if m.Campaigns.ResultsLoaded != 4 || m.Campaigns.Done != 1 {
+		t.Fatalf("campaign metrics = %+v", m.Campaigns)
 	}
 }

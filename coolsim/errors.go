@@ -27,6 +27,9 @@ var (
 	// SensorNoiseStdDev, a SensorDropoutProb outside [0, 1], or a
 	// PumpStuck value that is not a valid pump setting.
 	ErrBadFaults = errors.New("coolsim: bad fault injection parameters")
+	// ErrSweepTooLarge: a Sweep's cartesian grid exceeds its
+	// MaxScenarios limit (DefaultSweepLimit when unset).
+	ErrSweepTooLarge = errors.New("coolsim: sweep grid too large")
 	// ErrSessionDone is returned by Session.Step once the configured
 	// duration has elapsed (the io.EOF of the streaming API).
 	ErrSessionDone = errors.New("coolsim: session complete")

@@ -472,3 +472,44 @@ func SimTick(b *testing.B) {
 		}
 	}
 }
+
+// CampaignExpand measures the server-side cost of lowering a campaign
+// submission to its member scenarios — the work POST /v1/campaigns does
+// before anything touches the queue or the results tree: a 1440-member
+// cartesian grid (2 layer counts × 3 cooling classes × 3 policies ×
+// DPM on/off × 40 seeds) with a skip filter pruning the air-cooled DPM
+// corner, every surviving member materialized against the scenario
+// defaults and validated. 1200 members survive per op.
+func CampaignExpand(b *testing.B) {
+	seeds := make([]int64, 40)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	dpmOn := true
+	camp := coolsim.Campaign{
+		Name: "bench",
+		Sweep: &coolsim.Sweep{
+			Base:    coolsim.Scenario{Workload: "gzip", Duration: 10, Warmup: 2},
+			Layers:  []int{2, 4},
+			Cooling: []string{coolsim.CoolingAir, coolsim.CoolingMax, coolsim.CoolingVar},
+			Policy:  []string{coolsim.PolicyLB, coolsim.PolicyMigration, coolsim.PolicyTALB},
+			DPM:     []bool{false, true},
+			Seeds:   seeds,
+			Skip:    []coolsim.SweepFilter{{Cooling: coolsim.CoolingAir, DPM: &dpmOn}},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var members int
+	for i := 0; i < b.N; i++ {
+		scs, err := camp.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		members = len(scs)
+		if members != 1200 {
+			b.Fatalf("expanded %d members, want 1200", members)
+		}
+	}
+	b.ReportMetric(float64(members), "members/op")
+}

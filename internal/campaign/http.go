@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/coolsim"
+	"repro/internal/fleet"
+)
+
+// API mounts the campaign endpoints on a daemon's mux. Both coolserved
+// and cooldispatchd serve exactly this surface; only the Manager's
+// backend differs.
+//
+//	POST   /v1/campaigns              submit a spec (scenario list or sweep)
+//	GET    /v1/campaigns              list campaign status views
+//	GET    /v1/campaigns/{id}         one campaign: counts, progress, ETA
+//	DELETE /v1/campaigns/{id}         cancel the remaining members
+//	GET    /v1/campaigns/{id}/results stream the aggregate (NDJSON)
+type API struct {
+	M *Manager
+	// Draining, when set, gates new submissions during shutdown.
+	Draining func() bool
+}
+
+// Register mounts the endpoints.
+func (a *API) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/campaigns", a.handleCreate)
+	mux.HandleFunc("GET /v1/campaigns", a.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", a.handleGet)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", a.handleCancel)
+	mux.HandleFunc("GET /v1/campaigns/{id}/results", a.handleResults)
+}
+
+func (a *API) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec coolsim.Campaign
+	// Campaign bodies carry whole sweeps; allow 16× the single-run cap.
+	if !fleet.DecodeJSON(w, r, 16*fleet.MaxBodyBytes, &spec) {
+		return
+	}
+	if a.Draining != nil && a.Draining() {
+		fleet.WriteError(w, http.StatusServiceUnavailable, fleet.CodeDraining, "server is draining")
+		return
+	}
+	v, err := a.M.Create(spec)
+	if err != nil {
+		if errors.Is(err, ErrBadSpec) {
+			fleet.WriteError(w, http.StatusBadRequest, fleet.CodeBadScenario, err.Error())
+		} else {
+			fleet.WriteError(w, http.StatusInternalServerError, fleet.CodeInternal, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(a.M.List())
+}
+
+func (a *API) handleGet(w http.ResponseWriter, r *http.Request) {
+	v, err := a.M.Get(r.PathValue("id"))
+	if err != nil {
+		fleet.WriteError(w, http.StatusNotFound, fleet.CodeNotFound, "no such campaign")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (a *API) handleCancel(w http.ResponseWriter, r *http.Request) {
+	v, err := a.M.Cancel(r.PathValue("id"))
+	if err != nil {
+		fleet.WriteError(w, http.StatusNotFound, fleet.CodeNotFound, "no such campaign")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// errorLine is the stream record of a member that produced no report.
+type errorLine struct {
+	Member int          `json:"member"`
+	Status MemberStatus `json:"status"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// handleResults streams the campaign aggregate as NDJSON, one line per
+// member in expansion order: the report bytes verbatim for done members
+// (so the stream concatenates to exactly the reports RunMany would
+// produce), a {"member":N,"status":...} record for errored/canceled
+// ones. The stream follows the campaign — each member's line is written
+// once that member is terminal — and ends after the last member.
+func (a *API) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	n, err := a.M.Members(id)
+	if err != nil {
+		fleet.WriteError(w, http.StatusNotFound, fleet.CodeNotFound, "no such campaign")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
+	for i := 0; i < n; i++ {
+		var res MemberResult
+		for {
+			res, err = a.M.Result(id, i)
+			if err != nil || res.Status.Terminal() {
+				break
+			}
+			// Reconcile is idempotent; driving it here keeps the stream
+			// live even between the daemon's ticker firings.
+			a.M.Reconcile()
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+		if err != nil {
+			return // repo read failed mid-stream; the line count betrays it
+		}
+		line := res.Report
+		if res.Status != StatusDone {
+			line, _ = json.Marshal(errorLine{Member: i, Status: res.Status, Error: res.Error})
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

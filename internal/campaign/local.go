@@ -1,0 +1,169 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/coolsim"
+	"repro/internal/fleet"
+)
+
+// Local is the in-process backend: each platform group runs through
+// coolsim.RunMany in chunks of at most `workers` members, one chunk at
+// a time, with one worker slot per member. Keeping slots ≥ members
+// means runs are never co-scheduled into lock-step gangs, so every
+// member's report — batching diagnostics included — is byte-identical
+// to a solo coolsim.Run, and hence to the same member executed on the
+// fleet. Platform reuse across a group still comes from the shared
+// platform cache passed via opts. Groups run one at a time (a
+// group-level queue), so concurrent campaigns do not oversubscribe the
+// node.
+//
+// Job handles live only in this process: after a restart Status returns
+// an error for every old ID, which is exactly the signal the manager
+// needs to resubmit the unfinished members.
+type Local struct {
+	baseCtx context.Context
+	workers int
+	opts    []coolsim.Option
+	// sem serializes groups so concurrent campaigns do not oversubscribe
+	// the node.
+	sem chan struct{}
+
+	mu   sync.Mutex
+	seq  int64
+	jobs map[string]*localJob
+}
+
+type localJob struct {
+	status MemberStatus
+	report json.RawMessage
+	errMsg string
+	cancel context.CancelFunc
+}
+
+// NewLocal builds the in-process backend. ctx bounds every run (the
+// daemon's drain aborts it); workers is the RunMany pool width per
+// group; opts typically carries the server's shared platform cache.
+func NewLocal(ctx context.Context, workers int, opts ...coolsim.Option) *Local {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Local{
+		baseCtx: ctx,
+		workers: workers,
+		opts:    opts,
+		sem:     make(chan struct{}, 1),
+		jobs:    map[string]*localJob{},
+	}
+}
+
+// SubmitGroup admits the group and starts it asynchronously. The whole
+// group shares one cancelable context: canceling any member cancels its
+// group (campaign cancellation sweeps every member anyway, so nothing
+// finer is needed).
+func (l *Local) SubmitGroup(campaignID string, members []Member, opts GroupOptions) ([]string, error) {
+	scs := make([]coolsim.Scenario, len(members))
+	for i, m := range members {
+		sc, err := fleet.DecodeScenario(m.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: member %d: %w", m.Index, err)
+		}
+		scs[i] = sc
+	}
+	ctx, cancel := context.WithCancel(l.baseCtx)
+	l.mu.Lock()
+	ids := make([]string, len(members))
+	group := make([]*localJob, len(members))
+	for i := range members {
+		l.seq++
+		ids[i] = fmt.Sprintf("local-%d", l.seq)
+		group[i] = &localJob{status: StatusPending, cancel: cancel}
+		l.jobs[ids[i]] = group[i]
+	}
+	l.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		select {
+		case l.sem <- struct{}{}:
+			defer func() { <-l.sem }()
+		case <-ctx.Done():
+			l.resolve(group, nil, ctx.Err())
+			return
+		}
+		for start := 0; start < len(scs); start += l.workers {
+			end := min(start+l.workers, len(scs))
+			chunk := group[start:end]
+			l.mu.Lock()
+			for _, j := range chunk {
+				if !j.status.Terminal() {
+					j.status = StatusRunning
+				}
+			}
+			l.mu.Unlock()
+			// One slot per member: see the type comment — this is what
+			// keeps chunk reports byte-identical to solo runs.
+			reports, err := coolsim.RunMany(ctx, scs[start:end],
+				append(append([]coolsim.Option{}, l.opts...), coolsim.WithWorkers(end-start))...)
+			l.resolve(chunk, reports, err)
+			if ctx.Err() != nil {
+				l.resolve(group[end:], nil, ctx.Err())
+				return
+			}
+		}
+	}()
+	return ids, nil
+}
+
+// resolve lands one finished group's outcome on its jobs.
+func (l *Local) resolve(group []*localJob, reports []*coolsim.Report, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, j := range group {
+		switch {
+		case err == nil:
+			data, merr := json.Marshal(reports[i])
+			if merr != nil {
+				j.status = StatusError
+				j.errMsg = merr.Error()
+				continue
+			}
+			j.status = StatusDone
+			j.report = data
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			j.status = StatusCanceled
+			j.errMsg = err.Error()
+		default:
+			j.status = StatusError
+			j.errMsg = err.Error()
+		}
+	}
+}
+
+// Status reports one member job; unknown IDs (including every ID from a
+// previous process) return an error, triggering resubmission.
+func (l *Local) Status(jobID string) (MemberStatus, json.RawMessage, string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	j := l.jobs[jobID]
+	if j == nil {
+		return "", nil, "", fmt.Errorf("campaign: unknown local job %s", jobID)
+	}
+	return j.status, j.report, j.errMsg, nil
+}
+
+// Cancel aborts the job's group.
+func (l *Local) Cancel(jobID string) error {
+	l.mu.Lock()
+	j := l.jobs[jobID]
+	l.mu.Unlock()
+	if j == nil {
+		return fmt.Errorf("campaign: unknown local job %s", jobID)
+	}
+	j.cancel()
+	return nil
+}

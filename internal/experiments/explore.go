@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/coolsim"
+)
+
+// Explore runs an ad-hoc sweep next to the paper's fixed matrices: the
+// caller describes a cartesian grid with a coolsim.Sweep (the same spec
+// the campaign API accepts) and gets one report per member, in the
+// sweep's deterministic expansion order. It rides the public coolsim
+// surface — Sweep.Expand for the grid, RunMany for the fan-out — so the
+// rows match a campaign over the identical sweep member for member,
+// while the paper experiments (Fig5…Fig8, the tables) keep their own
+// matrix code and goldens untouched.
+//
+// Only Options.Workers and Options.Duration/Warmup/GridNX/GridNY/Seed
+// are consulted, and the latter five only as sweep-base defaults: a
+// field the sweep's base already sets wins.
+func Explore(ctx context.Context, o Options, sweep coolsim.Sweep) ([]*coolsim.Report, error) {
+	base := &sweep.Base
+	if base.Duration == 0 && o.Duration > 0 {
+		base.Duration = float64(o.Duration)
+	}
+	if base.Warmup == 0 && o.Warmup > 0 {
+		base.Warmup = float64(o.Warmup)
+	}
+	if base.GridNX == 0 && o.GridNX > 0 {
+		base.GridNX = o.GridNX
+	}
+	if base.GridNY == 0 && o.GridNY > 0 {
+		base.GridNY = o.GridNY
+	}
+	if base.Seed == 0 {
+		base.Seed = o.Seed
+	}
+	scs, err := sweep.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return coolsim.RunMany(ctx, scs, coolsim.WithWorkers(o.Workers))
+}
+
+// WriteExplore renders one row per sweep member with the scenario axes
+// and the headline thermal/energy metrics.
+func WriteExplore(w io.Writer, reports []*coolsim.Report) {
+	rows := make([][]string, 0, len(reports))
+	for _, r := range reports {
+		sc := r.Scenario
+		rows = append(rows, []string{
+			strconv.Itoa(sc.Layers), sc.Cooling, sc.Policy, sc.Workload,
+			strconv.FormatInt(sc.Seed, 10),
+			fmt.Sprintf("%.2f", r.MaxTempC),
+			fmt.Sprintf("%.1f", r.HotSpotPct),
+			fmt.Sprintf("%.1f", r.GradientPct),
+			fmt.Sprintf("%.0f", r.ChipEnergyJ),
+			fmt.Sprintf("%.0f", r.PumpEnergyJ),
+			fmt.Sprintf("%.3f", r.MeanResponseS),
+		})
+	}
+	writeTable(w, fmt.Sprintf("EXPLORE: %d sweep members", len(reports)),
+		[]string{"Layers", "Cooling", "Policy", "Workload", "Seed",
+			"Tmax (C)", "Hot (%)", "Grad (%)", "E chip (J)", "E pump (J)", "Resp (s)"},
+		rows)
+}
+
+// ExploreCSV writes the same rows as CSV for plotting outside Go.
+func ExploreCSV(w io.Writer, reports []*coolsim.Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"layers", "cooling", "policy", "workload", "seed", "dpm",
+		"max_temp_c", "hot_spot_pct", "gradient_pct", "cycle_pct",
+		"chip_energy_j", "pump_energy_j", "throughput_per_s", "mean_response_s",
+	}); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		sc := r.Scenario
+		if err := cw.Write([]string{
+			strconv.Itoa(sc.Layers), sc.Cooling, sc.Policy, sc.Workload,
+			strconv.FormatInt(sc.Seed, 10), strconv.FormatBool(sc.DPM),
+			fstr(r.MaxTempC), fstr(r.HotSpotPct), fstr(r.GradientPct), fstr(r.CyclePct),
+			fstr(r.ChipEnergyJ), fstr(r.PumpEnergyJ), fstr(r.Throughput), fstr(r.MeanResponseS),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

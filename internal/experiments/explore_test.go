@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/coolsim"
+)
+
+func exploreSweep() coolsim.Sweep {
+	return coolsim.Sweep{
+		Base:    coolsim.Scenario{Workload: "gzip"},
+		Layers:  []int{2, 4},
+		Cooling: []string{coolsim.CoolingAir, coolsim.CoolingMax},
+	}
+}
+
+func exploreOptions() Options {
+	return Options{GridNX: 12, GridNY: 10, Duration: 2, Warmup: 1, Seed: 1}
+}
+
+// TestExploreDeterministic: the same sweep yields byte-identical reports
+// for every worker count, in the sweep's expansion order, with the
+// Options defaults filled into the base scenario.
+func TestExploreDeterministic(t *testing.T) {
+	ctx := context.Background()
+	o := exploreOptions()
+	o.Workers = 1
+	serial, err := Explore(ctx, o, exploreSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 4 {
+		t.Fatalf("got %d reports, want 4", len(serial))
+	}
+	// Expansion order: layers outermost.
+	wantAxes := []struct {
+		layers  int
+		cooling string
+	}{{2, coolsim.CoolingAir}, {2, coolsim.CoolingMax}, {4, coolsim.CoolingAir}, {4, coolsim.CoolingMax}}
+	for i, r := range serial {
+		sc := r.Scenario
+		if sc.Layers != wantAxes[i].layers || sc.Cooling != wantAxes[i].cooling {
+			t.Fatalf("member %d = (%d, %s), want %+v", i, sc.Layers, sc.Cooling, wantAxes[i])
+		}
+		if sc.Duration != 2 || sc.GridNX != 12 || sc.Seed != 1 {
+			t.Fatalf("member %d did not inherit option defaults: %+v", i, sc)
+		}
+	}
+
+	o.Workers = 4
+	par, err := Explore(ctx, o, exploreSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		a, _ := json.Marshal(serial[i])
+		b, _ := json.Marshal(par[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("member %d differs between 1 and 4 workers", i)
+		}
+	}
+}
+
+// TestExploreBaseWins: a field the sweep base sets explicitly is not
+// overridden by the Options defaults.
+func TestExploreBaseWins(t *testing.T) {
+	sw := exploreSweep()
+	sw.Layers = []int{2}
+	sw.Cooling = []string{coolsim.CoolingAir}
+	sw.Base.Duration = 3
+	reports, err := Explore(context.Background(), exploreOptions(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Scenario.Duration != 3 {
+		t.Fatalf("base duration overridden: %+v", reports[0].Scenario)
+	}
+}
+
+// TestExploreRenderers: the table and CSV emitters cover every member.
+func TestExploreRenderers(t *testing.T) {
+	o := exploreOptions()
+	reports, err := Explore(context.Background(), o, exploreSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl bytes.Buffer
+	WriteExplore(&tbl, reports)
+	if !strings.Contains(tbl.String(), "EXPLORE: 4 sweep members") {
+		t.Fatalf("table header missing:\n%s", tbl.String())
+	}
+	var csvBuf bytes.Buffer
+	if err := ExploreCSV(&csvBuf, reports); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 5 { // header + 4 members
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), csvBuf.String())
+	}
+}

@@ -57,7 +57,7 @@ func TestKilledWorkerRequeueByteIdenticalReport(t *testing.T) {
 	}
 
 	q, clk := testQueue(t, QueueConfig{LeaseTTL: 10 * time.Second, Dir: t.TempDir()})
-	j, err := q.Submit(canon, specKey, 0)
+	j, err := q.Submit(canon, specKey, SubmitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

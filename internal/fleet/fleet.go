@@ -37,6 +37,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"fmt"
 	"time"
 )
 
@@ -75,6 +76,33 @@ const (
 	OutcomeLost = "lost"
 )
 
+// Job priorities. Booking is priority-major: every eligible interactive
+// job books before any bulk job, regardless of submission order;
+// within a priority the usual FIFO + ring-affinity order applies. Two
+// levels are deliberate — interactive API submissions versus campaign
+// fan-out — so a large sweep can saturate the fleet without adding
+// latency to one-off runs.
+const (
+	// PriorityInteractive is the default for direct submissions
+	// (POST /v1/runs, /v1/batches).
+	PriorityInteractive = 0
+	// PriorityBulk is the campaign fan-out tier: booked only when no
+	// interactive work is eligible.
+	PriorityBulk = 1
+)
+
+// ParsePriority maps the wire form of the ?priority= knob onto a
+// priority level. The empty string is the interactive default.
+func ParsePriority(s string) (int, error) {
+	switch s {
+	case "", "interactive", "0":
+		return PriorityInteractive, nil
+	case "bulk", "1":
+		return PriorityBulk, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown priority %q (want interactive or bulk)", s)
+}
+
 // Attempt is one entry of a job's execution history: which worker held
 // it, when, and how it ended. An in-flight attempt has no Outcome yet.
 type Attempt struct {
@@ -102,6 +130,15 @@ type Job struct {
 	// MaxAttempts bounds execution attempts before the terminal error
 	// state; 0 means the queue default.
 	MaxAttempts int `json:"max_attempts"`
+	// Priority is the booking tier (PriorityInteractive or
+	// PriorityBulk). Absent in pre-priority journals, which decodes to
+	// the interactive default.
+	Priority int `json:"priority,omitempty"`
+	// Campaign and Member tag a job submitted as part of a campaign:
+	// the campaign ID and the member's index in the expanded scenario
+	// list. Interactive jobs leave both zero.
+	Campaign string `json:"campaign,omitempty"`
+	Member   int    `json:"member,omitempty"`
 
 	State State `json:"state"`
 	// Attempts is the full execution history, oldest first.

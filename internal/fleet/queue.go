@@ -182,14 +182,28 @@ func (q *Queue) persist(j *Job) {
 	}
 }
 
+// SubmitOptions carries the per-job knobs of a submission. The zero
+// value means: queue-default attempts, interactive priority, no
+// campaign tag.
+type SubmitOptions struct {
+	// MaxAttempts ≤ 0 takes the queue default.
+	MaxAttempts int
+	// Priority is the booking tier (PriorityInteractive or PriorityBulk).
+	Priority int
+	// Campaign and Member tag campaign fan-out jobs.
+	Campaign string
+	Member   int
+}
+
 // Submit admits a new job. scenario must be canonicalized JSON (the
 // workers re-execute exactly these bytes); specKey routes the job on
-// the worker ring; maxAttempts ≤ 0 takes the queue default. Submission
-// is the one transition whose journal write must succeed — a job the
-// dispatcher acknowledged may not vanish in a restart.
-func (q *Queue) Submit(scenario json.RawMessage, specKey string, maxAttempts int) (Job, error) {
+// the worker ring. Submission is the one transition whose journal write
+// must succeed — a job the dispatcher acknowledged may not vanish in a
+// restart.
+func (q *Queue) Submit(scenario json.RawMessage, specKey string, opts SubmitOptions) (Job, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	maxAttempts := opts.MaxAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = q.cfg.MaxAttempts
 	}
@@ -200,6 +214,9 @@ func (q *Queue) Submit(scenario json.RawMessage, specKey string, maxAttempts int
 		SpecKey:     specKey,
 		Scenario:    scenario,
 		MaxAttempts: maxAttempts,
+		Priority:    opts.Priority,
+		Campaign:    opts.Campaign,
+		Member:      opts.Member,
 		State:       StateQueued,
 		Created:     q.clock.Now(),
 	}
@@ -269,10 +286,12 @@ func (q *Queue) eligibleLocked(j *Job, now time.Time) bool {
 }
 
 // Poll books up to slots eligible jobs onto workerID and returns them
-// in wire form. Routing is two-pass: first the jobs the consistent-hash
-// ring assigns to this worker (so its platform caches stay hot for its
-// stack shapes), then — fallback — jobs whose owner is unreachable,
-// gone, or out of free capacity. Polling counts as a heartbeat.
+// in wire form. Booking is priority-major: every eligible interactive
+// job is considered before any bulk job. Within a priority, routing is
+// two-pass: first the jobs the consistent-hash ring assigns to this
+// worker (so its platform caches stay hot for its stack shapes), then —
+// fallback — jobs whose owner is unreachable, gone, or out of free
+// capacity. Polling counts as a heartbeat.
 func (q *Queue) Poll(workerID string, slots int) ([]WireJob, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -290,36 +309,38 @@ func (q *Queue) Poll(workerID string, slots int) ([]WireJob, error) {
 	}
 	now := q.clock.Now()
 	var out []WireJob
-	for pass := 0; pass < 2 && len(out) < slots; pass++ {
-		for _, id := range q.order {
-			if len(out) >= slots {
-				break
-			}
-			j := q.jobs[id]
-			if !q.eligibleLocked(j, now) {
-				continue
-			}
-			owner := q.ring.owner(j.SpecKey)
-			if pass == 0 {
-				if owner != workerID {
+	for _, pri := range []int{PriorityInteractive, PriorityBulk} {
+		for pass := 0; pass < 2 && len(out) < slots; pass++ {
+			for _, id := range q.order {
+				if len(out) >= slots {
+					break
+				}
+				j := q.jobs[id]
+				if j.Priority != pri || !q.eligibleLocked(j, now) {
 					continue
 				}
-			} else {
-				if owner == workerID {
-					continue // already taken in pass 0 (or slots filled)
+				owner := q.ring.owner(j.SpecKey)
+				if pass == 0 {
+					if owner != workerID {
+						continue
+					}
+				} else {
+					if owner == workerID {
+						continue // already taken in pass 0 (or slots filled)
+					}
+					if ow := q.workers[owner]; ow != nil && !ow.unreachable &&
+						len(ow.inFlight) < ow.capacity {
+						continue // the owner can still take it: preserve affinity
+					}
 				}
-				if ow := q.workers[owner]; ow != nil && !ow.unreachable &&
-					len(ow.inFlight) < ow.capacity {
-					continue // the owner can still take it: preserve affinity
-				}
+				j.State = StateBooked
+				j.Worker = workerID
+				j.LeaseExpiry = now.Add(q.cfg.LeaseTTL)
+				j.Attempts = append(j.Attempts, Attempt{Worker: workerID, Started: now})
+				w.inFlight[j.ID] = true
+				q.persist(j)
+				out = append(out, WireJob{ID: j.ID, Scenario: j.Scenario, Attempt: len(j.Attempts)})
 			}
-			j.State = StateBooked
-			j.Worker = workerID
-			j.LeaseExpiry = now.Add(q.cfg.LeaseTTL)
-			j.Attempts = append(j.Attempts, Attempt{Worker: workerID, Started: now})
-			w.inFlight[j.ID] = true
-			q.persist(j)
-			out = append(out, WireJob{ID: j.ID, Scenario: j.Scenario, Attempt: len(j.Attempts)})
 		}
 	}
 	return out, nil
@@ -560,10 +581,11 @@ func (q *Queue) ReachableWorkers() int {
 	return q.ring.size()
 }
 
-// BookLocal books the oldest eligible job onto the dispatcher's
-// in-process executor — the graceful-degradation path, taken only while
-// zero reachable workers are registered. Local jobs skip the booked
-// stage (the runner starts immediately) and carry no lease.
+// BookLocal books the oldest eligible job of the highest eligible
+// priority onto the dispatcher's in-process executor — the
+// graceful-degradation path, taken only while zero reachable workers
+// are registered. Local jobs skip the booked stage (the runner starts
+// immediately) and carry no lease.
 func (q *Queue) BookLocal() *Job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -571,19 +593,21 @@ func (q *Queue) BookLocal() *Job {
 		return nil
 	}
 	now := q.clock.Now()
-	for _, id := range q.order {
-		j := q.jobs[id]
-		if !q.eligibleLocked(j, now) {
-			continue
+	for _, pri := range []int{PriorityInteractive, PriorityBulk} {
+		for _, id := range q.order {
+			j := q.jobs[id]
+			if j.Priority != pri || !q.eligibleLocked(j, now) {
+				continue
+			}
+			j.State = StateExecuting
+			j.Worker = LocalWorker
+			j.LeaseExpiry = time.Time{}
+			j.Attempts = append(j.Attempts, Attempt{Worker: LocalWorker, Started: now})
+			q.localRuns++
+			q.persist(j)
+			s := j.snapshot()
+			return &s
 		}
-		j.State = StateExecuting
-		j.Worker = LocalWorker
-		j.LeaseExpiry = time.Time{}
-		j.Attempts = append(j.Attempts, Attempt{Worker: LocalWorker, Started: now})
-		q.localRuns++
-		q.persist(j)
-		s := j.snapshot()
-		return &s
 	}
 	return nil
 }

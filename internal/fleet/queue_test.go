@@ -47,7 +47,7 @@ func testQueue(t *testing.T, cfg QueueConfig) (*Queue, *fakeClock) {
 
 func mustSubmit(t *testing.T, q *Queue, specKey string) Job {
 	t.Helper()
-	j, err := q.Submit(json.RawMessage(`{"layers":2}`), specKey, 0)
+	j, err := q.Submit(json.RawMessage(`{"layers":2}`), specKey, SubmitOptions{})
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -460,7 +460,7 @@ func TestSubmitFailsWhenJournalUnwritable(t *testing.T) {
 		t.Fatal(err)
 	}
 	q.store.dir = filepath.Join(blocker, "sub")
-	if _, err := q.Submit(json.RawMessage(`{}`), "k", 0); err == nil {
+	if _, err := q.Submit(json.RawMessage(`{}`), "k", SubmitOptions{}); err == nil {
 		t.Fatal("Submit succeeded with unwritable journal dir")
 	}
 	if got := q.List(); len(got) != 0 {
@@ -482,5 +482,92 @@ func TestWorkerRejoinsRing(t *testing.T) {
 	}
 	if q.ReachableWorkers() != 1 {
 		t.Fatal("returning worker not restored to ring")
+	}
+}
+
+// TestPriorityBooking: interactive jobs book before bulk jobs even when
+// the bulk work was submitted first, on both the fleet poll path and
+// the local-fallback path.
+func TestPriorityBooking(t *testing.T) {
+	q, _ := testQueue(t, QueueConfig{})
+	// A bulk backlog arrives first...
+	var bulk []Job
+	for i := 0; i < 3; i++ {
+		j, err := q.Submit(json.RawMessage(`{"layers":2}`), "spec-a",
+			SubmitOptions{Priority: PriorityBulk, Campaign: "c-1", Member: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bulk = append(bulk, j)
+	}
+	// ...then an interactive run.
+	inter := mustSubmit(t, q, "spec-a")
+	if inter.Priority != PriorityInteractive {
+		t.Fatalf("default priority = %d", inter.Priority)
+	}
+
+	w, _, _ := q.Register("host:1", 2)
+	jobs, err := q.Poll(w, 2)
+	if err != nil || len(jobs) != 2 {
+		t.Fatalf("Poll = %v, %v; want 2 jobs", jobs, err)
+	}
+	if jobs[0].ID != inter.ID {
+		t.Fatalf("first booked job = %s, want the interactive %s", jobs[0].ID, inter.ID)
+	}
+	if jobs[1].ID != bulk[0].ID {
+		t.Fatalf("second booked job = %s, want the oldest bulk %s", jobs[1].ID, bulk[0].ID)
+	}
+
+	// Local fallback applies the same order: with no workers, the next
+	// interactive submission preempts the remaining bulk backlog.
+	q.Deregister(w)
+	inter2 := mustSubmit(t, q, "spec-a")
+	got := q.BookLocal()
+	if got == nil || got.ID != inter2.ID {
+		t.Fatalf("BookLocal = %+v, want the interactive %s", got, inter2.ID)
+	}
+	if next := q.BookLocal(); next == nil || next.Priority != PriorityBulk {
+		t.Fatalf("BookLocal after interactive drained = %+v, want a bulk job", next)
+	}
+}
+
+// TestPriorityJournalRoundTrip: priority and campaign tags survive the
+// journal, and pre-priority journal files decode to interactive.
+func TestPriorityJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	q, _ := testQueue(t, QueueConfig{Dir: dir})
+	j, err := q.Submit(json.RawMessage(`{"layers":2}`), "spec-a",
+		SubmitOptions{Priority: PriorityBulk, Campaign: "c-9", Member: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, _ := testQueue(t, QueueConfig{Dir: dir})
+	got, err := q2.Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Priority != PriorityBulk || got.Campaign != "c-9" || got.Member != 4 {
+		t.Fatalf("recovered job = %+v", got)
+	}
+}
+
+// TestParsePriority pins the wire vocabulary of the ?priority= knob.
+func TestParsePriority(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"", PriorityInteractive, true},
+		{"interactive", PriorityInteractive, true},
+		{"0", PriorityInteractive, true},
+		{"bulk", PriorityBulk, true},
+		{"1", PriorityBulk, true},
+		{"urgent", 0, false},
+	} {
+		got, err := ParsePriority(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParsePriority(%q) = %d, %v; want %d, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
 	}
 }
