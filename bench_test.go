@@ -441,3 +441,27 @@ func BenchmarkSessionStep(b *testing.B) {
 func BenchmarkCampaignExpand(b *testing.B) {
 	benchutil.CampaignExpand(b)
 }
+
+// BenchmarkSampleEncode is the broadcast hub's per-tick encode: one
+// Sample rendered once into a recycled NDJSON frame buffer, regardless
+// of the subscriber count. Steady state must be 0 B/op.
+func BenchmarkSampleEncode(b *testing.B) {
+	benchutil.SampleEncode(b)
+}
+
+// BenchmarkStreamFanout{1,64,1024} measure the serve-millions fan-out:
+// each op publishes one frame and delivers it to every subscriber.
+// Acceptance: 0 allocs/op in steady state at any width, and the
+// per-subscriber delivery cost (the ns/frame-delivery metric) stays
+// ≤ 5% of re-simulating a tick (BenchmarkSimTick).
+func BenchmarkStreamFanout1(b *testing.B) {
+	benchutil.StreamFanout(1)(b)
+}
+
+func BenchmarkStreamFanout64(b *testing.B) {
+	benchutil.StreamFanout(64)(b)
+}
+
+func BenchmarkStreamFanout1024(b *testing.B) {
+	benchutil.StreamFanout(1024)(b)
+}

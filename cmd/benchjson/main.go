@@ -91,6 +91,10 @@ func main() {
 		{"SolveBatch8", benchutil.SolveBatch8},
 		{"SolveSequential8", benchutil.SolveSequential8},
 		{"CampaignExpand", benchutil.CampaignExpand},
+		{"SampleEncode", benchutil.SampleEncode},
+		{"StreamFanout1", benchutil.StreamFanout(1)},
+		{"StreamFanout64", benchutil.StreamFanout(64)},
+		{"StreamFanout1024", benchutil.StreamFanout(1024)},
 	}
 	if *paper {
 		benches = append(benches,

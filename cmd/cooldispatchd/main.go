@@ -1,7 +1,13 @@
 // Command cooldispatchd is the fleet dispatcher: it accepts the same
 // client API as coolserved (POST /v1/runs, POST /v1/batches, status,
-// cancel, metrics) but executes jobs on a fleet of coolserved worker
-// daemons (started with -dispatcher) instead of in-process.
+// stream, cancel, metrics) but executes jobs on a fleet of coolserved
+// worker daemons (started with -dispatcher) instead of in-process.
+// GET /v1/runs/{id}/stream proxies the executing worker's live NDJSON
+// tick stream through one dispatcher-side broadcast hub per run: the
+// worker sees a single upstream subscriber no matter how many clients
+// follow the run here, and the tap survives worker loss by resuming
+// the retried attempt's (deterministic, byte-identical) stream at the
+// frame it left off.
 //
 // Usage:
 //
@@ -42,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -65,7 +72,11 @@ func main() {
 			"directory for the fallback executor's persisted platform artifacts (empty = memory only)")
 		resultsDir = flag.String("results-dir", "",
 			"root of the durable campaign results tree (<dir>/<date>/<campaign>/run-N.json); a restarted dispatcher resumes campaigns from here without re-running persisted members (empty = memory only)")
-		grace = flag.Duration("grace", 30*time.Second, "drain timeout for in-process runs on shutdown")
+		grace      = flag.Duration("grace", 30*time.Second, "drain timeout for in-process runs on shutdown")
+		streamRing = flag.Int("stream-ring", stream.DefaultRingFrames,
+			"per-run stream ring capacity in frames; late joiners can replay this much history (rings shrink to a run's expected tick count)")
+		streamLag = flag.Int("stream-lag", 0,
+			"frames a stream subscriber may lag before it is evicted (0 = the ring capacity)")
 	)
 	flag.Parse()
 
@@ -86,7 +97,8 @@ func main() {
 			m.RecoveredJobs, m.CorruptJournal)
 	}
 
-	d, err := newDispatcher(q, *localWorkers, *pcache, *cacheDir, *resultsDir)
+	d, err := newDispatcher(q, *localWorkers, *pcache, *cacheDir, *resultsDir,
+		stream.Config{RingFrames: *streamRing, LagFrames: *streamLag})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cooldispatchd:", err)
 		os.Exit(1)

@@ -14,6 +14,7 @@ import (
 	"repro/coolsim"
 	"repro/internal/campaign"
 	"repro/internal/fleet"
+	"repro/internal/stream"
 )
 
 // Client-facing job statuses, wire-compatible with coolserved's
@@ -51,13 +52,21 @@ type dispatcher struct {
 	// localSlots bounds concurrent in-process fallback runs.
 	localSlots chan struct{}
 
+	// streamCfg sizes each run's broadcast hub; smu guards the hub
+	// registry (dispatcher-side rings filled by per-run worker taps, or
+	// directly by the local fallback runner).
+	streamCfg stream.Config
+	smu       sync.Mutex
+	hubs      map[string]*stream.Hub
+	hubOrder  []string
+
 	mu           sync.Mutex
 	draining     bool
 	localCancels map[string]context.CancelFunc
 	wg           sync.WaitGroup // in-flight local runs
 }
 
-func newDispatcher(q *fleet.Queue, localWorkers, platformCacheSize int, cacheDir, resultsDir string) (*dispatcher, error) {
+func newDispatcher(q *fleet.Queue, localWorkers, platformCacheSize int, cacheDir, resultsDir string, streamCfg stream.Config) (*dispatcher, error) {
 	if localWorkers <= 0 {
 		localWorkers = 1
 	}
@@ -73,6 +82,8 @@ func newDispatcher(q *fleet.Queue, localWorkers, platformCacheSize int, cacheDir
 		baseCtx:      ctx,
 		abort:        cancel,
 		localSlots:   make(chan struct{}, localWorkers),
+		streamCfg:    streamCfg,
+		hubs:         map[string]*stream.Hub{},
 		localCancels: map[string]context.CancelFunc{},
 	}, nil
 }
@@ -90,11 +101,14 @@ func (d *dispatcher) handler() http.Handler {
 	mux.HandleFunc("POST /v1/batches", d.handleBatch)
 	mux.HandleFunc("GET /v1/runs", d.handleList)
 	mux.HandleFunc("GET /v1/runs/{id}", d.handleStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", d.handleStream)
 	mux.HandleFunc("DELETE /v1/runs/{id}", d.handleCancel)
 	mux.HandleFunc("GET /healthz", d.handleHealth)
 	mux.HandleFunc("GET /v1/metrics", d.handleMetrics)
 	// Campaign API — fan-out over the fleet (see internal/campaign).
-	(&campaign.API{M: d.camp, Draining: d.isDraining}).Register(mux)
+	// Member live streams resolve through the same per-run hubs as
+	// GET /v1/runs/{id}/stream: one worker tap per member.
+	(&campaign.API{M: d.camp, Draining: d.isDraining, Streams: d.hubFor}).Register(mux)
 	// Worker protocol.
 	mux.HandleFunc("POST /v1/fleet/register", d.handleRegister)
 	mux.HandleFunc("POST /v1/fleet/deregister", d.handleDeregister)
@@ -190,7 +204,11 @@ func (d *dispatcher) startLocal(j fleet.Job) {
 			cancel()
 		}()
 
-		report, err, panicked := d.runScenario(ctx, j.Scenario)
+		// The hub makes an in-process run streamable exactly like a
+		// dispatched one; a tap already waiting on this job ID hands the
+		// hub over (it exits on seeing the local booking).
+		hub := d.localHub(j.ID, j.Scenario)
+		report, err, panicked := d.runScenario(ctx, j.Scenario, hub)
 		switch {
 		case panicked:
 			_ = d.q.Fail(fleet.LocalWorker, j.ID, err.Error(), fleet.OutcomePanic)
@@ -201,12 +219,25 @@ func (d *dispatcher) startLocal(j fleet.Job) {
 		default:
 			_ = d.q.Fail(fleet.LocalWorker, j.ID, err.Error(), fleet.OutcomeError)
 		}
+		// Close after the queue transition lands so a follower waking on
+		// the close observes the terminal job state.
+		if hub != nil {
+			switch {
+			case err == nil:
+				hub.Close(stream.ReasonDone)
+			case !panicked && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+				hub.Close(stream.ReasonCanceled)
+			default:
+				hub.Close(stream.ReasonFailed)
+			}
+		}
 	}()
 }
 
 // runScenario executes one job's canonical scenario bytes with the same
-// panic isolation a remote worker applies.
-func (d *dispatcher) runScenario(ctx context.Context, raw json.RawMessage) (report json.RawMessage, err error, panicked bool) {
+// panic isolation a remote worker applies, publishing each tick into
+// the job's broadcast hub (when it has one).
+func (d *dispatcher) runScenario(ctx context.Context, raw json.RawMessage, hub *stream.Hub) (report json.RawMessage, err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
@@ -217,7 +248,11 @@ func (d *dispatcher) runScenario(ctx context.Context, raw json.RawMessage) (repo
 	if err != nil {
 		return nil, err, false
 	}
-	rep, err := coolsim.Run(ctx, sc, coolsim.WithPlatformCache(d.pcache))
+	opts := []coolsim.Option{coolsim.WithPlatformCache(d.pcache)}
+	if hub != nil {
+		opts = append(opts, coolsim.WithObserver(hub.Publish))
+	}
+	rep, err := coolsim.Run(ctx, sc, opts...)
 	if err != nil {
 		return nil, err, false
 	}
@@ -340,13 +375,23 @@ func (d *dispatcher) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *dispatcher) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j, err := d.q.Cancel(r.PathValue("id"))
+	j, err := d.cancelRun(r.PathValue("id"))
 	if err != nil {
 		fleet.WriteError(w, http.StatusNotFound, fleet.CodeNotFound, "no such run")
 		return
 	}
-	// A job executing in-process has no heartbeat to relay the cancel:
-	// abort its context directly.
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(view(j))
+}
+
+// cancelRun cancels a job in the queue and, when it is executing
+// in-process (no heartbeat to relay the cancel), aborts its context
+// directly.
+func (d *dispatcher) cancelRun(id string) (fleet.Job, error) {
+	j, err := d.q.Cancel(id)
+	if err != nil {
+		return fleet.Job{}, err
+	}
 	if j.Worker == fleet.LocalWorker && j.CancelRequested {
 		d.mu.Lock()
 		cancel := d.localCancels[j.ID]
@@ -355,8 +400,7 @@ func (d *dispatcher) handleCancel(w http.ResponseWriter, r *http.Request) {
 			cancel()
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(view(j))
+	return j, nil
 }
 
 // batchRequest mirrors coolserved's POST /v1/batches wire form. Workers
@@ -480,7 +524,11 @@ type metricsView struct {
 	Fleet         fleet.Metrics              `json:"fleet"`
 	Campaigns     campaign.Metrics           `json:"campaigns"`
 	PlatformCache coolsim.PlatformCacheStats `json:"platform_cache"`
-	Draining      bool                       `json:"draining"`
+	// Streams aggregates the dispatcher-side run hubs: attached
+	// subscribers, frames and bytes fanned out, slow-consumer evictions,
+	// retained ring depth.
+	Streams  stream.Totals `json:"streams"`
+	Draining bool          `json:"draining"`
 }
 
 func (d *dispatcher) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -493,6 +541,7 @@ func (d *dispatcher) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		PlatformCache: d.pcache.Stats(),
 		Draining:      draining,
 	}
+	d.addStreamTotals(&v.Streams)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
 }

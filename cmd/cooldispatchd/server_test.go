@@ -15,6 +15,7 @@ import (
 	"repro/coolsim"
 	"repro/internal/campaign"
 	"repro/internal/fleet"
+	"repro/internal/stream"
 )
 
 const quickBody = `{"workload":"gzip","cooling":"var","policy":"talb","layers":2,"duration":3,"warmup":1,"grid_nx":12,"grid_ny":10}`
@@ -37,7 +38,7 @@ func newTestDispatcherDirs(t *testing.T, stateDir, resultsDir string) (*dispatch
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := newDispatcher(q, 2, 4, "", resultsDir)
+	d, err := newDispatcher(q, 2, 4, "", resultsDir, stream.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestRestartRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d1, err := newDispatcher(q1, 1, 4, "", "")
+	d1, err := newDispatcher(q1, 1, 4, "", "", stream.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/stream"
+)
+
+// streamRetain bounds how many closed run hubs the dispatcher keeps
+// around for late replay; live hubs are never evicted.
+const streamRetain = 64
+
+// hubFor returns the broadcast hub of one fleet job, creating it — and
+// the worker tap that fills it — on first use. The tap is the whole
+// point of proxying here: no matter how many clients follow a run
+// through the dispatcher, the executing worker sees exactly one stream
+// subscriber. nil means the job is unknown.
+func (d *dispatcher) hubFor(jobID string) *stream.Hub {
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	if h := d.hubs[jobID]; h != nil {
+		return h
+	}
+	j, err := d.q.Get(jobID)
+	if err != nil {
+		return nil
+	}
+	sc, err := fleet.DecodeScenario(j.Scenario)
+	if err != nil {
+		return nil // canonical bytes always decode; treat as unknown
+	}
+	h := stream.HubFor(sc, d.streamCfg)
+	d.registerHubLocked(jobID, h)
+	go d.runTap(jobID, h)
+	return h
+}
+
+// localHub is hubFor for the in-process fallback runner: it reuses a
+// hub a subscriber already created (that hub's tap exits once it sees
+// the local booking) or registers a fresh one. The runner owns
+// publishing into and closing the returned hub. nil only when the
+// scenario bytes are undecodable.
+func (d *dispatcher) localHub(jobID string, raw []byte) *stream.Hub {
+	d.smu.Lock()
+	defer d.smu.Unlock()
+	if h := d.hubs[jobID]; h != nil {
+		return h
+	}
+	sc, err := fleet.DecodeScenario(raw)
+	if err != nil {
+		return nil
+	}
+	h := stream.HubFor(sc, d.streamCfg)
+	d.registerHubLocked(jobID, h)
+	return h
+}
+
+// registerHubLocked files a new hub and prunes the oldest closed hubs
+// beyond the retention cap. Pumps holding evicted hubs keep draining
+// them — a hub is self-contained — only late replay is lost.
+func (d *dispatcher) registerHubLocked(jobID string, h *stream.Hub) {
+	d.hubs[jobID] = h
+	d.hubOrder = append(d.hubOrder, jobID)
+	excess := len(d.hubs) - streamRetain
+	if excess <= 0 {
+		return
+	}
+	kept := d.hubOrder[:0]
+	for _, id := range d.hubOrder {
+		if excess > 0 {
+			if closed, _ := d.hubs[id].Closed(); closed {
+				delete(d.hubs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	d.hubOrder = kept
+}
+
+// addStreamTotals folds every run hub into /v1/metrics.
+func (d *dispatcher) addStreamTotals(t *stream.Totals) {
+	d.smu.Lock()
+	hubs := make([]*stream.Hub, 0, len(d.hubs))
+	for _, h := range d.hubs {
+		hubs = append(hubs, h)
+	}
+	d.smu.Unlock()
+	for _, h := range hubs {
+		t.Add(h.Stats())
+	}
+}
+
+func closeReasonForState(st fleet.State) stream.CloseReason {
+	switch st {
+	case fleet.StateCompleted:
+		return stream.ReasonDone
+	case fleet.StateCanceled:
+		return stream.ReasonCanceled
+	default:
+		return stream.ReasonFailed
+	}
+}
+
+// runTap fills a fleet job's dispatcher-side hub from the worker
+// executing it. The tap follows the job across requeues: scenarios are
+// deterministic, so attempt N+1 re-produces attempt N's frames
+// byte-for-byte and the tap resumes the new attempt's stream at the
+// frame it already relayed (?from=<hub seq>). The hub closes with the
+// run's terminal reason once the queue agrees the job is settled.
+func (d *dispatcher) runTap(jobID string, h *stream.Hub) {
+	terminalMisses := 0
+	for {
+		j, err := d.q.Get(jobID)
+		if err != nil {
+			h.Close(stream.ReasonFailed)
+			return
+		}
+		// A settled job's Worker field is cleared; the attempt history
+		// still says which worker holds the replay.
+		worker := j.Worker
+		if worker == "" && len(j.Attempts) > 0 {
+			worker = j.Attempts[len(j.Attempts)-1].Worker
+		}
+		if worker == fleet.LocalWorker {
+			return // the in-process runner owns this hub
+		}
+		if worker != "" {
+			if addr, ok := d.q.WorkerAddr(worker); ok {
+				if d.relay(jobID, len(j.Attempts), addr, h) {
+					return
+				}
+			}
+		}
+		if j.State.Terminal() {
+			// The worker is gone or its replay is unreachable; give the
+			// relay a few retries, then settle for the queue's verdict.
+			if terminalMisses++; terminalMisses >= 20 {
+				h.Close(closeReasonForState(j.State))
+				return
+			}
+		}
+		select {
+		case <-d.baseCtx.Done():
+			h.Close(stream.ReasonCanceled)
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// relay streams one worker-side run (job "<id>.<attempt>") into the
+// hub, starting at the frames the hub already holds. It returns true
+// when the hub was closed with a terminal reason the queue confirms;
+// false tells the tap to re-resolve the job and reconnect (connection
+// error, the worker hasn't created the attempt yet, a mid-stream
+// disconnect, or this tap itself lagging out of the worker's ring).
+func (d *dispatcher) relay(jobID string, attempt int, addr string, h *stream.Hub) bool {
+	url := fmt.Sprintf("http://%s/v1/runs/%s.%d/stream?from=%d", addr, jobID, attempt, h.Seq())
+	req, err := http.NewRequestWithContext(d.baseCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	br := bufio.NewReaderSize(resp.Body, 32<<10)
+	for {
+		line, err := br.ReadBytes('\n')
+		if n := len(line); n > 0 && line[n-1] == '\n' {
+			h.PublishFrame(line)
+		}
+		if err != nil {
+			break
+		}
+	}
+	reason, ok := stream.ParseCloseReason(resp.Trailer.Get("X-Stream-Close-Reason"))
+	if !ok || reason == stream.ReasonLagged {
+		// Mid-stream disconnect, or this tap lagged out of the worker's
+		// ring: reconnect and resume at h.Seq().
+		return false
+	}
+	// A failed or canceled attempt may still be retried by the fleet;
+	// only a queue-terminal job ends the tap. (The completion races the
+	// trailer — the next poll sees the settled state.)
+	if j, err := d.q.Get(jobID); err == nil && !j.State.Terminal() {
+		return false
+	}
+	h.Close(reason)
+	return true
+}
+
+// handleStream follows one fleet run as NDJSON through the dispatcher,
+// wire-identical to streaming from the worker itself: ring replay (or
+// ?from=latest / ?from=N), then live frames, then the
+// X-Stream-Close-Reason trailer. ?cancel_on_disconnect=1 cancels the
+// run when the client hangs up, like coolserved's endpoint.
+func (d *dispatcher) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	h := d.hubFor(id)
+	if h == nil {
+		fleet.WriteError(w, http.StatusNotFound, fleet.CodeNotFound, "no such run")
+		return
+	}
+	cancelOnDisconnect := r.URL.Query().Get("cancel_on_disconnect") == "1"
+	if _, err := stream.Serve(w, r, h, stream.ServeOptions{}); err != nil && cancelOnDisconnect {
+		d.cancelRun(id)
+	}
+}

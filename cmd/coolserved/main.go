@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -65,11 +66,16 @@ func main() {
 			"cooldispatchd base URL; when set the daemon also registers as a fleet worker and executes dispatched jobs (see SERVICE.md, Fleet)")
 		capacity = flag.Int("fleet-capacity", 0,
 			"concurrent dispatched jobs in worker mode (0 = the -workers value, else NumCPU)")
-		poll = flag.Duration("poll", 500*time.Millisecond, "dispatcher poll interval in worker mode")
+		poll       = flag.Duration("poll", 500*time.Millisecond, "dispatcher poll interval in worker mode")
+		streamRing = flag.Int("stream-ring", stream.DefaultRingFrames,
+			"per-run stream ring capacity in frames; late joiners can replay this much history (rings shrink to a run's expected tick count)")
+		streamLag = flag.Int("stream-lag", 0,
+			"frames a stream subscriber may lag before it is evicted (0 = the ring capacity)")
 	)
 	flag.Parse()
 
-	s, err := newServer(*workers, *retain, *pcache, *cacheDir, *resultsDir)
+	s, err := newServer(*workers, *retain, *pcache, *cacheDir, *resultsDir,
+		stream.Config{RingFrames: *streamRing, LagFrames: *streamLag})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coolserved:", err)
 		os.Exit(1)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/fleet"
 	"repro/internal/par"
+	"repro/internal/stream"
 )
 
 // Job lifecycle states reported by GET /v1/runs/{id}.
@@ -25,20 +26,20 @@ const (
 )
 
 // job is one submitted scenario and everything observers need: status,
-// the per-tick samples streamed so far, and the final report. mu guards
-// every mutable field; cond wakes stream followers on appends and on
-// completion.
+// the run's broadcast hub (every tick encoded once, fanned out to any
+// number of stream followers), and the final report. mu guards the
+// mutable fields; the hub carries its own synchronization and wakes
+// stream followers on publishes and on completion.
 type job struct {
 	id     string
 	sc     coolsim.Scenario
 	cancel context.CancelFunc
+	hub    *stream.Hub
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	status  string
-	samples []coolsim.Sample
-	report  *coolsim.Report
-	errMsg  string
+	mu     sync.Mutex
+	status string
+	report *coolsim.Report
+	errMsg string
 }
 
 func (j *job) finished() bool {
@@ -65,8 +66,14 @@ type server struct {
 	batch coolsim.BatchCounters
 
 	// camp serves the same campaign API as cooldispatchd, backed by the
-	// in-process executor (campaign.Local) instead of the fleet.
-	camp *campaign.Manager
+	// in-process executor (campaign.Local) instead of the fleet; local is
+	// that executor, kept for member hub lookups (campaign streams).
+	camp  *campaign.Manager
+	local *campaign.Local
+
+	// streamCfg sizes each run's broadcast hub (ring capacity, lag
+	// budget), from the -stream-ring / -stream-lag flags.
+	streamCfg stream.Config
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -98,23 +105,25 @@ func (t *steppingTotals) add(r *coolsim.Report) {
 	t.ThermalSolves += int64(r.ThermalSolves)
 }
 
-func newServer(workers, retain, platformCacheSize int, cacheDir, resultsDir string) (*server, error) {
+func newServer(workers, retain, platformCacheSize int, cacheDir, resultsDir string, streamCfg stream.Config) (*server, error) {
 	repo, err := campaign.NewRepo(resultsDir)
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &server{
-		pool:    par.NewPool(workers),
-		baseCtx: ctx,
-		abort:   cancel,
-		pcache:  coolsim.NewPlatformCacheDir(platformCacheSize, cacheDir),
-		jobs:    map[string]*job{},
-		retain:  retain,
+		pool:      par.NewPool(workers),
+		baseCtx:   ctx,
+		abort:     cancel,
+		pcache:    coolsim.NewPlatformCacheDir(platformCacheSize, cacheDir),
+		jobs:      map[string]*job{},
+		retain:    retain,
+		streamCfg: streamCfg,
 	}
-	s.camp = campaign.NewManager(
-		campaign.NewLocal(ctx, par.Workers(workers), coolsim.WithPlatformCache(s.pcache)),
-		repo, nil)
+	local := campaign.NewLocal(ctx, par.Workers(workers), coolsim.WithPlatformCache(s.pcache))
+	local.StreamCfg = streamCfg
+	s.local = local
+	s.camp = campaign.NewManager(local, repo, nil)
 	// The reconcile ticker persists finished member reports and advances
 	// campaign members; it stops when drain aborts baseCtx.
 	go func() {
@@ -178,8 +187,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	// Campaign API — same surface as cooldispatchd, executed in-process
-	// (see internal/campaign).
-	(&campaign.API{M: s.camp, Draining: s.isDraining}).Register(mux)
+	// (see internal/campaign). Member live streams resolve to the local
+	// executor's per-member hubs.
+	(&campaign.API{M: s.camp, Draining: s.isDraining, Streams: s.local.Hub}).Register(mux)
 	return mux
 }
 
@@ -230,8 +240,10 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.seq++
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	j := &job{id: fmt.Sprintf("run-%d", s.seq), sc: sc, cancel: cancel, status: statusQueued}
-	j.cond = sync.NewCond(&j.mu)
+	j := &job{
+		id: fmt.Sprintf("run-%d", s.seq), sc: sc, cancel: cancel,
+		status: statusQueued, hub: stream.HubFor(sc, s.streamCfg),
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.pruneLocked()
@@ -243,8 +255,8 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.mu.Lock()
 		j.status = statusCanceled
 		j.errMsg = "server shut down before the job started"
-		j.cond.Broadcast()
 		j.mu.Unlock()
+		j.hub.Close(stream.ReasonCanceled)
 		fleet.WriteError(w, http.StatusServiceUnavailable, fleet.CodeDraining, "server is draining")
 		return
 	}
@@ -253,8 +265,9 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(submitResponse{ID: j.id, Status: statusQueued})
 }
 
-// execute runs one job on a pool worker, streaming every tick into the
-// job's sample log.
+// execute runs one job on a pool worker, publishing every tick into the
+// job's broadcast hub: each Sample is encoded exactly once, regardless
+// of how many stream followers are attached.
 func (s *server) execute(ctx context.Context, j *job) {
 	defer j.cancel() // release the context either way
 	j.mu.Lock()
@@ -267,8 +280,8 @@ func (s *server) execute(ctx context.Context, j *job) {
 		// Canceled while still queued (server drain).
 		j.status = statusCanceled
 		j.errMsg = err.Error()
-		j.cond.Broadcast()
 		j.mu.Unlock()
+		j.hub.Close(stream.ReasonCanceled)
 		return
 	}
 	j.status = statusRunning
@@ -279,13 +292,7 @@ func (s *server) execute(ctx context.Context, j *job) {
 
 	report, err := coolsim.Run(ctx, j.sc,
 		coolsim.WithPlatformCache(s.pcache),
-		coolsim.WithObserver(func(smp *coolsim.Sample) {
-			clone := smp.Clone()
-			j.mu.Lock()
-			j.samples = append(j.samples, clone)
-			j.cond.Broadcast()
-			j.mu.Unlock()
-		}))
+		coolsim.WithObserver(j.hub.Publish))
 
 	if err == nil {
 		s.mu.Lock()
@@ -293,8 +300,6 @@ func (s *server) execute(ctx context.Context, j *job) {
 		s.mu.Unlock()
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	defer j.cond.Broadcast()
 	switch {
 	case err == nil:
 		j.status = statusDone
@@ -305,6 +310,24 @@ func (s *server) execute(ctx context.Context, j *job) {
 	default:
 		j.status = statusFailed
 		j.errMsg = err.Error()
+	}
+	reason := closeReasonFor(j.status)
+	j.mu.Unlock()
+	// Close after the status lands so a follower that wakes on the close
+	// sees the terminal status; followers drain the ring either way.
+	j.hub.Close(reason)
+}
+
+// closeReasonFor maps a terminal job status to the hub close reason
+// delivered to stream followers.
+func closeReasonFor(status string) stream.CloseReason {
+	switch status {
+	case statusDone:
+		return stream.ReasonDone
+	case statusCanceled:
+		return stream.ReasonCanceled
+	default:
+		return stream.ReasonFailed
 	}
 }
 
@@ -393,18 +416,31 @@ type runView struct {
 	ID       string           `json:"id"`
 	Status   string           `json:"status"`
 	Scenario coolsim.Scenario `json:"scenario"`
-	Samples  int              `json:"samples"`
-	Report   *coolsim.Report  `json:"report,omitempty"`
-	Error    string           `json:"error,omitempty"`
+	// Samples counts the ticks published so far (the stream's frame
+	// count); TicksPerSec and EtaSeconds are live progress estimates
+	// while the run executes.
+	Samples     int             `json:"samples"`
+	TicksPerSec float64         `json:"ticks_per_sec,omitempty"`
+	EtaSeconds  float64         `json:"eta_seconds,omitempty"`
+	Subscribers int             `json:"subscribers,omitempty"`
+	Report      *coolsim.Report `json:"report,omitempty"`
+	Error       string          `json:"error,omitempty"`
 }
 
 func (j *job) view() runView {
+	st := j.hub.Stats()
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return runView{
+	v := runView{
 		ID: j.id, Status: j.status, Scenario: j.sc,
-		Samples: len(j.samples), Report: j.report, Error: j.errMsg,
+		Samples: int(st.Frames), Subscribers: st.Subscribers,
+		Report: j.report, Error: j.errMsg,
 	}
+	if j.status == statusRunning {
+		v.TicksPerSec = st.TicksPerSec
+		v.EtaSeconds = st.EtaSeconds
+	}
+	return v
 }
 
 func (s *server) lookup(w http.ResponseWriter, r *http.Request) *job {
@@ -448,77 +484,36 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	j.cancel()
 	// A queued job resolves immediately: its pool slot may be hours away
-	// behind other runs, and execute() will find it already finished.
+	// behind other runs, and execute() will find it already finished. The
+	// hub close releases any followers already attached to the queued job.
 	j.mu.Lock()
-	if j.status == statusQueued {
+	canceledQueued := j.status == statusQueued
+	if canceledQueued {
 		j.status = statusCanceled
 		j.errMsg = "canceled before start"
-		j.cond.Broadcast()
 	}
 	j.mu.Unlock()
+	if canceledQueued {
+		j.hub.Close(stream.ReasonCanceled)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(j.view())
 }
 
-// handleStream follows a run as NDJSON, one Sample per line: everything
-// recorded so far immediately, then each new tick as it lands, ending
-// when the job finishes. With ?cancel_on_disconnect=1 the stream owns the
-// job: the client hanging up cancels the run (the dispatcher analogue of
-// Ctrl-C on an attached simulation).
+// handleStream follows a run as NDJSON, one Sample per line: the ring
+// replay (or ?from=latest / ?from=N) immediately, then each new tick as
+// the hub publishes it, ending with an X-Stream-Close-Reason trailer
+// when the job finishes. With ?cancel_on_disconnect=1 the stream owns
+// the job: the client hanging up cancels the run (the dispatcher
+// analogue of Ctrl-C on an attached simulation).
 func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(w, r)
 	if j == nil {
 		return
 	}
 	cancelOnDisconnect := r.URL.Query().Get("cancel_on_disconnect") == "1"
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-
-	ctx := r.Context()
-	// cond.Wait cannot watch a context, so a disconnect wakes the waiter
-	// via Broadcast.
-	stop := context.AfterFunc(ctx, func() {
-		j.mu.Lock()
-		j.cond.Broadcast()
-		j.mu.Unlock()
-	})
-	defer stop()
-
-	sent := 0
-	for {
-		j.mu.Lock()
-		for sent >= len(j.samples) && !j.finished() && ctx.Err() == nil {
-			j.cond.Wait()
-		}
-		batch := j.samples[sent:len(j.samples):len(j.samples)]
-		sent = len(j.samples)
-		finished := j.finished()
-		j.mu.Unlock()
-
-		for i := range batch {
-			if err := enc.Encode(&batch[i]); err != nil {
-				if cancelOnDisconnect {
-					j.cancel()
-				}
-				return
-			}
-		}
-		if len(batch) > 0 && flusher != nil {
-			flusher.Flush()
-		}
-		// finished and batch were read under one lock: once the job is
-		// finished no sample can land after that batch.
-		if finished {
-			return
-		}
-		if ctx.Err() != nil {
-			if cancelOnDisconnect {
-				j.cancel()
-			}
-			return
-		}
+	if _, err := stream.Serve(w, r, j.hub, stream.ServeOptions{}); err != nil && cancelOnDisconnect {
+		j.cancel()
 	}
 }
 
@@ -558,7 +553,11 @@ type metricsView struct {
 	Batch   coolsim.BatchStats `json:"batch"`
 	// Campaigns rolls up the campaign manager and its result repository.
 	Campaigns campaign.Metrics `json:"campaigns"`
-	Draining  bool             `json:"draining"`
+	// Streams aggregates every broadcast hub (runs and campaign members):
+	// attached subscribers, frames and bytes fanned out, slow-consumer
+	// evictions, retained ring depth.
+	Streams  stream.Totals `json:"streams"`
+	Draining bool          `json:"draining"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -575,7 +574,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	v.Draining = s.draining
 	s.mu.Unlock()
 	v.Batch = s.batch.Stats()
+	s.local.AddStreamTotals(&v.Streams)
 	for _, j := range jobs {
+		v.Streams.Add(j.hub.Stats())
 		j.mu.Lock()
 		st := j.status
 		j.mu.Unlock()

@@ -5,14 +5,18 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/coolsim"
+	"repro/internal/stream"
 )
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
@@ -21,7 +25,7 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 
 func testServerConfig(t *testing.T, workers, retain int) (*server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer(workers, retain, 0, "", "")
+	s, err := newServer(workers, retain, 0, "", "", stream.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,6 +213,87 @@ func TestDeleteCancelsQueuedAndRunning(t *testing.T) {
 	}
 }
 
+// TestDeleteWithAttachedFollowers is the teardown contract: DELETE
+// /v1/runs/{id} while several followers are attached mid-run — some
+// owning the run via ?cancel_on_disconnect=1 — must close every stream
+// promptly with the canceled trailer, and every handler goroutine must
+// unwind (no leaks: the hub close wakes parked subscribers instead of
+// leaving them blocked forever).
+func TestDeleteWithAttachedFollowers(t *testing.T) {
+	_, ts := testServer(t)
+	id := submit(t, ts, `{"workload":"gzip","cooling":"max","policy":"lb","layers":2,
+		"duration":3600,"warmup":1,"grid_nx":12,"grid_ny":10}`)
+	waitStatus(t, ts, id, statusRunning, 30*time.Second)
+
+	before := runtime.NumGoroutine()
+
+	const followers = 8
+	type result struct {
+		reason string
+		err    error
+	}
+	results := make(chan result, followers)
+	for i := 0; i < followers; i++ {
+		go func(i int) {
+			url := ts.URL + "/v1/runs/" + id + "/stream"
+			if i%2 == 0 {
+				url += "?cancel_on_disconnect=1"
+			}
+			resp, err := http.Get(url)
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				results <- result{err: err}
+				return
+			}
+			results <- result{reason: resp.Trailer.Get("X-Stream-Close-Reason")}
+		}(i)
+	}
+	// Let the followers attach and read live frames.
+	time.Sleep(200 * time.Millisecond)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	for i := 0; i < followers; i++ {
+		select {
+		case res := <-results:
+			if res.err != nil {
+				t.Fatalf("follower failed: %v", res.err)
+			}
+			if res.reason != "canceled" {
+				t.Fatalf("close reason = %q, want canceled", res.reason)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("a follower is still attached after DELETE")
+		}
+	}
+	waitStatus(t, ts, id, statusCanceled, 30*time.Second)
+
+	// Every stream handler must have unwound; only the idle keep-alive
+	// connections need a nudge.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 func TestSubmitValidation(t *testing.T) {
 	_, ts := testServer(t)
 	cases := []string{
@@ -285,7 +370,7 @@ func TestRetentionEvictsOldestFinished(t *testing.T) {
 }
 
 func TestDrainRejectsNewJobs(t *testing.T) {
-	s, err := newServer(1, 0, 0, "", "")
+	s, err := newServer(1, 0, 0, "", "", stream.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -494,6 +579,107 @@ func readCampaignStream(t *testing.T, ts *httptest.Server, id string) []string {
 	return lines
 }
 
+// sessionNDJSON encodes every tick of a solo session of sc exactly the
+// way the pre-hub stream endpoint did — the byte-identity target for a
+// member's live frames.
+func sessionNDJSON(t *testing.T, sc coolsim.Scenario) []byte {
+	t.Helper()
+	ss, err := coolsim.NewSession(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for {
+		smp, err := ss.Step()
+		if err != nil {
+			if errors.Is(err, coolsim.ErrSessionDone) {
+				return buf.Bytes()
+			}
+			t.Fatal(err)
+		}
+		if err := enc.Encode(smp); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCampaignLiveStream: GET /v1/campaigns/{id}/stream follows every
+// member's live ticks on one member-tagged NDJSON response. A subscriber
+// attached at submit time must see every tick of every member (ring
+// replay covers members that start before their pump attaches), and each
+// member's embedded frames must be byte-identical to a solo session of
+// the expanded scenario.
+func TestCampaignLiveStream(t *testing.T) {
+	_, ts := testServer(t)
+	spec := `{"name":"live","sweep":{"base":` + quickBody + `,"seeds":[1,2]}}`
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("create: %d %s", resp.StatusCode, buf.String())
+	}
+	var cv struct {
+		ID      string `json:"id"`
+		Members int    `json:"members"`
+	}
+	json.NewDecoder(resp.Body).Decode(&cv)
+	resp.Body.Close()
+
+	rs, err := http.Get(ts.URL + "/v1/campaigns/" + cv.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Body.Close()
+	if ct := rs.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	perMember := map[int]*bytes.Buffer{}
+	scn := bufio.NewScanner(rs.Body)
+	scn.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for scn.Scan() {
+		var line struct {
+			Member *int            `json:"member"`
+			Sample json.RawMessage `json:"sample"`
+		}
+		if err := json.Unmarshal(scn.Bytes(), &line); err != nil || line.Member == nil {
+			t.Fatalf("bad stream line %q: %v", scn.Text(), err)
+		}
+		b := perMember[*line.Member]
+		if b == nil {
+			b = &bytes.Buffer{}
+			perMember[*line.Member] = b
+		}
+		// json.RawMessage keeps the embedded frame bytes verbatim.
+		b.Write(line.Sample)
+		b.WriteByte('\n')
+	}
+	if err := scn.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var cspec coolsim.Campaign
+	if err := json.Unmarshal([]byte(spec), &cspec); err != nil {
+		t.Fatal(err)
+	}
+	scs, err := cspec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perMember) != len(scs) {
+		t.Fatalf("stream carried %d members, want %d", len(perMember), len(scs))
+	}
+	for i, sc := range scs {
+		if !bytes.Equal(perMember[i].Bytes(), sessionNDJSON(t, sc)) {
+			t.Fatalf("member %d live stream differs from a solo session", i)
+		}
+	}
+}
+
 // TestCampaignLocalAndResume: coolserved serves the same campaign API as
 // the dispatcher, executed in-process. A sweep campaign streams reports
 // byte-identical to solo runs; a second daemon on the same -results-dir
@@ -501,7 +687,7 @@ func readCampaignStream(t *testing.T, ts *httptest.Server, id string) []string {
 // aggregate without re-running a single member.
 func TestCampaignLocalAndResume(t *testing.T) {
 	resultsDir := t.TempDir()
-	s1, err := newServer(2, 0, 0, "", resultsDir)
+	s1, err := newServer(2, 0, 0, "", resultsDir, stream.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -557,7 +743,7 @@ func TestCampaignLocalAndResume(t *testing.T) {
 
 	// Second life on the same results tree: the campaign is resumed from
 	// disk, the aggregate is identical, and nothing re-executes.
-	s2, err := newServer(2, 0, 0, "", resultsDir)
+	s2, err := newServer(2, 0, 0, "", resultsDir, stream.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,9 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/fleet"
+	"repro/internal/stream"
 )
 
 // runFleetJob is the coolserved side of worker mode: the fleet.Runner
@@ -27,8 +27,8 @@ func (s *server) runFleetJob(ctx context.Context, wj fleet.WireJob) (json.RawMes
 		sc:     sc,
 		cancel: cancel,
 		status: statusQueued,
+		hub:    stream.HubFor(sc, s.streamCfg),
 	}
-	j.cond = sync.NewCond(&j.mu)
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)

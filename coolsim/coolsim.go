@@ -195,6 +195,17 @@ func (sc Scenario) PlatformKey() (string, error) {
 	return spec.Canonical().String(), nil
 }
 
+// ExpectedTicks returns how many per-tick Samples a full run of the
+// scenario emits (warm-up plus measured duration at the base tick) — the
+// expected-frame budget behind stream ETAs. 0 if the scenario is invalid.
+func (sc Scenario) ExpectedTicks() int {
+	cfg, err := sc.simConfig(config{})
+	if err != nil || cfg.Tick <= 0 {
+		return 0
+	}
+	return int(float64(cfg.Warmup+cfg.Duration)/float64(cfg.Tick) + 0.5)
+}
+
 // Report is the user-facing result of a scenario: flat, unit-suffixed
 // fields ready for JSON.
 type Report struct {
@@ -287,6 +298,15 @@ func RunMany(ctx context.Context, scs []Scenario, opts ...Option) ([]*Report, er
 	if cfg.pcache != nil {
 		if err := cfg.pcache.attachAll(cfgs); err != nil {
 			return nil, err
+		}
+	}
+	if fn := cfg.memberObserver; fn != nil {
+		for i := range cfgs {
+			member := i
+			sp := &sampler{}
+			cfgs[i].Observer = func(s *sim.Sim, measured bool) {
+				fn(member, sp.fill(s, measured))
+			}
 		}
 	}
 	results, err := sim.RunAll(ctx, cfgs, cfg.workers)

@@ -1,0 +1,82 @@
+package coolsim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// sessionSamples runs sc solo through a Session and returns every tick.
+func sessionSamples(t *testing.T, sc Scenario, opts ...Option) []Sample {
+	t.Helper()
+	ss, err := NewSession(context.Background(), sc, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Sample
+	for {
+		smp, err := ss.Step()
+		if err != nil {
+			if errors.Is(err, ErrSessionDone) {
+				return out
+			}
+			t.Fatal(err)
+		}
+		out = append(out, smp.Clone())
+	}
+}
+
+// TestMemberObserverMatchesSession: RunMany's per-member tick stream is
+// identical to running each scenario alone through a Session — including
+// when oversubscription gangs the members into lock-step batches.
+func TestMemberObserverMatchesSession(t *testing.T) {
+	base := DefaultScenario()
+	base.Duration, base.Warmup = 2, 0.5
+	scs := make([]Scenario, 3)
+	for i := range scs {
+		scs[i] = base
+		scs[i].Seed = int64(i + 1)
+	}
+
+	pc := NewPlatformCache(2)
+	var mu sync.Mutex
+	got := make([][]Sample, len(scs))
+	// One worker over three platform-sharing scenarios forces the gang
+	// path; the observer must fire there too.
+	_, err := RunMany(context.Background(), scs,
+		WithWorkers(1), WithPlatformCache(pc),
+		WithMemberObserver(func(member int, smp *Sample) {
+			mu.Lock()
+			got[member] = append(got[member], smp.Clone())
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, sc := range scs {
+		want := sessionSamples(t, sc, WithPlatformCache(pc))
+		if len(got[i]) != len(want) {
+			t.Fatalf("member %d: %d samples, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if !reflect.DeepEqual(got[i][j], want[j]) {
+				t.Fatalf("member %d tick %d diverges:\n got  %+v\n want %+v", i, j, got[i][j], want[j])
+			}
+		}
+		if sc.ExpectedTicks() != len(want) {
+			t.Fatalf("ExpectedTicks()=%d, session emitted %d", sc.ExpectedTicks(), len(want))
+		}
+	}
+}
+
+func TestExpectedTicksDefaults(t *testing.T) {
+	if n := DefaultScenario().ExpectedTicks(); n != 650 {
+		t.Fatalf("default scenario ExpectedTicks()=%d, want 650 (65 s at 100 ms)", n)
+	}
+	if n := (Scenario{}).ExpectedTicks(); n != 0 {
+		t.Fatalf("invalid scenario ExpectedTicks()=%d, want 0", n)
+	}
+}

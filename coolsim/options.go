@@ -12,6 +12,7 @@ type config struct {
 	tick           float64
 	stepping       *Stepping
 	observer       func(*Sample)
+	memberObserver func(member int, smp *Sample)
 	pcache         *PlatformCache
 	controlEvery   int
 	solveWorkers   int
@@ -76,6 +77,19 @@ func WithPlatformCache(pc *PlatformCache) Option {
 // observer adds no allocations to the tick path. RunMany ignores it.
 func WithObserver(fn func(*Sample)) Option {
 	return func(c *config) { c.observer = fn }
+}
+
+// WithMemberObserver registers a per-tick hook on RunMany: fn receives
+// every Sample of every scenario in the call, tagged with the scenario's
+// index in the input slice. Unlike WithObserver it is safe under
+// RunMany's concurrency because each member owns a private Sample — but
+// fn itself is called concurrently from the worker pool (and from
+// lock-stepped gangs), so it must be safe for concurrent use across
+// members. Within one member, calls are ordered by tick. The *Sample is
+// reused between that member's ticks: Clone to retain. Run, RunTraced
+// and NewSession ignore it.
+func WithMemberObserver(fn func(member int, smp *Sample)) Option {
+	return func(c *config) { c.memberObserver = fn }
 }
 
 // WithControlEvery overrides the flow-controller decision cadence (base

@@ -52,6 +52,49 @@ func (s *Sample) Clone() Sample {
 	return c
 }
 
+// sampler owns one reused Sample plus the scratch needed to fill it from
+// a simulator without allocating — the Session's own refill path, also
+// stamped out per member by RunMany's WithMemberObserver wiring.
+type sampler struct {
+	sample    Sample
+	layerMax  []units.Celsius
+	layerMean []units.Celsius
+}
+
+// size allocates the per-layer slices once, on first use.
+func (sp *sampler) size(n int) {
+	if len(sp.layerMax) == n {
+		return
+	}
+	sp.layerMax = make([]units.Celsius, n)
+	sp.layerMean = make([]units.Celsius, n)
+	sp.sample.LayerMaxC = make([]float64, n)
+	sp.sample.LayerMeanC = make([]float64, n)
+}
+
+// fill refreshes the reused Sample from the simulator state. It must not
+// allocate: BenchmarkSessionStep holds the streaming path to the same
+// 0 B/op overhead budget as the underlying sim tick.
+func (sp *sampler) fill(s *sim.Sim, measured bool) *Sample {
+	sp.size(s.NumLayers())
+	sp.sample.Time = float64(s.Time())
+	sp.sample.Measured = measured
+	sp.sample.TmaxC = float64(s.Tmax())
+	// Lengths match by construction; the error path is unreachable.
+	_ = s.LayerTempsInto(sp.layerMax, sp.layerMean)
+	for i := range sp.layerMax {
+		sp.sample.LayerMaxC[i] = float64(sp.layerMax[i])
+		sp.sample.LayerMeanC[i] = float64(sp.layerMean[i])
+	}
+	sp.sample.Setting = s.DeliveredSetting()
+	sp.sample.FlowMLMin = s.DeliveredFlow().MilliLitersPerMinute()
+	sp.sample.ChipPowerW = float64(s.ChipPower())
+	sp.sample.PumpPowerW = float64(s.PumpPower())
+	sp.sample.Migrations = s.Migrations()
+	sp.sample.Refits = s.Refits()
+	return &sp.sample
+}
+
 // Session is an incrementally-executed scenario: each Step advances one
 // 100 ms tick and yields a Sample, until ErrSessionDone. Use it to watch
 // a run in flight (live dashboards, the coolserved stream endpoint, custom
@@ -59,15 +102,13 @@ func (s *Sample) Clone() Sample {
 //
 // A Session is not safe for concurrent use.
 type Session struct {
-	ctx       context.Context
-	sc        Scenario
-	cfg       config
-	sim       *sim.Sim
-	duration  units.Second
-	sample    Sample
-	layerMax  []units.Celsius
-	layerMean []units.Celsius
-	done      bool
+	ctx      context.Context
+	sc       Scenario
+	cfg      config
+	sim      *sim.Sim
+	duration units.Second
+	smp      sampler
+	done     bool
 }
 
 // NewSession assembles a scenario for incremental execution. The context
@@ -91,18 +132,14 @@ func NewSession(ctx context.Context, sc Scenario, opts ...Option) (*Session, err
 	if err != nil {
 		return nil, err
 	}
-	n := s.NumLayers()
 	ss := &Session{
-		ctx:       ctx,
-		sc:        sc,
-		cfg:       cfg,
-		sim:       s,
-		duration:  simCfg.Duration,
-		layerMax:  make([]units.Celsius, n),
-		layerMean: make([]units.Celsius, n),
+		ctx:      ctx,
+		sc:       sc,
+		cfg:      cfg,
+		sim:      s,
+		duration: simCfg.Duration,
 	}
-	ss.sample.LayerMaxC = make([]float64, n)
-	ss.sample.LayerMeanC = make([]float64, n)
+	ss.smp.size(s.NumLayers())
 	return ss, nil
 }
 
@@ -125,34 +162,22 @@ func (ss *Session) Step() (*Sample, error) {
 	if err := ss.sim.Step(); err != nil {
 		return nil, fmt.Errorf("coolsim: step at t=%v: %w", ss.sim.Time(), err)
 	}
-	ss.fill(measured)
-	return &ss.sample, nil
-}
-
-// fill refreshes the reused Sample from the simulator state. It must not
-// allocate: BenchmarkSessionStep holds the streaming path to the same
-// 0 B/op overhead budget as the underlying sim tick.
-func (ss *Session) fill(measured bool) {
-	s := ss.sim
-	ss.sample.Time = float64(s.Time())
-	ss.sample.Measured = measured
-	ss.sample.TmaxC = float64(s.Tmax())
-	// Lengths were fixed at construction; the error path is unreachable.
-	_ = s.LayerTempsInto(ss.layerMax, ss.layerMean)
-	for i := range ss.layerMax {
-		ss.sample.LayerMaxC[i] = float64(ss.layerMax[i])
-		ss.sample.LayerMeanC[i] = float64(ss.layerMean[i])
-	}
-	ss.sample.Setting = s.DeliveredSetting()
-	ss.sample.FlowMLMin = s.DeliveredFlow().MilliLitersPerMinute()
-	ss.sample.ChipPowerW = float64(s.ChipPower())
-	ss.sample.PumpPowerW = float64(s.PumpPower())
-	ss.sample.Migrations = s.Migrations()
-	ss.sample.Refits = s.Refits()
+	return ss.smp.fill(ss.sim, measured), nil
 }
 
 // Done reports whether the session has run to completion.
 func (ss *Session) Done() bool { return ss.done }
+
+// TotalTicks returns how many Steps the full session will take (warm-up
+// plus measured duration at the base tick) — the expected-frame budget
+// for stream ETAs.
+func (ss *Session) TotalTicks() int {
+	tick := float64(ss.sim.Cfg.Tick)
+	if tick <= 0 {
+		return 0
+	}
+	return int(float64(ss.duration+ss.sim.Cfg.Warmup)/tick + 0.5)
+}
 
 // Time returns the simulation clock in seconds (negative during warm-up).
 func (ss *Session) Time() float64 { return float64(ss.sim.Time()) }

@@ -119,7 +119,7 @@ func TestSessionFillAllocFree(t *testing.T) {
 	if _, err := ss.Step(); err != nil {
 		t.Fatal(err)
 	}
-	if allocs := testing.AllocsPerRun(200, func() { ss.fill(true) }); allocs != 0 {
+	if allocs := testing.AllocsPerRun(200, func() { ss.smp.fill(ss.sim, true) }); allocs != 0 {
 		t.Errorf("Session fill allocates %.0f objects per tick, want 0", allocs)
 	}
 }

@@ -38,8 +38,45 @@ const (
 )
 
 // Fit estimates an ARMA(p, q) model from series. It needs at least
-// 4·(p+q)+8 samples.
+// 4·(p+q)+8 samples. Callers that refit online should hold a Fitter
+// instead: Fit allocates fresh scratch on every call.
 func Fit(series []float64, p, q int) (*Model, error) {
+	var f Fitter
+	return f.Fit(series, p, q)
+}
+
+// Fitter owns every scratch buffer of the Hannan–Rissanen fit — the
+// centered series, the innovation estimates, the regression matrices and
+// the dense-solve workspace — plus the Model it returns, all reused
+// across calls. After the first Fit on a given window size, refits
+// allocate nothing: the online controller refits mid-run whenever the
+// SPRT trips, and that path sits inside the simulator's 0 B/op tick
+// budget. The zero value is ready to use. Not safe for concurrent use,
+// and each Fit overwrites the Model the previous one returned.
+type Fitter struct {
+	x     []float64 // centered series
+	resid []float64 // stage-1 innovation estimates
+	a     mat.Dense // regression matrix (stage 1, then stage 2)
+	b     []float64 // regression rhs
+	w     mat.Workspace
+	sc    scratch // spectral-radius power iteration
+	st    state   // sigma pass lag state
+	model Model
+}
+
+// grow returns s resized to n, reusing its backing array when possible.
+// Contents are undefined.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// Fit estimates an ARMA(p, q) model from series on the fitter's reused
+// buffers. The returned Model (and its AR/MA slices) is owned by the
+// fitter and valid until the next Fit.
+func (f *Fitter) Fit(series []float64, p, q int) (*Model, error) {
 	if p < 1 || q < 0 {
 		return nil, fmt.Errorf("arma: invalid orders p=%d q=%d", p, q)
 	}
@@ -52,7 +89,8 @@ func Fit(series []float64, p, q int) (*Model, error) {
 		mean += v
 	}
 	mean /= float64(len(series))
-	x := make([]float64, len(series))
+	f.x = grow(f.x, len(series))
+	x := f.x
 	for i, v := range series {
 		x[i] = v - mean
 	}
@@ -62,8 +100,14 @@ func Fit(series []float64, p, q int) (*Model, error) {
 	if m > len(x)/3 {
 		m = len(x) / 3
 	}
-	resid := make([]float64, len(x)) // e_t estimates; zero for t < m
-	arLong, err := fitAR(x, m)
+	f.resid = grow(f.resid, len(x))
+	resid := f.resid
+	for i := range resid[:m] {
+		resid[i] = 0 // e_t estimates; zero for t < m
+	}
+	// arLong aliases the solve workspace: it is consumed by the residual
+	// loop below, before the stage-2 solve overwrites it.
+	arLong, err := f.fitAR(x, m)
 	if err != nil {
 		return nil, err
 	}
@@ -78,8 +122,9 @@ func Fit(series []float64, p, q int) (*Model, error) {
 	// Stage 2: regress x_t on p lagged values and q lagged innovations.
 	start := m + q
 	rows := len(x) - start
-	a := mat.NewDense(rows, p+q)
-	b := make([]float64, rows)
+	a := f.a.Reshape(rows, p+q)
+	f.b = grow(f.b, rows)
+	b := f.b
 	for r := 0; r < rows; r++ {
 		t := start + r
 		for i := 0; i < p; i++ {
@@ -90,17 +135,22 @@ func Fit(series []float64, p, q int) (*Model, error) {
 		}
 		b[r] = x[t]
 	}
-	coef, err := mat.LeastSquares(a, b)
+	coef, err := f.w.LeastSquares(a, b)
 	if err != nil {
 		return nil, fmt.Errorf("arma: stage-2 regression: %w", err)
 	}
-	model := &Model{AR: coef[:p], MA: coef[p : p+q], Mean: mean}
-	model.stabilize()
+	model := &f.model
+	model.AR = append(model.AR[:0], coef[:p]...)
+	model.MA = append(model.MA[:0], coef[p:p+q]...)
+	model.Mean = mean
+	model.Sigma = 0
+	model.stabilizeWith(&f.sc)
 
 	// Residual variance on the training window.
 	var ss float64
 	n := 0
-	state := newState(model)
+	f.st.reset(model)
+	state := &f.st
 	for t := 0; t < len(x); t++ {
 		pred := state.predictNext()
 		e := x[t] - pred
@@ -116,15 +166,29 @@ func Fit(series []float64, p, q int) (*Model, error) {
 	return model, nil
 }
 
+// scratch holds the power-iteration vectors of spectralRadius, reused
+// by a Fitter across refits.
+type scratch struct {
+	v, w []float64
+}
+
 // spectralRadius estimates the magnitude of the largest root of the AR
-// companion matrix by power iteration.
-func spectralRadius(ar []float64) float64 {
+// companion matrix by power iteration. sc supplies reused iteration
+// vectors; nil allocates fresh ones.
+func spectralRadius(ar []float64, sc *scratch) float64 {
 	p := len(ar)
 	if p == 0 {
 		return 0
 	}
-	v := make([]float64, p)
-	w := make([]float64, p)
+	if sc == nil {
+		sc = &scratch{}
+	}
+	sc.v = grow(sc.v, p)
+	sc.w = grow(sc.w, p)
+	v, w := sc.v, sc.w
+	for i := range v {
+		v[i] = 0
+	}
 	v[0] = 1
 	radius := 0.0
 	for iter := 0; iter < 200; iter++ {
@@ -150,9 +214,12 @@ func spectralRadius(ar []float64) float64 {
 // the unit-circle interior so long-horizon forecasts cannot diverge.
 // Least-squares fits on noiseless periodic or collinear series can land
 // exactly on (or outside) the stability boundary.
-func (m *Model) stabilize() {
+func (m *Model) stabilize() { m.stabilizeWith(nil) }
+
+// stabilizeWith is stabilize on reused power-iteration scratch.
+func (m *Model) stabilizeWith(sc *scratch) {
 	const target = 0.995
-	if r := spectralRadius(m.AR); r > target {
+	if r := spectralRadius(m.AR, sc); r > target {
 		// Scaling φᵢ by s^i scales every companion root by s.
 		s := target / r
 		f := s
@@ -164,7 +231,7 @@ func (m *Model) stabilize() {
 	// The MA polynomial must be invertible too: the one-step error
 	// recursion e_t = x_t − Σφx − Σθe is a filter whose poles are the MA
 	// companion roots. Shrink them the same way.
-	if r := spectralRadius(m.MA); r > target {
+	if r := spectralRadius(m.MA, sc); r > target {
 		s := target / r
 		f := s
 		for j := range m.MA {
@@ -174,14 +241,17 @@ func (m *Model) stabilize() {
 	}
 }
 
-// fitAR estimates AR(m) coefficients by least squares.
-func fitAR(x []float64, m int) ([]float64, error) {
+// fitAR estimates AR(m) coefficients by least squares on the fitter's
+// reused buffers; the returned slice aliases the solve workspace and is
+// valid until its next solve.
+func (f *Fitter) fitAR(x []float64, m int) ([]float64, error) {
 	rows := len(x) - m
 	if rows < m+1 {
 		return nil, fmt.Errorf("arma: AR stage underdetermined")
 	}
-	a := mat.NewDense(rows, m)
-	b := make([]float64, rows)
+	a := f.a.Reshape(rows, m)
+	f.b = grow(f.b, rows)
+	b := f.b
 	for r := 0; r < rows; r++ {
 		t := m + r
 		for i := 0; i < m; i++ {
@@ -189,7 +259,7 @@ func fitAR(x []float64, m int) ([]float64, error) {
 		}
 		b[r] = x[t]
 	}
-	return mat.LeastSquares(a, b)
+	return f.w.LeastSquares(a, b)
 }
 
 // state carries the lagged values and innovations for recursive
@@ -201,7 +271,23 @@ type state struct {
 }
 
 func newState(m *Model) *state {
-	return &state{m: m, lagX: make([]float64, len(m.AR)), lagE: make([]float64, len(m.MA))}
+	s := &state{}
+	s.reset(m)
+	return s
+}
+
+// reset points the state at a (re)fitted model and clears the lag
+// history, reusing the lag slices when the orders allow.
+func (s *state) reset(m *Model) {
+	s.m = m
+	s.lagX = grow(s.lagX, len(m.AR))
+	s.lagE = grow(s.lagE, len(m.MA))
+	for i := range s.lagX {
+		s.lagX[i] = 0
+	}
+	for i := range s.lagE {
+		s.lagE[i] = 0
+	}
 }
 
 func (s *state) predictNext() float64 {
@@ -247,6 +333,16 @@ type Predictor struct {
 // max(p, q) observations.
 func NewPredictor(m *Model) *Predictor {
 	return &Predictor{Model: m, st: newState(m)}
+}
+
+// Reset re-targets the predictor at a refitted model and clears the lag
+// state, reusing the existing buffers — the refit path's alternative to
+// allocating a fresh predictor.
+func (p *Predictor) Reset(m *Model) {
+	p.Model = m
+	p.st.reset(m)
+	p.LastError = 0
+	p.warm = 0
 }
 
 // Observe feeds the next measured value, updating the lag state and the

@@ -17,6 +17,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stepper"
+	"repro/internal/stream"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -512,4 +513,87 @@ func CampaignExpand(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(members), "members/op")
+}
+
+// benchSample is a realistic mid-run Sample for the streaming
+// benchmarks: a 4-layer stack tick with non-round temperatures, so the
+// NDJSON float encoder does shortest-round-trip work comparable to a
+// live run's frames.
+func benchSample() *coolsim.Sample {
+	return &coolsim.Sample{
+		Time:       123.4,
+		Measured:   true,
+		TmaxC:      78.4375219,
+		LayerMaxC:  []float64{77.91204, 78.4375219, 76.005831, 71.22294},
+		LayerMeanC: []float64{68.20441, 69.017765, 67.4402, 64.98837},
+		Setting:    2,
+		FlowMLMin:  512.5,
+		ChipPowerW: 103.73021,
+		PumpPowerW: 1.8132,
+		Migrations: 7,
+		Refits:     1,
+	}
+}
+
+// SampleEncode measures the hub's single NDJSON frame encode — the work
+// a publish performs exactly once per tick no matter how many stream
+// subscribers are attached. Steady state must be 0 B/op: the frame is
+// appended into the recycled ring-slot buffer.
+func SampleEncode(b *testing.B) {
+	smp := benchSample()
+	buf := stream.AppendSample(nil, smp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = stream.AppendSample(buf[:0], smp)
+	}
+	_ = buf
+}
+
+// StreamFanout measures the broadcast hub's steady-state fan-out cost:
+// each op publishes one Sample (a single encode into a recycled ring
+// slot) and delivers the frame to every one of subs attached
+// subscribers. The acceptance bar for the serve-millions story is that
+// the per-subscriber delivery cost stays a tiny fraction (≤ 5%) of
+// re-simulating a tick (BenchmarkSimTick) and allocates nothing —
+// fanning a run out to N followers must cost O(bytes copied), not
+// O(simulation).
+func StreamFanout(subs int) func(b *testing.B) {
+	return func(b *testing.B) {
+		h := stream.NewHub(stream.Config{RingFrames: 1024})
+		smp := benchSample()
+		sl := make([]*stream.Sub, subs)
+		bufs := make([][]byte, subs)
+		for i := range sl {
+			s, err := h.Subscribe(stream.Latest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sl[i] = s
+			bufs[i] = make([]byte, 0, 1024)
+		}
+		drain := func() {
+			for i, s := range sl {
+				chunk, _, done := s.Next(bufs[i][:0])
+				if done {
+					b.Fatal("subscriber finished mid-benchmark")
+				}
+				if len(chunk) == 0 {
+					b.Fatal("subscriber missed a frame")
+				}
+			}
+		}
+		// Warm one publish/drain round so every per-subscriber buffer and
+		// the ring slot have their steady capacity.
+		h.Publish(smp)
+		drain()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Publish(smp)
+			drain()
+		}
+		b.StopTimer()
+		if subs > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*subs), "ns/frame-delivery")
+		}
+	}
 }

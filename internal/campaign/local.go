@@ -9,6 +9,7 @@ import (
 
 	"repro/coolsim"
 	"repro/internal/fleet"
+	"repro/internal/stream"
 )
 
 // Local is the in-process backend: each platform group runs through
@@ -33,6 +34,13 @@ type Local struct {
 	// the node.
 	sem chan struct{}
 
+	// StreamCfg sizes each member's broadcast hub (the campaign stream
+	// endpoint taps them). Set before the first SubmitGroup. The zero
+	// value uses the stream package defaults; each hub's ring is shrunk
+	// to the member's expected tick count, so thousand-member campaigns
+	// don't pay for empty ring capacity.
+	StreamCfg stream.Config
+
 	mu   sync.Mutex
 	seq  int64
 	jobs map[string]*localJob
@@ -43,6 +51,7 @@ type localJob struct {
 	report json.RawMessage
 	errMsg string
 	cancel context.CancelFunc
+	hub    *stream.Hub
 }
 
 // NewLocal builds the in-process backend. ctx bounds every run (the
@@ -81,7 +90,10 @@ func (l *Local) SubmitGroup(campaignID string, members []Member, opts GroupOptio
 	for i := range members {
 		l.seq++
 		ids[i] = fmt.Sprintf("local-%d", l.seq)
-		group[i] = &localJob{status: StatusPending, cancel: cancel}
+		group[i] = &localJob{
+			status: StatusPending, cancel: cancel,
+			hub: stream.HubFor(scs[i], l.StreamCfg),
+		}
 		l.jobs[ids[i]] = group[i]
 	}
 	l.mu.Unlock()
@@ -107,8 +119,14 @@ func (l *Local) SubmitGroup(campaignID string, members []Member, opts GroupOptio
 			l.mu.Unlock()
 			// One slot per member: see the type comment — this is what
 			// keeps chunk reports byte-identical to solo runs.
+			// WithMemberObserver feeds each member's broadcast hub; member
+			// indices are chunk-relative, hence the start offset.
 			reports, err := coolsim.RunMany(ctx, scs[start:end],
-				append(append([]coolsim.Option{}, l.opts...), coolsim.WithWorkers(end-start))...)
+				append(append([]coolsim.Option{}, l.opts...),
+					coolsim.WithWorkers(end-start),
+					coolsim.WithMemberObserver(func(member int, smp *coolsim.Sample) {
+						chunk[member].hub.Publish(smp)
+					}))...)
 			l.resolve(chunk, reports, err)
 			if ctx.Err() != nil {
 				l.resolve(group[end:], nil, ctx.Err())
@@ -119,10 +137,10 @@ func (l *Local) SubmitGroup(campaignID string, members []Member, opts GroupOptio
 	return ids, nil
 }
 
-// resolve lands one finished group's outcome on its jobs.
+// resolve lands one finished group's outcome on its jobs and closes
+// their hubs, releasing every attached stream follower.
 func (l *Local) resolve(group []*localJob, reports []*coolsim.Report, err error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	for i, j := range group {
 		switch {
 		case err == nil:
@@ -141,6 +159,42 @@ func (l *Local) resolve(group []*localJob, reports []*coolsim.Report, err error)
 			j.status = StatusError
 			j.errMsg = err.Error()
 		}
+	}
+	l.mu.Unlock()
+	for _, j := range group {
+		switch j.status {
+		case StatusDone:
+			j.hub.Close(stream.ReasonDone)
+		case StatusCanceled:
+			j.hub.Close(stream.ReasonCanceled)
+		default:
+			j.hub.Close(stream.ReasonFailed)
+		}
+	}
+}
+
+// Hub returns the broadcast hub of one member job, nil for unknown IDs —
+// the campaign stream endpoint's HubLookup.
+func (l *Local) Hub(jobID string) *stream.Hub {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if j := l.jobs[jobID]; j != nil {
+		return j.hub
+	}
+	return nil
+}
+
+// AddStreamTotals folds every member hub into the daemon's /v1/metrics
+// stream rollup.
+func (l *Local) AddStreamTotals(t *stream.Totals) {
+	l.mu.Lock()
+	jobs := make([]*localJob, 0, len(l.jobs))
+	for _, j := range l.jobs {
+		jobs = append(jobs, j)
+	}
+	l.mu.Unlock()
+	for _, j := range jobs {
+		t.Add(j.hub.Stats())
 	}
 }
 

@@ -363,6 +363,40 @@ func (m *Manager) List() []View {
 	return out
 }
 
+// MemberJob is one member's execution handle: its backend job ID (empty
+// until the member is submitted) and whether the member has reached a
+// terminal status. The campaign stream endpoint polls this to discover
+// member hubs as the fan-out assigns them.
+type MemberJob struct {
+	Index    int
+	JobID    string
+	Terminal bool
+}
+
+// MemberJobs snapshots every member's job assignment and returns whether
+// the campaign as a whole is terminal (all members done/error/canceled).
+func (m *Manager) MemberJobs(id string) ([]MemberJob, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.campaigns[id]
+	if st == nil {
+		return nil, false, ErrUnknownCampaign
+	}
+	out := make([]MemberJob, len(st.man.Members))
+	terminal := true
+	for i := range st.man.Members {
+		out[i] = MemberJob{
+			Index:    i,
+			JobID:    st.man.Members[i].JobID,
+			Terminal: st.status[i].Terminal(),
+		}
+		if !out[i].Terminal {
+			terminal = false
+		}
+	}
+	return out, terminal, nil
+}
+
 // Members returns the campaign's member count (the results stream's
 // line count once terminal).
 func (m *Manager) Members(id string) (int, error) {

@@ -251,8 +251,10 @@ type Controller struct {
 
 	cur     pump.Setting
 	history []float64
+	fitter  arma.Fitter
 	pred    *arma.Predictor
 	det     *sprt.Detector
+	detLive bool // det holds a valid configuration
 	refits  int
 }
 
@@ -288,7 +290,12 @@ func (c *Controller) Observe(tmax units.Celsius) {
 	v := float64(tmax)
 	c.history = append(c.history, v)
 	if len(c.history) > c.Cfg.FitWindow {
-		c.history = c.history[len(c.history)-c.Cfg.FitWindow:]
+		// Copy down instead of re-slicing forward: the backing array stays
+		// put, so the steady-state append above never reallocates (the
+		// sliding window used to walk off the front of its array and buy a
+		// fresh one every ~FitWindow ticks).
+		n := copy(c.history, c.history[len(c.history)-c.Cfg.FitWindow:])
+		c.history = c.history[:n]
 	}
 	if c.pred == nil {
 		if len(c.history) >= c.Cfg.MinFit {
@@ -297,7 +304,7 @@ func (c *Controller) Observe(tmax units.Celsius) {
 		return
 	}
 	c.pred.Observe(v)
-	if c.det != nil && c.pred.Warm() {
+	if c.detLive && c.pred.Warm() {
 		if c.det.Observe(c.pred.LastError) {
 			// Predictor no longer fits the workload: rebuild from the
 			// recent window (the paper keeps using the old model until
@@ -308,14 +315,21 @@ func (c *Controller) Observe(tmax units.Celsius) {
 	}
 }
 
-// fit (re)builds the ARMA model and SPRT detector from history.
+// fit (re)builds the ARMA model and SPRT detector from history. The
+// fitter, predictor and detector are all reused in place, so the refit
+// path allocates nothing after the first fit — it runs inside the
+// simulator's 0 B/op tick budget.
 func (c *Controller) fit() {
-	m, err := arma.Fit(c.history, c.Cfg.P, c.Cfg.Q)
+	m, err := c.fitter.Fit(c.history, c.Cfg.P, c.Cfg.Q)
 	if err != nil {
 		// Not enough history or degenerate window: stay reactive.
 		return
 	}
-	c.pred = arma.NewPredictor(m)
+	if c.pred == nil {
+		c.pred = arma.NewPredictor(m)
+	} else {
+		c.pred.Reset(m)
+	}
 	// Re-feed recent history so the lag state is current.
 	start := len(c.history) - 4*(c.Cfg.P+c.Cfg.Q)
 	if start < 0 {
@@ -325,11 +339,10 @@ func (c *Controller) fit() {
 		c.pred.Observe(v)
 	}
 	sigma := math.Max(m.Sigma, c.Cfg.SigmaFloor)
-	det, err := sprt.New(sprt.DefaultConfig(sigma))
-	if err != nil {
-		det = nil
+	if c.det == nil {
+		c.det = &sprt.Detector{}
 	}
-	c.det = det
+	c.detLive = c.det.Reinit(sprt.DefaultConfig(sigma)) == nil
 }
 
 // Predicted returns the controller's working temperature estimate: the

@@ -316,3 +316,37 @@ func TestWeightLookupGammaScaling(t *testing.T) {
 		t.Errorf("hot-range weights (%v) should spread more than cool (%v)", hot, cool)
 	}
 }
+
+// TestRefitAllocationFree pins the online refit path's garbage budget:
+// once the fitter's scratch has grown to the history window, a full
+// rebuild — Hannan–Rissanen two-stage fit, predictor reset + lag
+// re-feed, SPRT reconfiguration — performs zero allocations, and so does
+// the steady-state Observe that hosts it. Refits happen mid-run whenever
+// the SPRT trips, so this is part of the simulator's 0 B/op tick budget.
+func TestRefitAllocationFree(t *testing.T) {
+	lut, _, _ := buildLUT(t)
+	c, err := New(lut, DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := 0
+	observe := func() {
+		c.Observe(units.Celsius(70 + 3*math.Sin(float64(tick)/7)))
+		tick++
+	}
+	// Fill past the sliding window so history and the fitter buffers are
+	// at their steady-state sizes, then warm the refit path once.
+	for tick < c.Cfg.FitWindow+c.Cfg.MinFit {
+		observe()
+	}
+	if c.pred == nil {
+		t.Fatal("predictor never fitted")
+	}
+	c.fit()
+	if allocs := testing.AllocsPerRun(50, func() {
+		observe()
+		c.fit()
+	}); allocs != 0 {
+		t.Errorf("refit allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -612,6 +612,20 @@ func (q *Queue) BookLocal() *Job {
 	return nil
 }
 
+// WorkerAddr returns the advertised HTTP address of a registered worker
+// — the dispatcher's stream proxy dials it to tap a dispatched job's
+// live frames. ok is false for unknown (e.g. deregistered) workers and
+// for LocalWorker.
+func (q *Queue) WorkerAddr(workerID string) (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	w := q.workers[workerID]
+	if w == nil {
+		return "", false
+	}
+	return w.addr, true
+}
+
 // Get returns a snapshot of one job.
 func (q *Queue) Get(jobID string) (Job, error) {
 	q.mu.Lock()

@@ -32,6 +32,28 @@ func (d *Dense) Clone() *Dense {
 	return &Dense{Rows: d.Rows, Cols: d.Cols, Data: append([]float64(nil), d.Data...)}
 }
 
+// Reshape resizes d to rows×cols, reusing the backing array when it is
+// large enough. The contents are undefined afterwards — callers must
+// write every element before reading. It returns d for chaining.
+func (d *Dense) Reshape(rows, cols int) *Dense {
+	n := rows * cols
+	if cap(d.Data) < n {
+		d.Data = make([]float64, n)
+	}
+	d.Data = d.Data[:n]
+	d.Rows, d.Cols = rows, cols
+	return d
+}
+
+// growFloats returns s resized to n, reusing its backing array when
+// possible. Contents are undefined.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // FromCSR expands a sparse matrix to dense form (test helper).
 func FromCSR(m *CSR) *Dense {
 	d := NewDense(m.N, m.N)
@@ -43,9 +65,30 @@ func FromCSR(m *CSR) *Dense {
 	return d
 }
 
+// Workspace holds the scratch buffers of the dense solves so callers
+// that solve in a loop — the ARMA refit path above all — allocate
+// nothing after the first call. The zero value is ready to use; buffers
+// grow to the largest problem seen and are reused across calls, so the
+// slice a solve returns is only valid until the next solve on the same
+// workspace.
+type Workspace struct {
+	lu   Dense
+	perm []int
+	x    []float64
+	ata  Dense
+	atb  []float64
+}
+
 // SolveLU solves A·x = b by LU factorization with partial pivoting,
 // overwriting neither input. It returns an error for singular systems.
 func SolveLU(a *Dense, b []float64) ([]float64, error) {
+	var w Workspace
+	return w.SolveLU(a, b)
+}
+
+// SolveLU is SolveLU on reused buffers; the returned slice aliases the
+// workspace and is valid until its next solve.
+func (w *Workspace) SolveLU(a *Dense, b []float64) ([]float64, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("mat: SolveLU needs square matrix, got %dx%d", a.Rows, a.Cols)
 	}
@@ -53,8 +96,12 @@ func SolveLU(a *Dense, b []float64) ([]float64, error) {
 	if len(b) != n {
 		return nil, fmt.Errorf("mat: SolveLU rhs length %d != %d", len(b), n)
 	}
-	lu := a.Clone()
-	perm := make([]int, n)
+	lu := w.lu.Reshape(n, n)
+	copy(lu.Data, a.Data)
+	if cap(w.perm) < n {
+		w.perm = make([]int, n)
+	}
+	perm := w.perm[:n]
 	for i := range perm {
 		perm[i] = i
 	}
@@ -88,7 +135,8 @@ func SolveLU(a *Dense, b []float64) ([]float64, error) {
 		}
 	}
 	// Forward substitution with permuted rhs.
-	x := make([]float64, n)
+	w.x = growFloats(w.x, n)
+	x := w.x
 	for i := 0; i < n; i++ {
 		x[i] = b[perm[i]]
 		for c := 0; c < i; c++ {
@@ -109,6 +157,13 @@ func SolveLU(a *Dense, b []float64) ([]float64, error) {
 // A must have at least as many rows as columns. The ARMA fitter uses this
 // for small, well-conditioned regression problems.
 func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	var w Workspace
+	return w.LeastSquares(a, b)
+}
+
+// LeastSquares is LeastSquares on reused buffers; the returned slice
+// aliases the workspace and is valid until its next solve.
+func (w *Workspace) LeastSquares(a *Dense, b []float64) ([]float64, error) {
 	if len(b) != a.Rows {
 		return nil, fmt.Errorf("mat: LeastSquares rhs length %d != rows %d", len(b), a.Rows)
 	}
@@ -116,8 +171,9 @@ func LeastSquares(a *Dense, b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("mat: LeastSquares underdetermined (%d rows < %d cols)", a.Rows, a.Cols)
 	}
 	n := a.Cols
-	ata := NewDense(n, n)
-	atb := make([]float64, n)
+	ata := w.ata.Reshape(n, n)
+	w.atb = growFloats(w.atb, n)
+	atb := w.atb
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
 			s := 0.0
@@ -139,5 +195,5 @@ func LeastSquares(a *Dense, b []float64) ([]float64, error) {
 	for i := 0; i < n; i++ {
 		ata.Add(i, i, ridge*(1+math.Abs(ata.At(i, i))))
 	}
-	return SolveLU(ata, atb)
+	return w.SolveLU(ata, atb)
 }

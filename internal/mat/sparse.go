@@ -15,7 +15,7 @@ package mat
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Coord is a single (row, col, value) triplet used during assembly.
@@ -45,21 +45,35 @@ func (b *Builder) Add(row, col int, v float64) {
 	b.coords = append(b.coords, Coord{row, col, v})
 }
 
+// Grow pre-sizes the triplet buffer for n upcoming Adds, sparing the
+// incremental append growth when the caller knows the entry count up
+// front (the thermal assembly adds a predictable ~7 entries per node).
+func (b *Builder) Grow(n int) {
+	if need := len(b.coords) + n; cap(b.coords) < need {
+		coords := make([]Coord, len(b.coords), need)
+		copy(coords, b.coords)
+		b.coords = coords
+	}
+}
+
 // N returns the matrix dimension.
 func (b *Builder) N() int { return b.n }
 
 // Build compacts the accumulated triplets into a CSR matrix.
 func (b *Builder) Build() *CSR {
-	sort.Slice(b.coords, func(i, j int) bool {
-		ci, cj := b.coords[i], b.coords[j]
+	slices.SortFunc(b.coords, func(ci, cj Coord) int {
 		if ci.Row != cj.Row {
-			return ci.Row < cj.Row
+			return ci.Row - cj.Row
 		}
-		return ci.Col < cj.Col
+		return ci.Col - cj.Col
 	})
 	m := &CSR{
 		N:      b.n,
 		RowPtr: make([]int, b.n+1),
+		// len(coords) over-counts duplicates, but one right-sized pair of
+		// allocations beats a geometric append ladder per assembly.
+		Col: make([]int, 0, len(b.coords)),
+		Val: make([]float64, 0, len(b.coords)),
 	}
 	for i := 0; i < len(b.coords); {
 		j := i

@@ -282,6 +282,8 @@ func cellHeatCapacity(s *grid.Slab, idx int) float64 {
 func (m *Model) assemble() error {
 	g := m.Grid
 	b := mat.NewBuilder(m.n)
+	// ~1 diagonal seed + 3 neighbor couplings × 4 entries per node.
+	b.Grow(14 * m.n)
 	cellA := float64(g.CellArea())
 	dx, dy := float64(g.CellW), float64(g.CellH)
 

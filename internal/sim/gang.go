@@ -89,9 +89,10 @@ func planJobs(cfgs []Config, slots int) [][]int {
 // lowest-index failing config, nil if all succeeded.
 func runGang(ctx context.Context, cfgs []Config, idxs []int, out []*Result) error {
 	type member struct {
-		idx int
-		s   *Sim
-		eng stepper.SplitEngine
+		idx    int
+		s      *Sim
+		eng    stepper.SplitEngine
+		startT units.Second // time before the in-flight step (observer's measured flag)
 	}
 	var firstErr error
 	errIdx := len(cfgs)
@@ -127,7 +128,7 @@ func runGang(ctx context.Context, cfgs []Config, idxs []int, out []*Result) erro
 		if ctr == nil {
 			ctr = cfgs[idx].BatchCounters
 		}
-		live = append(live, member{idx, s, eng})
+		live = append(live, member{idx: idx, s: s, eng: eng})
 	}
 
 	st := rcnet.NewBatchStepper(ctr)
@@ -147,6 +148,7 @@ func runGang(ctx context.Context, cfgs []Config, idxs []int, out []*Result) erro
 				out[m.idx] = m.s.Result()
 				continue
 			}
+			m.startT = m.s.time
 			if err := m.s.stepPrepare(m.eng); err != nil {
 				record(m.idx, fmt.Errorf("sim: step at t=%v: %w", m.s.time, err))
 				continue
@@ -179,6 +181,9 @@ func runGang(ctx context.Context, cfgs []Config, idxs []int, out []*Result) erro
 			if err := m.s.stepFinish(m.eng); err != nil {
 				record(m.idx, fmt.Errorf("sim: step at t=%v: %w", m.s.time, err))
 				continue
+			}
+			if obs := m.s.Cfg.Observer; obs != nil {
+				obs(m.s, m.startT >= 0)
 			}
 			kept = append(kept, m)
 		}

@@ -41,14 +41,19 @@ type derived struct {
 }
 
 func (s *Sim) allocDerived(d *derived) {
-	d.coreTemps = make([]units.Celsius, len(s.cores))
-	d.blockTemps = make([][]units.Celsius, len(s.Stack.Layers))
 	nblocks := 0
-	for li, layer := range s.Stack.Layers {
-		d.blockTemps[li] = make([]units.Celsius, len(layer.Blocks))
+	for _, layer := range s.Stack.Layers {
 		nblocks += len(layer.Blocks)
 	}
-	d.unitTemps = make([]units.Celsius, nblocks)
+	// One backing array for the per-layer views plus the flat copy.
+	flat := make([]units.Celsius, 2*nblocks)
+	d.coreTemps = make([]units.Celsius, len(s.cores))
+	d.blockTemps = make([][]units.Celsius, len(s.Stack.Layers))
+	for li, layer := range s.Stack.Layers {
+		n := len(layer.Blocks)
+		d.blockTemps[li], flat = flat[:n:n], flat[n:]
+	}
+	d.unitTemps = flat
 }
 
 func copyDerived(dst, src *derived) {

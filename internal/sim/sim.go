@@ -128,6 +128,11 @@ type Config struct {
 	// runs by RunAll (see rcnet.BatchCounters). Safe to share across
 	// configs and concurrent calls.
 	BatchCounters *rcnet.BatchCounters
+	// Observer, when non-nil, is called after every emitted base tick of
+	// Run/RunAll (warm-up included, measured=false there) with the
+	// simulation positioned at that tick. It runs on the simulation
+	// goroutine: read the accessors, copy what you need, return quickly.
+	Observer func(s *Sim, measured bool)
 }
 
 // ArrivalSource produces the thread arrivals of consecutive windows.
@@ -453,11 +458,17 @@ func New(ctx context.Context, cfg Config) (*Sim, error) {
 		maxTicks = cfg.Stepper.MaxTicks(cfg.Tick)
 	}
 	s.recs = make([]tickRec, maxTicks+1)
+	// One flat backing array for every record's per-layer block powers:
+	// an adaptive run keeps MaxTicks+1 records, and carving them from one
+	// allocation keeps construction cheap when RunMany churns through
+	// thousands of short-lived Sims.
+	flat := make([]float64, len(s.recs)*nblocks)
 	for i := range s.recs {
 		rec := &s.recs[i]
 		rec.blocks = make([][]float64, len(stack.Layers))
 		for li, layer := range stack.Layers {
-			rec.blocks[li] = make([]float64, len(layer.Blocks))
+			n := len(layer.Blocks)
+			rec.blocks[li], flat = flat[:n:n], flat[n:]
 		}
 		s.allocDerived(&rec.d)
 	}
@@ -644,8 +655,12 @@ func (s *Sim) runToEnd(ctx context.Context) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		st := s.time
 		if err := s.Step(); err != nil {
 			return nil, fmt.Errorf("sim: step at t=%v: %w", s.time, err)
+		}
+		if s.Cfg.Observer != nil {
+			s.Cfg.Observer(s, st >= 0)
 		}
 	}
 	return s.Result(), nil

@@ -52,21 +52,33 @@ type Detector struct {
 
 // New returns a detector; Sigma must be positive.
 func New(cfg Config) (*Detector, error) {
+	d := &Detector{}
+	if err := d.Reinit(cfg); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Reinit reconfigures the detector in place — an ARMA refit's new sigma
+// — and clears the accumulated likelihood state, so online refits do not
+// allocate a fresh detector.
+func (d *Detector) Reinit(cfg Config) error {
 	if cfg.Sigma <= 0 || math.IsNaN(cfg.Sigma) {
-		return nil, fmt.Errorf("sprt: sigma %g must be positive", cfg.Sigma)
+		return fmt.Errorf("sprt: sigma %g must be positive", cfg.Sigma)
 	}
 	if cfg.Alpha <= 0 || cfg.Alpha >= 1 || cfg.Beta <= 0 || cfg.Beta >= 1 {
-		return nil, fmt.Errorf("sprt: alpha %g and beta %g must be in (0,1)", cfg.Alpha, cfg.Beta)
+		return fmt.Errorf("sprt: alpha %g and beta %g must be in (0,1)", cfg.Alpha, cfg.Beta)
 	}
 	if cfg.ShiftSigmas <= 0 {
-		return nil, fmt.Errorf("sprt: shift %g must be positive", cfg.ShiftSigmas)
+		return fmt.Errorf("sprt: shift %g must be positive", cfg.ShiftSigmas)
 	}
-	return &Detector{
+	*d = Detector{
 		cfg:   cfg,
 		upper: math.Log((1 - cfg.Beta) / cfg.Alpha),
 		lower: math.Log(cfg.Beta / (1 - cfg.Alpha)),
 		mu1:   cfg.ShiftSigmas * cfg.Sigma,
-	}, nil
+	}
+	return nil
 }
 
 // Observe feeds one residual and reports whether drift has been detected

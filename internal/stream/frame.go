@@ -1,0 +1,98 @@
+// Package stream is the broadcast layer behind the daemons' live NDJSON
+// endpoints: a single-producer per-run Hub encodes each coolsim.Sample
+// exactly once into a pooled frame, appends it to a fixed-capacity
+// sequence-numbered ring, and fans frames out to any number of
+// subscribers with O(frame) work per subscriber and zero allocations in
+// steady state. Late joiners replay the ring from their join point; slow
+// consumers are evicted with a typed CloseReason instead of
+// back-pressuring the simulation.
+package stream
+
+import (
+	"math"
+	"strconv"
+
+	"repro/coolsim"
+)
+
+// AppendSample appends one NDJSON frame — the Sample as a JSON object
+// plus a trailing newline — to dst and returns the extended slice. The
+// bytes are identical to json.NewEncoder(w).Encode(&smp), the daemons'
+// historical wire format (pinned by TestAppendSampleMatchesEncodingJSON),
+// but the append form allocates nothing once dst has capacity.
+//
+// Non-finite floats, which encoding/json rejects with an error, are
+// encoded as null: a sample with NaN temperatures is already a simulator
+// bug, and a broadcast frame writer has no error channel.
+func AppendSample(dst []byte, smp *coolsim.Sample) []byte {
+	dst = append(dst, `{"t_s":`...)
+	dst = appendFloat(dst, smp.Time)
+	dst = append(dst, `,"measured":`...)
+	dst = appendBool(dst, smp.Measured)
+	dst = append(dst, `,"tmax_c":`...)
+	dst = appendFloat(dst, smp.TmaxC)
+	dst = append(dst, `,"layer_max_c":`...)
+	dst = appendFloats(dst, smp.LayerMaxC)
+	dst = append(dst, `,"layer_mean_c":`...)
+	dst = appendFloats(dst, smp.LayerMeanC)
+	dst = append(dst, `,"setting":`...)
+	dst = strconv.AppendInt(dst, int64(smp.Setting), 10)
+	dst = append(dst, `,"flow_mlmin":`...)
+	dst = appendFloat(dst, smp.FlowMLMin)
+	dst = append(dst, `,"chip_w":`...)
+	dst = appendFloat(dst, smp.ChipPowerW)
+	dst = append(dst, `,"pump_w":`...)
+	dst = appendFloat(dst, smp.PumpPowerW)
+	dst = append(dst, `,"migrations":`...)
+	dst = strconv.AppendInt(dst, smp.Migrations, 10)
+	dst = append(dst, `,"refits":`...)
+	dst = strconv.AppendInt(dst, int64(smp.Refits), 10)
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+func appendFloats(dst []byte, vs []float64) []byte {
+	if vs == nil {
+		return append(dst, "null"...)
+	}
+	dst = append(dst, '[')
+	for i, v := range vs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendFloat(dst, v)
+	}
+	return append(dst, ']')
+}
+
+// appendFloat reproduces encoding/json's float64 formatting exactly:
+// shortest round-trip decimal, 'f' form except for magnitudes below 1e-6
+// or at/above 1e21, and exponents trimmed of their leading zero
+// ("2.5e-9", not "2.5e-09").
+func appendFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	start := len(dst)
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Trim "e-09" to "e-9", as encoding/json does.
+		if n := len(dst); n-start >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}

@@ -1,0 +1,118 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/coolsim"
+)
+
+// randSample builds a sample whose float fields exercise the formatter:
+// plain magnitudes, tiny/huge exponent-form values, negatives, zeros.
+func randSample(rng *rand.Rand) coolsim.Sample {
+	f := func() float64 {
+		switch rng.Intn(6) {
+		case 0:
+			return 0
+		case 1:
+			return (rng.Float64() - 0.5) * 200 // typical temps/powers
+		case 2:
+			return rng.Float64() * 1e-7 // 'e' form, small
+		case 3:
+			return rng.Float64() * 1e22 // 'e' form, large
+		case 4:
+			return -rng.Float64() * 1e-9
+		default:
+			return math.Copysign(rng.Float64()*math.Pow(10, float64(rng.Intn(40)-20)), float64(rng.Intn(2)*2-1))
+		}
+	}
+	floats := func(n int) []float64 {
+		if n == 0 && rng.Intn(2) == 0 {
+			return nil
+		}
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = f()
+		}
+		return vs
+	}
+	return coolsim.Sample{
+		Time:       f(),
+		Measured:   rng.Intn(2) == 0,
+		TmaxC:      f(),
+		LayerMaxC:  floats(rng.Intn(5)),
+		LayerMeanC: floats(rng.Intn(5)),
+		Setting:    rng.Intn(7) - 1,
+		FlowMLMin:  f(),
+		ChipPowerW: f(),
+		PumpPowerW: f(),
+		Migrations: int64(rng.Intn(1000) - 10),
+		Refits:     rng.Intn(50),
+	}
+}
+
+// TestAppendSampleMatchesEncodingJSON pins the wire format: AppendSample
+// must produce exactly what json.NewEncoder historically wrote for every
+// finite sample.
+func TestAppendSampleMatchesEncodingJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var buf []byte
+	var enc bytes.Buffer
+	check := func(smp coolsim.Sample) {
+		t.Helper()
+		buf = AppendSample(buf[:0], &smp)
+		enc.Reset()
+		if err := json.NewEncoder(&enc).Encode(&smp); err != nil {
+			t.Fatalf("encoding/json: %v", err)
+		}
+		if !bytes.Equal(buf, enc.Bytes()) {
+			t.Fatalf("frame mismatch for %+v:\n got  %q\n want %q", smp, buf, enc.Bytes())
+		}
+	}
+
+	for i := 0; i < 5000; i++ {
+		check(randSample(rng))
+	}
+
+	// Edge cases the fuzz loop may miss.
+	check(coolsim.Sample{})
+	check(coolsim.Sample{Time: 1e-6, TmaxC: 9.999999e-7, FlowMLMin: 1e21, ChipPowerW: 9.99e20})
+	check(coolsim.Sample{Time: -1e-6, TmaxC: -1e-21, PumpPowerW: -1e21})
+	check(coolsim.Sample{Time: 2.5e-9, TmaxC: 2.5e-109, FlowMLMin: 1e100})
+	check(coolsim.Sample{LayerMaxC: []float64{}, LayerMeanC: []float64{0}})
+	check(coolsim.Sample{Setting: -1, Migrations: -5, Refits: 0})
+	check(coolsim.Sample{Time: math.MaxFloat64, TmaxC: math.SmallestNonzeroFloat64})
+}
+
+// TestAppendSampleNonFinite documents the one divergence: encoding/json
+// errors on NaN/Inf; the frame encoder writes null.
+func TestAppendSampleNonFinite(t *testing.T) {
+	smp := coolsim.Sample{Time: math.NaN(), TmaxC: math.Inf(1), FlowMLMin: math.Inf(-1)}
+	got := string(AppendSample(nil, &smp))
+	want := `{"t_s":null,"measured":false,"tmax_c":null,"layer_max_c":null,"layer_mean_c":null,"setting":0,"flow_mlmin":null,"chip_w":0,"pump_w":0,"migrations":0,"refits":0}` + "\n"
+	if got != want {
+		t.Fatalf("non-finite frame:\n got  %q\n want %q", got, want)
+	}
+}
+
+// TestAppendSampleZeroAlloc checks the hot-path contract: with a
+// pre-grown buffer, encoding a frame allocates nothing.
+func TestAppendSampleZeroAlloc(t *testing.T) {
+	smp := coolsim.Sample{
+		Time: 12.3, Measured: true, TmaxC: 81.25,
+		LayerMaxC:  []float64{80.1, 81.25},
+		LayerMeanC: []float64{70.4, 72.9},
+		Setting:    3, FlowMLMin: 450, ChipPowerW: 95.5, PumpPowerW: 1.75,
+		Migrations: 12, Refits: 2,
+	}
+	buf := make([]byte, 0, 512)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendSample(buf[:0], &smp)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendSample allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,468 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/coolsim"
+)
+
+func testSample(i int) coolsim.Sample {
+	return coolsim.Sample{
+		Time:       float64(i) * 0.1,
+		Measured:   i%2 == 0,
+		TmaxC:      70 + float64(i%30),
+		LayerMaxC:  []float64{70 + float64(i%30), 72},
+		LayerMeanC: []float64{65, 66.5},
+		Setting:    i % 5,
+		FlowMLMin:  300,
+		ChipPowerW: 90,
+		PumpPowerW: 1.2,
+		Migrations: int64(i / 10),
+		Refits:     i / 100,
+	}
+}
+
+// drain reads the subscriber until done, returning everything received
+// plus the close reason.
+func drain(t *testing.T, s *Sub) ([]byte, CloseReason) {
+	t.Helper()
+	var all []byte
+	buf := make([]byte, 0, MaxChunk)
+	for {
+		chunk, reason, done := s.Next(buf[:0])
+		all = append(all, chunk...)
+		if done {
+			return all, reason
+		}
+		if len(chunk) == 0 {
+			select {
+			case <-s.Ready():
+			case <-time.After(10 * time.Second):
+				t.Fatal("subscriber starved")
+			}
+		}
+	}
+}
+
+// wantFrames renders what a subscriber starting at frame `from` of a
+// `total`-frame run should receive.
+func wantFrames(from, total int) []byte {
+	var b []byte
+	for i := from; i < total; i++ {
+		smp := testSample(i)
+		b = AppendSample(b, &smp)
+	}
+	return b
+}
+
+// TestHubBroadcastIdentical: many subscribers, one joining late, all see
+// byte-identical frames matching the reference encoding.
+func TestHubBroadcastIdentical(t *testing.T) {
+	const frames = 500
+	h := NewHub(Config{RingFrames: 1024})
+
+	var wg sync.WaitGroup
+	results := make([][]byte, 8)
+	reasons := make([]CloseReason, 8)
+	for i := 0; i < 4; i++ { // early joiners
+		s, err := h.Subscribe(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, s *Sub) {
+			defer wg.Done()
+			results[i], reasons[i] = drain(t, s)
+		}(i, s)
+	}
+
+	for i := 0; i < frames; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+		if i == frames/2 {
+			for j := 4; j < 8; j++ { // late joiners replay the ring
+				s, err := h.Subscribe(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(j int, s *Sub) {
+					defer wg.Done()
+					results[j], reasons[j] = drain(t, s)
+				}(j, s)
+			}
+		}
+	}
+	h.Close(ReasonDone)
+	wg.Wait()
+
+	want := wantFrames(0, frames)
+	for i, got := range results {
+		if !bytes.Equal(got, want) {
+			t.Fatalf("subscriber %d: %d bytes, want %d (diverged)", i, len(got), len(want))
+		}
+		if reasons[i] != ReasonDone {
+			t.Fatalf("subscriber %d: reason %v, want done", i, reasons[i])
+		}
+	}
+	if st := h.Stats(); st.Frames != frames || st.TotalSubscribers != 8 || st.Subscribers != 0 {
+		t.Fatalf("stats after close: %+v", st)
+	}
+}
+
+// TestHubLateJoinMidpoint: Subscribe(from) starts exactly at `from`.
+func TestHubLateJoinMidpoint(t *testing.T) {
+	h := NewHub(Config{RingFrames: 256})
+	for i := 0; i < 100; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+	}
+	s, err := h.Subscribe(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 120; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+	}
+	h.Close(ReasonDone)
+	got, reason := drain(t, s)
+	if !bytes.Equal(got, wantFrames(40, 120)) {
+		t.Fatalf("mid-join replay wrong: %d bytes, want %d", len(got), len(wantFrames(40, 120)))
+	}
+	if reason != ReasonDone {
+		t.Fatalf("reason %v", reason)
+	}
+}
+
+// TestHubLatestSkipsReplay: Subscribe(Latest) sees only new frames.
+func TestHubLatestSkipsReplay(t *testing.T) {
+	h := NewHub(Config{RingFrames: 64})
+	for i := 0; i < 10; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+	}
+	s, err := h.Subscribe(Latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 15; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+	}
+	h.Close(ReasonDone)
+	got, _ := drain(t, s)
+	if !bytes.Equal(got, wantFrames(10, 15)) {
+		t.Fatalf("Latest subscriber got %d bytes, want %d", len(got), len(wantFrames(10, 15)))
+	}
+}
+
+// TestHubErrGone: once the ring wraps, full-history replay is refused.
+func TestHubErrGone(t *testing.T) {
+	h := NewHub(Config{RingFrames: 16})
+	for i := 0; i < 40; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+	}
+	if _, err := h.Subscribe(0); !errors.Is(err, ErrGone) {
+		t.Fatalf("Subscribe(0) on wrapped ring: err=%v, want ErrGone", err)
+	}
+	// Oldest retained frame is 40-16=24; joining there must work.
+	s, err := h.Subscribe(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close(ReasonDone)
+	got, _ := drain(t, s)
+	if !bytes.Equal(got, wantFrames(24, 40)) {
+		t.Fatalf("oldest-retained replay wrong")
+	}
+}
+
+// TestHubSlowConsumerEvicted: a subscriber that never reads is detached
+// with ReasonLagged once it trails past the lag budget, and the
+// producer never blocks.
+func TestHubSlowConsumerEvicted(t *testing.T) {
+	h := NewHub(Config{RingFrames: 64, LagFrames: 8})
+	slow, err := h.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := h.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The fast consumer reads after every publish (stays within budget);
+	// the slow one never reads and must be evicted without the producer
+	// ever blocking.
+	var fastBytes []byte
+	buf := make([]byte, 0, MaxChunk)
+	for i := 0; i < 50; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+		chunk, _, done := fast.Next(buf[:0])
+		if done {
+			t.Fatalf("fast consumer closed early at frame %d", i)
+		}
+		fastBytes = append(fastBytes, chunk...)
+	}
+	h.Close(ReasonDone)
+	rest, fastReason := drain(t, fast)
+	fastBytes = append(fastBytes, rest...)
+
+	_, reason, done := slow.Next(nil)
+	if !done || reason != ReasonLagged {
+		t.Fatalf("slow consumer: done=%v reason=%v, want evicted (lagged)", done, reason)
+	}
+	if !bytes.Equal(fastBytes, wantFrames(0, 50)) || fastReason != ReasonDone {
+		t.Fatalf("fast consumer disturbed by eviction: reason=%v", fastReason)
+	}
+	if st := h.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", st.Evictions)
+	}
+}
+
+// TestHubSubscribeAfterClose: a closed hub still replays its ring and
+// then finishes with the close reason.
+func TestHubSubscribeAfterClose(t *testing.T) {
+	h := NewHub(Config{RingFrames: 64})
+	for i := 0; i < 20; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+	}
+	h.Close(ReasonCanceled)
+	s, err := h.Subscribe(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, reason := drain(t, s)
+	if !bytes.Equal(got, wantFrames(0, 20)) || reason != ReasonCanceled {
+		t.Fatalf("replay-after-close: %d bytes, reason=%v", len(got), reason)
+	}
+}
+
+// TestHubCloseWakesBlockedSubscribers: Close must wake a subscriber
+// parked on Ready with nothing pending (the DELETE-with-followers
+// regression).
+func TestHubCloseWakesBlockedSubscribers(t *testing.T) {
+	h := NewHub(Config{})
+	const n = 10
+	var wg sync.WaitGroup
+	reasons := make([]CloseReason, n)
+	for i := 0; i < n; i++ {
+		s, err := h.Subscribe(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, s *Sub) {
+			defer wg.Done()
+			_, reasons[i] = drain(t, s)
+		}(i, s)
+	}
+	time.Sleep(10 * time.Millisecond) // let them park on Ready
+	h.Close(ReasonCanceled)
+	wg.Wait()
+	for i, r := range reasons {
+		if r != ReasonCanceled {
+			t.Fatalf("subscriber %d: reason %v, want canceled", i, r)
+		}
+	}
+}
+
+// TestHubPublishFrame: pre-encoded relay frames come out byte-identical,
+// with the newline normalized.
+func TestHubPublishFrame(t *testing.T) {
+	h := NewHub(Config{RingFrames: 16})
+	s, _ := h.Subscribe(0)
+	h.PublishFrame([]byte(`{"a":1}` + "\n"))
+	h.PublishFrame([]byte(`{"b":2}`)) // missing newline added
+	h.Close(ReasonDone)
+	got, _ := drain(t, s)
+	if string(got) != "{\"a\":1}\n{\"b\":2}\n" {
+		t.Fatalf("relay frames: %q", got)
+	}
+}
+
+// TestHubConcurrentChurn runs publishers-vs-subscriber churn under the
+// race detector: concurrent Subscribe, Close (client disconnects),
+// evictions, and hub teardown.
+func TestHubConcurrentChurn(t *testing.T) {
+	h := NewHub(Config{RingFrames: 128, LagFrames: 32})
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	stop := make(chan struct{})
+
+	// Churning subscribers: join, read a little or bail early.
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s, err := h.Subscribe(Latest)
+				if err != nil {
+					continue
+				}
+				if j%3 == 0 {
+					s.Close() // disconnect without reading
+					continue
+				}
+				buf := make([]byte, 0, 4096)
+				reads := 0
+				for reads < 5 {
+					chunk, _, done := s.Next(buf[:0])
+					if done {
+						break
+					}
+					if len(chunk) == 0 {
+						select {
+						case <-s.Ready():
+						case <-stop:
+							s.Close()
+							return
+						}
+						continue
+					}
+					served.Add(int64(len(chunk)))
+					reads++
+					if j%5 == 0 {
+						time.Sleep(time.Millisecond) // court eviction
+					}
+				}
+				s.Close()
+			}
+		}(i)
+	}
+
+	for i := 0; i < 3000; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+		if i%16 == 0 {
+			h.Stats()
+			time.Sleep(100 * time.Microsecond) // give readers scheduling room
+		}
+	}
+	h.Close(ReasonDone)
+	close(stop)
+	wg.Wait()
+
+	if served.Load() == 0 {
+		t.Fatal("no subscriber ever received bytes")
+	}
+	st := h.Stats()
+	if st.Subscribers != 0 {
+		t.Fatalf("subscribers leaked: %+v", st)
+	}
+}
+
+// TestHubStatsEta: expected-frame budgets drive a sane ETA.
+func TestHubStatsEta(t *testing.T) {
+	h := NewHub(Config{RingFrames: 64, ExpectedFrames: 100})
+	for i := 0; i < 50; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+	}
+	st := h.Stats()
+	if st.ExpectedFrames != 100 || st.Frames != 50 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.TicksPerSec <= 0 {
+		t.Fatalf("ticks/sec not positive: %+v", st)
+	}
+	if st.EtaSeconds <= 0 {
+		t.Fatalf("eta not positive with half the budget left: %+v", st)
+	}
+	h.Close(ReasonDone)
+	if st = h.Stats(); st.EtaSeconds != 0 {
+		t.Fatalf("eta after close: %+v", st)
+	}
+}
+
+// TestHubSteadyStateZeroAlloc: with the ring warm and one draining
+// subscriber, a publish + delivery cycle allocates nothing.
+func TestHubSteadyStateZeroAlloc(t *testing.T) {
+	h := NewHub(Config{RingFrames: 64})
+	// Warm every ring slot so Publish recycles buffers.
+	for i := 0; i < 64; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+	}
+	s, err := h.Subscribe(Latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := testSample(7)
+	buf := make([]byte, 0, MaxChunk)
+	allocs := testing.AllocsPerRun(500, func() {
+		h.Publish(&smp)
+		var done bool
+		buf, _, done = s.Next(buf[:0])
+		if len(buf) == 0 || done {
+			t.Fatal("expected one frame")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("publish+deliver allocates %.1f/op, want 0", allocs)
+	}
+	// Disconnect is also allocation-free.
+	allocs = testing.AllocsPerRun(100, func() { s.Close() })
+	if allocs != 0 {
+		t.Fatalf("Sub.Close allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestCloseReasonStrings(t *testing.T) {
+	for r, want := range map[CloseReason]string{
+		reasonOpen: "", ReasonDone: "done", ReasonCanceled: "canceled",
+		ReasonFailed: "failed", ReasonLagged: "lagged",
+	} {
+		if got := r.String(); got != want {
+			t.Fatalf("CloseReason(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestTotalsAdd(t *testing.T) {
+	h1 := NewHub(Config{RingFrames: 8})
+	smp := testSample(1)
+	h1.Publish(&smp)
+	h2 := NewHub(Config{RingFrames: 8})
+	h2.Close(ReasonDone)
+	var tot Totals
+	tot.Add(h1.Stats())
+	tot.Add(h2.Stats())
+	if tot.Hubs != 2 || tot.Open != 1 || tot.Frames != 1 {
+		t.Fatalf("totals: %+v", tot)
+	}
+}
+
+func ExampleHub() {
+	h := NewHub(Config{RingFrames: 8})
+	sub, _ := h.Subscribe(0)
+	smp := coolsim.Sample{Time: 0.1, TmaxC: 71.5}
+	h.Publish(&smp)
+	h.Close(ReasonDone)
+	for {
+		chunk, reason, done := sub.Next(nil)
+		fmt.Print(string(chunk))
+		if done {
+			fmt.Println("closed:", reason)
+			return
+		}
+	}
+	// Output:
+	// {"t_s":0.1,"measured":false,"tmax_c":71.5,"layer_max_c":null,"layer_mean_c":null,"setting":0,"flow_mlmin":0,"chip_w":0,"pump_w":0,"migrations":0,"refits":0}
+	// closed: done
+}

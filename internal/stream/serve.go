@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// ServeOptions tunes one HTTP streaming response.
+type ServeOptions struct {
+	// WriteTimeout is the per-chunk write deadline. A client that stops
+	// reading long enough to stall a Write for this long is disconnected
+	// (the hub has typically already evicted it as lagged). Default 30s.
+	WriteTimeout time.Duration
+}
+
+// ParseFrom reads the `from` query parameter: absent or "0" replays the
+// whole retained ring, "latest" skips to the tail, any other integer is
+// a frame sequence number.
+func ParseFrom(r *http.Request) (uint64, error) {
+	q := r.URL.Query().Get("from")
+	switch q {
+	case "", "0":
+		return 0, nil
+	case "latest":
+		return Latest, nil
+	}
+	v, err := strconv.ParseUint(q, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad from parameter %q", q)
+	}
+	return v, nil
+}
+
+// Serve streams the hub over one HTTP response as NDJSON until the hub
+// closes, the subscriber is evicted, or the client goes away. It owns
+// the response from here on: subscription errors become 400/410
+// replies; otherwise it writes metadata headers, the frame body, and an
+// X-Stream-Close-Reason trailer.
+//
+// The returned error is non-nil exactly when the client disappeared
+// mid-stream (disconnect or write timeout) — callers implement
+// cancel-on-disconnect off that. A refused subscription (bad `from`,
+// ring replay gone) is answered with 400/410 and returns (reason 0,
+// nil): the client spoke, it just asked for the impossible. When the
+// error is nil and the reason is non-zero, it is the subscriber's close
+// reason.
+func Serve(w http.ResponseWriter, r *http.Request, h *Hub, opt ServeOptions) (CloseReason, error) {
+	if opt.WriteTimeout <= 0 {
+		opt.WriteTimeout = 30 * time.Second
+	}
+	from, err := ParseFrom(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return reasonOpen, nil
+	}
+	sub, err := h.Subscribe(from)
+	if err != nil {
+		http.Error(w, "requested frames no longer retained; retry with from=latest", http.StatusGone)
+		return reasonOpen, nil
+	}
+	defer sub.Close()
+
+	st := h.Stats()
+	hdr := w.Header()
+	hdr.Set("Content-Type", "application/x-ndjson")
+	hdr.Set("Trailer", "X-Stream-Close-Reason")
+	hdr.Set("X-Stream-From", strconv.FormatUint(sub.Pos(), 10))
+	hdr.Set("X-Stream-Seq", strconv.FormatUint(st.Frames, 10))
+	if st.ExpectedFrames > 0 {
+		hdr.Set("X-Stream-Expected-Frames", strconv.Itoa(st.ExpectedFrames))
+	}
+	if st.TicksPerSec > 0 {
+		hdr.Set("X-Stream-Ticks-Per-Sec", strconv.FormatFloat(st.TicksPerSec, 'f', 1, 64))
+	}
+	if st.EtaSeconds > 0 {
+		hdr.Set("X-Stream-Eta-S", strconv.FormatFloat(st.EtaSeconds, 'f', 1, 64))
+	}
+	w.WriteHeader(http.StatusOK)
+
+	rc := http.NewResponseController(w)
+	ctx := r.Context()
+	buf := make([]byte, 0, MaxChunk) // the one per-connection allocation
+	for {
+		chunk, reason, done := sub.Next(buf[:0])
+		if len(chunk) > 0 {
+			rc.SetWriteDeadline(time.Now().Add(opt.WriteTimeout)) //nolint:errcheck // best-effort
+			if _, werr := w.Write(chunk); werr != nil {
+				return reasonOpen, werr
+			}
+			if ferr := rc.Flush(); ferr != nil {
+				return reasonOpen, ferr
+			}
+			continue
+		}
+		if done {
+			hdr.Set("X-Stream-Close-Reason", reason.String())
+			return reason, nil
+		}
+		select {
+		case <-sub.Ready():
+		case <-ctx.Done():
+			return reasonOpen, ctx.Err()
+		}
+	}
+}

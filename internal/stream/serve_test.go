@@ -1,0 +1,173 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeNDJSON drives Serve over a real HTTP server: a client joining
+// mid-run gets the ring replay plus the live tail, byte-identical to the
+// reference encoding, with the close reason in the trailer.
+func TestServeNDJSON(t *testing.T) {
+	h := NewHub(Config{RingFrames: 256, ExpectedFrames: 100})
+	var wg sync.WaitGroup
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reason, err := Serve(w, r, h, ServeOptions{})
+		if err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+		if reason != ReasonDone {
+			t.Errorf("Serve reason %v", reason)
+		}
+	}))
+	defer srv.Close()
+
+	for i := 0; i < 30; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+	}
+
+	wg.Add(1)
+	var body []byte
+	var trailer string
+	var hdr http.Header
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Errorf("GET: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		hdr = resp.Header
+		body, err = io.ReadAll(resp.Body)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		trailer = resp.Trailer.Get("X-Stream-Close-Reason")
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	for i := 30; i < 60; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+	}
+	h.Close(ReasonDone)
+	wg.Wait()
+
+	if !bytes.Equal(body, wantFrames(0, 60)) {
+		t.Fatalf("HTTP body: %d bytes, want %d", len(body), len(wantFrames(0, 60)))
+	}
+	if trailer != "done" {
+		t.Fatalf("close-reason trailer %q, want done", trailer)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	if hdr.Get("X-Stream-From") != "0" || hdr.Get("X-Stream-Seq") != "30" {
+		t.Fatalf("metadata headers: from=%q seq=%q", hdr.Get("X-Stream-From"), hdr.Get("X-Stream-Seq"))
+	}
+	if hdr.Get("X-Stream-Expected-Frames") != "100" {
+		t.Fatalf("expected-frames header %q", hdr.Get("X-Stream-Expected-Frames"))
+	}
+}
+
+// TestServeFromLatestAndGone covers the from parameter: latest skips the
+// replay; a wrapped ring refuses from=0 with 410.
+func TestServeFromLatestAndGone(t *testing.T) {
+	h := NewHub(Config{RingFrames: 8})
+	for i := 0; i < 20; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		Serve(w, r, h, ServeOptions{})
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("wrapped ring from=0: status %d, want 410", resp.StatusCode)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(srv.URL + "?from=latest")
+		if err != nil {
+			t.Errorf("GET latest: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if !bytes.Equal(body, wantFrames(20, 25)) {
+			t.Errorf("latest body: %d bytes, want %d", len(body), len(wantFrames(20, 25)))
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	for i := 20; i < 25; i++ {
+		smp := testSample(i)
+		h.Publish(&smp)
+	}
+	h.Close(ReasonDone)
+	<-done
+
+	resp, err = http.Get(srv.URL + "?from=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("from=bogus: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeClientDisconnect: when the client hangs up mid-stream, Serve
+// returns an error (the cancel-on-disconnect signal) and detaches the
+// subscriber.
+func TestServeClientDisconnect(t *testing.T) {
+	h := NewHub(Config{RingFrames: 64})
+	errCh := make(chan error, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, err := Serve(w, r, h, ServeOptions{})
+		errCh <- err
+	}))
+	defer srv.Close()
+
+	smp := testSample(0)
+	h.Publish(&smp)
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 1)
+	if _, err := resp.Body.Read(one); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() // hang up mid-stream
+
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Serve returned nil error after client disconnect")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not notice the disconnect")
+	}
+	if st := h.Stats(); st.Subscribers != 0 {
+		t.Fatalf("subscriber leaked after disconnect: %+v", st)
+	}
+	h.Close(ReasonDone)
+}
