@@ -9,9 +9,12 @@
 //	benchjson -o out.json
 //	benchjson -paper     # adds the paper-resolution factor/fill trackers
 //	                     # (symbolic analysis + first factorization at
-//	                     # 115×100, with the L fill reported, plus the
+//	                     # 115×100, with the L fill, supernode count and
+//	                     # mean panel width reported, plus the
 //	                     # serial-vs-level-parallel refactorize+solve
-//	                     # pair) — the opt-in nightly CI job's
+//	                     # pair and the supernodal-vs-scalar kernel
+//	                     # pairs for factorize, lone solve and the 8-RHS
+//	                     # batch sweep) — the opt-in nightly CI job's
 //	                     # configuration
 //
 // The benchmark bodies are the ones bench_test.go runs (shared through
@@ -110,6 +113,26 @@ func main() {
 				name string
 				fn   func(b *testing.B)
 			}{"FactorizePaperParallel", benchutil.FactorizePaper(0)},
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{"FactorizePaperSupernodal", benchutil.FactorizePaperKernel(true)},
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{"FactorizePaperScalar", benchutil.FactorizePaperKernel(false)},
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{"SolveSupernodal", benchutil.SolveKernel(true)},
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{"SolveScalar", benchutil.SolveKernel(false)},
+			struct {
+				name string
+				fn   func(b *testing.B)
+			}{"SolveBatchSupernodal8", benchutil.SolveBatchKernel8(true)},
 		)
 	}
 

@@ -75,7 +75,7 @@ func newDispatcher(q *fleet.Queue, localWorkers, platformCacheSize int, cacheDir
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &dispatcher{
+	d := &dispatcher{
 		q:            q,
 		pcache:       coolsim.NewPlatformCacheDir(platformCacheSize, cacheDir),
 		camp:         campaign.NewManager(campaign.FleetBackend{Q: q}, repo, nil),
@@ -85,7 +85,19 @@ func newDispatcher(q *fleet.Queue, localWorkers, platformCacheSize int, cacheDir
 		streamCfg:    streamCfg,
 		hubs:         map[string]*stream.Hub{},
 		localCancels: map[string]context.CancelFunc{},
-	}, nil
+	}
+	// Campaign fan-outs warm each distinct platform shape in the
+	// dispatcher's own cache before members enter the queue — the
+	// in-process fallback runner books onto warm platforms, and the
+	// cache-dir persistence hands the artifacts to restarted processes.
+	d.camp.SetPrebuild(func(raw json.RawMessage) error {
+		sc, err := fleet.DecodeScenario(raw)
+		if err != nil {
+			return err
+		}
+		return d.pcache.Prebuild(ctx, sc)
+	})
+	return d, nil
 }
 
 func (d *dispatcher) isDraining() bool {

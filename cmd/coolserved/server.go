@@ -124,6 +124,15 @@ func newServer(workers, retain, platformCacheSize int, cacheDir, resultsDir stri
 	local.StreamCfg = streamCfg
 	s.local = local
 	s.camp = campaign.NewManager(local, repo, nil)
+	// Campaign fan-outs warm each distinct platform shape once before
+	// its members book worker slots.
+	s.camp.SetPrebuild(func(raw json.RawMessage) error {
+		sc, err := fleet.DecodeScenario(raw)
+		if err != nil {
+			return err
+		}
+		return s.pcache.Prebuild(ctx, sc)
+	})
 	// The reconcile ticker persists finished member reports and advances
 	// campaign members; it stops when drain aborts baseCtx.
 	go func() {

@@ -262,6 +262,13 @@ type Report struct {
 	// slots (see WithPlatformCache, WithWorkers, WithBatchCounters).
 	// Batching never changes the simulated trajectory.
 	BatchedSolves int64 `json:"batched_solves"`
+	// SupernodalSolver reports whether the direct solver ran the
+	// supernodal dense-panel kernels; Supernodes and MeanPanelWidth
+	// describe the partition (0 under CG, or before the first solve).
+	// The kernel family never changes the trajectory beyond ≤1e-6 K.
+	SupernodalSolver bool    `json:"supernodal_solver"`
+	Supernodes       int     `json:"supernodes"`
+	MeanPanelWidth   float64 `json:"mean_panel_width"`
 }
 
 // Run executes a scenario to completion. Cancel ctx to abort: Run then
@@ -383,6 +390,10 @@ func newReport(sc Scenario, r *sim.Result) *Report {
 		Refinements:   r.Stepping.Refinements,
 		ThermalSolves: r.Stepping.Solves,
 		BatchedSolves: r.BatchedSolves,
+
+		SupernodalSolver: r.SupernodalSolver,
+		Supernodes:       r.Supernodes,
+		MeanPanelWidth:   r.MeanPanelWidth,
 	}
 }
 

@@ -1,10 +1,12 @@
 package coolsim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"repro/internal/platform"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -65,6 +67,12 @@ type PlatformCacheStats struct {
 	// WeightDiskLoads the same for TALB weight tables.
 	LUTDiskLoads    int `json:"lut_disk_loads"`
 	WeightDiskLoads int `json:"weight_disk_loads"`
+	// Supernodes is the total supernode count of the built symbolic
+	// analyses across the live platforms; MeanPanelWidth the node-weighted
+	// mean panel width of the direct solver's supernodal partitions
+	// (0 until an analysis has been built).
+	Supernodes     int     `json:"supernodes"`
+	MeanPanelWidth float64 `json:"mean_panel_width"`
 }
 
 // Stats snapshots the cache counters (the coolserved metrics endpoint
@@ -81,7 +89,35 @@ func (pc *PlatformCache) Stats() PlatformCacheStats {
 		WeightBuilds:    st.Builds.WeightBuilds,
 		LUTDiskLoads:    st.Builds.LUTDiskLoads,
 		WeightDiskLoads: st.Builds.WeightDiskLoads,
+		Supernodes:      st.Builds.Supernodes,
+		MeanPanelWidth:  st.Builds.MeanPanelWidth,
 	}
+}
+
+// Prebuild resolves the scenario's platform from the cache and warms
+// exactly the artifacts a run of that scenario would build lazily on
+// first use: the direct solver's symbolic analysis, the flow LUT for
+// variable-flow cooling, the TALB weight table for the TALB policy.
+// Builds are deduplicated with concurrent runs, so calling it while the
+// platform is already in use never repeats work. The campaign engine
+// uses it to build each distinct platform shape once before fanning
+// members out.
+func (pc *PlatformCache) Prebuild(ctx context.Context, sc Scenario) error {
+	simCfg, err := sc.simConfig(config{})
+	if err != nil {
+		return err
+	}
+	spec, err := simCfg.PlatformSpec()
+	if err != nil {
+		return err
+	}
+	p, err := pc.cache.Get(spec)
+	if err != nil {
+		return err
+	}
+	return p.Warm(ctx,
+		simCfg.Cooling == sim.LiquidVar && simCfg.FlowPolicy == nil,
+		simCfg.Policy == sched.TALB)
 }
 
 // attach resolves the scenario's platform from the cache and installs it

@@ -39,7 +39,14 @@
 // once per stack shape, numeric factors cached per flow setting and time
 // step, two allocation-free triangular sweeps per tick) with
 // preconditioned CG as the selectable cross-check and automatic fallback
-// (-solver, rcnet.Config.Solver). EXPERIMENTS.md documents the experiment knobs and
+// (-solver, rcnet.Config.Solver). On grids where the amalgamated
+// elimination tree yields wide enough supernodes (the paper's 115×100
+// resolution), the analysis switches the LDLᵀ kernels to supernodal
+// dense panels — blocked rank-k factorization updates and dense panel
+// triangular sweeps — matching the scalar kernels to 1e-9 entry-wise
+// and 1e-6 K end-to-end while roughly doubling factorization and solve
+// throughput; -solver supernodal|scalar forces the kernel family.
+// EXPERIMENTS.md documents the experiment knobs and
 // calibration; cmd/benchjson snapshots the substrate benchmarks to
 // BENCH_<date>.json per PR (the opt-in nightly workflow adds the
 // paper-resolution factor/fill trackers). The benchmark harness in

@@ -250,10 +250,11 @@ func QuietPhase(kind stepper.Kind, nx, ny int) func(b *testing.B) {
 }
 
 // AnalyzePaper measures the direct solver's symbolic analysis (ordering +
-// elimination tree + fill pattern) and first numeric factorization on the
-// paper-resolution 115×100 grid, reporting the L-factor fill as a metric.
-// The nightly CI job tracks these — the ROADMAP's paper-resolution
-// trajectory item.
+// elimination tree + fill pattern + supernode amalgamation) and first
+// numeric factorization on the paper-resolution 115×100 grid, reporting
+// the L-factor fill, the supernode count and the mean panel width as
+// metrics. The nightly CI job tracks these — the ROADMAP's
+// paper-resolution trajectory item.
 func AnalyzePaper(b *testing.B) {
 	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(115, 100))
 	if err != nil {
@@ -266,7 +267,8 @@ func AnalyzePaper(b *testing.B) {
 	if err := m.SetFlow(0.5); err != nil {
 		b.Fatal(err)
 	}
-	var fill int
+	var fill, supers int
+	var meanW float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		symb, num, err := m.AnalyzeAndFactor(0.1)
@@ -274,9 +276,13 @@ func AnalyzePaper(b *testing.B) {
 			b.Fatal(err)
 		}
 		fill = symb.NNZL()
+		supers = symb.Supernodes()
+		meanW = symb.MeanPanelWidth()
 		_ = num
 	}
 	b.ReportMetric(float64(fill), "nnzL")
+	b.ReportMetric(float64(supers), "supernodes")
+	b.ReportMetric(meanW, "mean-panel-width")
 }
 
 // paperFactor builds the paper-resolution (115×100) thermal system and
@@ -346,6 +352,116 @@ func SolveSequential8(b *testing.B) {
 	}
 }
 
+// paperSystem builds the paper-resolution (115×100) backward-Euler
+// system and its analyzed symbolic with the LDLᵀ kernel family pinned:
+// super forces the supernodal dense-panel kernels on or the scalar
+// column kernels, overriding the profitability auto-selection — the
+// setup of the kernel-comparison benchmarks.
+func paperSystem(b *testing.B, super bool) (*mat.LDLSymbolic, *mat.CSR) {
+	b.Helper()
+	g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(115, 100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := rcnet.New(g, rcnet.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SetFlow(0.5); err != nil {
+		b.Fatal(err)
+	}
+	sys, err := m.SystemCSR(0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	symb, err := mat.AnalyzeLDL(sys, mat.OrderAuto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	symb.SetSupernodal(super)
+	if super && !symb.Supernodal() {
+		b.Fatal("paper-resolution analysis has no supernodal partition")
+	}
+	return symb, sys
+}
+
+// FactorizePaperKernel returns the serial paper-resolution
+// refactorize+solve benchmark with the LDLᵀ kernel family pinned:
+// super=true runs the supernodal dense-panel kernels, super=false the
+// scalar column kernels the auto gate would otherwise replace at this
+// size. The pair isolates the supernodal factorization win from the
+// auto-selection policy (acceptance: supernodal ≥ 1.3× on the serial
+// factorize; both bodies 0 B/op in steady state).
+func FactorizePaperKernel(super bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		symb, sys := paperSystem(b, super)
+		num, err := symb.Factorize(sys, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := make([]float64, sys.N)
+		rhs := make([]float64, sys.N)
+		for i := range rhs {
+			rhs[i] = 1 + float64(i%5)
+		}
+		num.Solve(x, rhs) // warm the solve scratch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if num, err = symb.Factorize(sys, num); err != nil {
+				b.Fatal(err)
+			}
+			num.Solve(x, rhs)
+		}
+	}
+}
+
+// SolveKernel returns the lone-triangular-solve benchmark on the
+// paper-resolution factor with the kernel family pinned (see
+// FactorizePaperKernel) — the per-tick cost of a cached-factor thermal
+// step. The supernodal body sweeps dense panels in gather form and must
+// stay 0 B/op after the first warmed call.
+func SolveKernel(super bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		symb, sys := paperSystem(b, super)
+		num, err := symb.Factorize(sys, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := make([]float64, sys.N)
+		rhs := make([]float64, sys.N)
+		for i := range rhs {
+			rhs[i] = 1 + float64(i%5)
+		}
+		num.Solve(x, rhs) // warm the solve scratch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			num.Solve(x, rhs)
+		}
+	}
+}
+
+// SolveBatchKernel8 returns the blocked 8-RHS sweep benchmark on the
+// paper-resolution factor with the kernel family pinned (see
+// FactorizePaperKernel). The supernodal batch body mirrors the
+// sequential supernodal solve's operation order lane by lane, so its
+// lanes are bit-identical to 8 lone Solves
+// (mat.TestSupernodalSolveBatchMatchesSequential).
+func SolveBatchKernel8(super bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		symb, sys := paperSystem(b, super)
+		num, err := symb.Factorize(sys, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		xs, bs := batchRHS(sys.N, 8)
+		num.SolveBatch(xs, bs) // warm sweep: allocates the panel buffers
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			num.SolveBatch(xs, bs)
+		}
+	}
+}
+
 // FactorizePaper returns the paper-resolution refactorize+solve
 // benchmark at a worker count: each op is one numeric factorization of
 // the 115×100 backward-Euler system into a reused factor plus one
@@ -353,7 +469,9 @@ func SolveSequential8(b *testing.B) {
 // workers <= 0 uses NumCPU. The workers=1 serial body is the baseline;
 // the level-parallel body must be bit-identical to it (pinned by
 // mat.TestFactorizeParallelBitIdentical) and ≥ 2× faster at
-// GOMAXPROCS ≥ 4 on the paper grid.
+// GOMAXPROCS ≥ 4 on the paper grid. The analysis auto-selects the
+// kernel family, so at this size both bodies run the supernodal
+// dense-panel kernels (FactorizePaperKernel pins the family explicitly).
 func FactorizePaper(workers int) func(b *testing.B) {
 	return func(b *testing.B) {
 		g, err := grid.Build(floorplan.NewT1Stack2(true), grid.DefaultParams(115, 100))

@@ -142,4 +142,8 @@ type Metrics struct {
 	ExpandedMembers  int64 `json:"expanded_members"`
 	ResultsPersisted int64 `json:"results_persisted"`
 	ResultsLoaded    int64 `json:"results_loaded"`
+	// PrebuiltPlatforms counts distinct platform shapes (spec keys)
+	// successfully warmed by the campaign-level prebuild before their
+	// members were fanned out (see Manager.SetPrebuild).
+	PrebuiltPlatforms int64 `json:"prebuilt_platforms"`
 }

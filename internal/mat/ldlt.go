@@ -58,6 +58,11 @@ type LDLSymbolic struct {
 	rcol []int32
 	rpos []int32
 
+	// Supernode partition and padded panel structure (immutable, shared
+	// by Clone); superOn selects the dense-panel kernels per instance.
+	super   *superState
+	superOn bool
+
 	// Scratch.
 	y       []float64
 	pattern []int
@@ -65,6 +70,13 @@ type LDLSymbolic struct {
 	lnz     []int
 	w       []float64 // Solve permuted work vector
 	wb      []float64 // SolveBatch panel, grown to n·k on demand
+	ssmap   []int32   // supernodal factorize: global row → panel-local row
+	sidx    []int32   // supernodal factorize: per-update local row indices
+	supd    []float64 // supernodal factorize: dense Schur-update buffer
+	sacc    []float64 // supernodal solve: per-descendant accumulator
+	stmp    []float64 // supernodal solve: below-row gather buffer
+	sbacc   []float64 // supernodal batch solve accumulator, grown on demand
+	sbtmp   []float64 // supernodal batch below-row gather, grown on demand
 
 	par *parState // level-parallel state; nil = serial (SetWorkers)
 }
@@ -77,6 +89,10 @@ type LDLNumeric struct {
 	lx   []float64
 	d    []float64
 	invd []float64
+	// super records the layout lx was factorized in (dense supernodal
+	// panels vs scalar columns); Solve dispatches on it, and Factorize
+	// reallocates when the symbolic mode has changed since.
+	super bool
 }
 
 // N returns the system dimension.
@@ -90,8 +106,9 @@ func (s *LDLSymbolic) N() int { return s.n }
 // concurrently with the original (and with other clones), which is what
 // lets one expensive analysis serve every model of a shared platform.
 // Cloning costs a handful of O(n) allocations; the ordering and symbolic
-// passes are not repeated. Worker configuration (SetWorkers) is per
-// instance and not inherited.
+// passes are not repeated. The supernode partition is shared too and the
+// mode flag copied; worker configuration (SetWorkers) is per instance
+// and not inherited.
 func (s *LDLSymbolic) Clone() *LDLSymbolic {
 	return &LDLSymbolic{
 		n:      s.n,
@@ -106,6 +123,8 @@ func (s *LDLSymbolic) Clone() *LDLSymbolic {
 		lvlPtr:  s.lvlPtr,
 		lvlNode: s.lvlNode,
 		rp:      s.rp, rcol: s.rcol, rpos: s.rpos,
+		super:   s.super,
+		superOn: s.superOn,
 		y:       make([]float64, s.n),
 		pattern: make([]int, s.n),
 		flag:    make([]int, s.n),
@@ -290,6 +309,13 @@ func AnalyzeLDL(a *CSR, ord Ordering) (*LDLSymbolic, error) {
 		}
 	}
 
+	// Supernode partition (dense-panel layer): computed once here from
+	// the finished etree/pattern, shared by Clone. The dense-panel
+	// kernels are selected by default exactly when the partition is
+	// profitable; SetSupernodal overrides per instance.
+	s.buildSupernodes(maxSuperWidth, true)
+	s.superOn = s.SupernodalProfitable()
+
 	s.y = make([]float64, n)
 	s.pattern = make([]int, n)
 	s.w = make([]float64, n)
@@ -307,13 +333,24 @@ func (s *LDLSymbolic) Factorize(a *CSR, f *LDLNumeric) (*LDLNumeric, error) {
 		return nil, fmt.Errorf("mat: Factorize structure mismatch: got %d×%d nnz %d, analyzed %d×%d nnz %d",
 			a.N, a.N, a.NNZ(), s.n, s.n, s.nnzA)
 	}
-	if f == nil || f.s != s {
-		f = &LDLNumeric{
-			s:    s,
-			lx:   make([]float64, s.lp[s.n]),
-			d:    make([]float64, s.n),
-			invd: make([]float64, s.n),
+	if f == nil || f.s != s || f.super != s.superOn {
+		nx := s.lp[s.n]
+		if s.superOn {
+			nx = s.super.panelNNZ
 		}
+		f = &LDLNumeric{
+			s:     s,
+			lx:    make([]float64, nx),
+			d:     make([]float64, s.n),
+			invd:  make([]float64, s.n),
+			super: s.superOn,
+		}
+	}
+	if s.superOn {
+		if s.par != nil {
+			return s.factorizeSuperParallel(a, f)
+		}
+		return s.factorizeSuper(a, f)
 	}
 	if s.par != nil {
 		return s.factorizeParallel(a, f)
@@ -381,6 +418,21 @@ func (f *LDLNumeric) Solve(x, b []float64) {
 	n := s.n
 	if len(x) != n || len(b) != n {
 		panic("mat: LDL Solve dimension mismatch")
+	}
+	if f.super {
+		if s.par != nil {
+			f.solveSuperParallel(x, b)
+			return
+		}
+		w := s.w
+		for k := 0; k < n; k++ {
+			w[k] = b[s.perm[k]]
+		}
+		f.solveSuper()
+		for k := 0; k < n; k++ {
+			x[s.perm[k]] = w[k]
+		}
+		return
 	}
 	if s.par != nil {
 		f.solveParallel(x, b)

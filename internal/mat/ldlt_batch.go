@@ -45,6 +45,18 @@ func (f *LDLNumeric) SolveBatch(xs, bs [][]float64) {
 			row[r] = bs[r][src]
 		}
 	}
+	if f.super {
+		f.solveBatchSuper(wb, k)
+		// Unpack.
+		for i := 0; i < n; i++ {
+			dst := s.perm[i]
+			row := wb[i*k : i*k+k]
+			for r := 0; r < k; r++ {
+				xs[r][dst] = row[r]
+			}
+		}
+		return
+	}
 	// Forward sweep, scatter form over columns (the serial order).
 	for j := 0; j < n; j++ {
 		wj := wb[j*k : j*k+k]

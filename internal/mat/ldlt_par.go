@@ -53,6 +53,13 @@ type parSlot struct {
 	y       []float64
 	pattern []int
 	flag    []int
+	// Supernodal scratch, sized lazily by ensureSuperSlots the first
+	// time the dense-panel kernels run parallel on this symbolic.
+	smap []int32
+	idx  []int32
+	upd  []float64
+	acc  []float64
+	tmp  []float64
 }
 
 // parState is the per-symbolic parallel configuration and scratch.
@@ -91,6 +98,9 @@ const (
 	taskFactor uint8 = iota
 	taskForward
 	taskBackward
+	taskSnFactor
+	taskSnForward
+	taskSnBackward
 )
 
 func (t levelTask) run() {
@@ -99,8 +109,12 @@ func (t levelTask) run() {
 		t.r.factorRows(int(t.slot), int(t.lo), int(t.hi))
 	case taskForward:
 		t.r.forwardRows(int(t.lo), int(t.hi))
-	default:
+	case taskBackward:
 		t.r.backwardCols(int(t.lo), int(t.hi))
+	case taskSnFactor:
+		t.r.factorSupernodes(int(t.slot), int(t.lo), int(t.hi))
+	default:
+		t.r.sweepSupernodes(int(t.slot), int(t.lo), int(t.hi), t.kind)
 	}
 	t.r.wg.Done()
 }

@@ -1,0 +1,187 @@
+package mat
+
+import "fmt"
+
+// Level-parallel supernodal factorization and solves.
+//
+// The supernodal elimination tree gives the same independence guarantees
+// the column etree gives the scalar path — a supernode's Schur inputs and
+// sweep inputs come from strict descendants, which sit at strictly lower
+// levels — so the parallel schedule is the scalar one lifted to
+// supernodes: chunk each level's supernode list across workers with a
+// barrier between levels. Every worker runs the identical per-supernode
+// kernels the serial path runs (factorSupernode / forwardSuper /
+// backwardSuper) with slot-private scratch, and panels, d and invd are
+// written only by the supernode that owns them, so no floating-point
+// operation is reordered by the chunking: results are bit-identical to
+// serial at every worker count.
+
+const (
+	// snFactorCutoff is the minimum supernodes-per-chunk worth fanning
+	// out during factorization (a supernode's work is a dense panel
+	// update, orders of magnitude more than a scalar row).
+	snFactorCutoff = 8
+	// snSolveCutoff is the equivalent bound for the triangular sweeps.
+	snSolveCutoff = 32
+)
+
+// ensureSuperSlots sizes the per-worker supernodal scratch. Called by the
+// scheduling goroutine before any task is submitted, so it cannot race
+// with pool workers; sized once per (workers, partition) high-water mark.
+func (s *LDLSymbolic) ensureSuperSlots() {
+	sp := s.super
+	for i := range s.par.slots {
+		sl := &s.par.slots[i]
+		if cap(sl.smap) < s.n {
+			sl.smap = make([]int32, s.n)
+		}
+		if cap(sl.idx) < sp.maxNr {
+			sl.idx = make([]int32, sp.maxNr)
+		}
+		if cap(sl.upd) < sp.maxNr*sp.maxW {
+			sl.upd = make([]float64, sp.maxNr*sp.maxW)
+		}
+		if cap(sl.acc) < sp.maxW {
+			sl.acc = make([]float64, sp.maxW)
+		}
+		if cap(sl.tmp) < sp.maxNr {
+			sl.tmp = make([]float64, sp.maxNr)
+		}
+	}
+}
+
+// factorizeSuperParallel runs the left-looking supernodal factorization
+// over the supernode level schedule. Like the scalar parallel path it
+// keeps going past a bad pivot (poisoning invd with 0; garbage flows
+// only toward higher columns, whose factors are discarded) and reports
+// the lowest failing column — the same column, with the bit-identical
+// pivot value, that the serial pass stops at.
+func (s *LDLSymbolic) factorizeSuperParallel(a *CSR, f *LDLNumeric) (*LDLNumeric, error) {
+	s.ensureSuperSlots()
+	st := s.par
+	r := &st.run
+	r.s, r.f, r.a = s, f, a
+	r.failed.Store(false)
+	r.errK = -1
+	sp := s.super
+	nw := st.workers
+	for l := 0; l+1 < len(sp.lvlPtr); l++ {
+		lo, hi := int(sp.lvlPtr[l]), int(sp.lvlPtr[l+1])
+		size := hi - lo
+		nc := size / snFactorCutoff
+		if nc > nw {
+			nc = nw
+		}
+		if nc <= 1 {
+			r.factorSupernodes(0, lo, hi)
+			continue
+		}
+		r.wg.Add(nc - 1)
+		for c := 1; c < nc; c++ {
+			poolSubmit(levelTask{
+				r:    r,
+				lo:   int32(lo + c*size/nc),
+				hi:   int32(lo + (c+1)*size/nc),
+				slot: int32(c),
+				kind: taskSnFactor,
+			})
+		}
+		r.factorSupernodes(0, lo, lo+size/nc)
+		r.wg.Wait()
+	}
+	r.a = nil
+	if r.failed.Load() {
+		return nil, fmt.Errorf("%w: pivot %g at permuted index %d", ErrNotPositiveDefinite, r.errDk, r.errK)
+	}
+	return f, nil
+}
+
+// factorSupernodes processes supernodes lvlNode[lo:hi] (one chunk of one
+// level) with slot-private scratch.
+func (r *parRun) factorSupernodes(slot, lo, hi int) {
+	s, f := r.s, r.f
+	sp := s.super
+	sl := &s.par.slots[slot]
+	for t := lo; t < hi; t++ {
+		sn := int(sp.lvlNode[t])
+		if k, dk := f.factorSupernode(sn, r.a, sl.smap[:s.n], sl.idx, sl.upd); k >= 0 {
+			r.recordError(k, dk)
+		}
+	}
+}
+
+// solveSuperParallel is supernodal Solve over the supernode level
+// schedule: forward ascending levels, diagonal scaling, backward
+// descending levels. Chunks run the serial per-supernode kernels, so
+// results are bit-identical to the serial supernodal path.
+func (f *LDLNumeric) solveSuperParallel(x, b []float64) {
+	s := f.s
+	s.ensureSuperSlots()
+	st := s.par
+	r := &st.run
+	r.s, r.f = s, f
+	sp := s.super
+	n := s.n
+	w := s.w
+	nw := st.workers
+	for k := 0; k < n; k++ {
+		w[k] = b[s.perm[k]]
+	}
+	nLev := len(sp.lvlPtr) - 1
+	for l := 0; l < nLev; l++ {
+		r.runSnLevel(int(sp.lvlPtr[l]), int(sp.lvlPtr[l+1]), nw, taskSnForward)
+	}
+	for j := 0; j < n; j++ {
+		w[j] *= f.invd[j]
+	}
+	for l := nLev - 1; l >= 0; l-- {
+		r.runSnLevel(int(sp.lvlPtr[l]), int(sp.lvlPtr[l+1]), nw, taskSnBackward)
+	}
+	for k := 0; k < n; k++ {
+		x[s.perm[k]] = w[k]
+	}
+}
+
+// runSnLevel fans one supernode level out to the pool (caller keeps the
+// first chunk) or runs it inline when too narrow to pay for the barrier.
+func (r *parRun) runSnLevel(lo, hi, nw int, kind uint8) {
+	size := hi - lo
+	nc := size / snSolveCutoff
+	if nc > nw {
+		nc = nw
+	}
+	if nc <= 1 {
+		r.sweepSupernodes(0, lo, hi, kind)
+		return
+	}
+	r.wg.Add(nc - 1)
+	for c := 1; c < nc; c++ {
+		poolSubmit(levelTask{
+			r:    r,
+			lo:   int32(lo + c*size/nc),
+			hi:   int32(lo + (c+1)*size/nc),
+			slot: int32(c),
+			kind: kind,
+		})
+	}
+	r.sweepSupernodes(0, lo, lo+size/nc, kind)
+	r.wg.Wait()
+}
+
+// sweepSupernodes applies one sweep direction to supernodes
+// lvlNode[lo:hi] with slot-private scratch.
+func (r *parRun) sweepSupernodes(slot, lo, hi int, kind uint8) {
+	s, f := r.s, r.f
+	sp := s.super
+	sl := &s.par.slots[slot]
+	w := s.w
+	if kind == taskSnForward {
+		for t := lo; t < hi; t++ {
+			f.forwardSuper(int(sp.lvlNode[t]), w, sl.acc)
+		}
+		return
+	}
+	for t := lo; t < hi; t++ {
+		f.backwardSuper(int(sp.lvlNode[t]), w, sl.tmp)
+	}
+}

@@ -130,6 +130,7 @@ func (c *Cache) Stats() CacheStats {
 		Evictions: c.evictions,
 	}
 	c.mu.Unlock()
+	nodes := 0.0
 	for _, p := range platforms {
 		ps := p.Stats()
 		st.Builds.SymbolicBuilds += ps.SymbolicBuilds
@@ -138,6 +139,13 @@ func (c *Cache) Stats() CacheStats {
 		st.Builds.Models += ps.Models
 		st.Builds.LUTDiskLoads += ps.LUTDiskLoads
 		st.Builds.WeightDiskLoads += ps.WeightDiskLoads
+		st.Builds.Supernodes += ps.Supernodes
+		nodes += ps.MeanPanelWidth * float64(ps.Supernodes)
+	}
+	// Node-weighted mean keeps the ratio exact across heterogeneous
+	// platforms: Σn / Σsupernodes.
+	if st.Builds.Supernodes > 0 {
+		st.Builds.MeanPanelWidth = nodes / float64(st.Builds.Supernodes)
 	}
 	return st
 }

@@ -106,6 +106,13 @@ type Stats struct {
 	// persistence directory instead of analyzed (excluded from
 	// WeightBuilds).
 	WeightDiskLoads int
+	// Supernodes and MeanPanelWidth describe the supernodal partition of
+	// the built symbolic analysis (0 before the analysis exists). The
+	// mean panel width n/supernodes is the amortization factor of the
+	// direct solver's dense-panel kernels; cache aggregation keeps the
+	// ratio exact by node-weighting (see CacheStats).
+	Supernodes     int
+	MeanPanelWidth float64
 }
 
 // once deduplicates one expensive build: the first caller executes it
@@ -250,6 +257,34 @@ func (p *Platform) symbolic(ctx context.Context) (*mat.LDLSymbolic, error) {
 		}
 		return probe.EnsureSymbolic()
 	})
+}
+
+// Warm eagerly builds the expensive artifacts a run on this platform
+// would otherwise build lazily at first use: the direct solver's
+// symbolic analysis always (unless the spec forces CG), the flow LUT
+// when lut is set (liquid platforms only — the flag is ignored
+// otherwise) and the TALB weight table when weights is set. Builds go
+// through the same deduplication cells as the lazy path, so a Warm
+// racing real runs never repeats work, and a canceled build is not
+// cached — the next caller retries. The campaign engine calls this once
+// per distinct platform shape before fanning members out.
+func (p *Platform) Warm(ctx context.Context, lut, weights bool) error {
+	if p.spec.RC.Solver != rcnet.SolverCG {
+		if _, err := p.symbolic(ctx); err != nil {
+			return err
+		}
+	}
+	if lut && p.spec.Liquid {
+		if _, err := p.LUT(ctx); err != nil {
+			return err
+		}
+	}
+	if weights {
+		if _, err := p.Weights(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // NewModel returns a fresh thermal model on the shared grid. Every model
@@ -469,7 +504,7 @@ func (p *Platform) saveWeights(wt *controller.WeightTable) {
 func (p *Platform) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return Stats{
+	st := Stats{
 		SymbolicBuilds:  p.symb.builds,
 		LUTBuilds:       p.lut.builds - p.diskLoads,
 		WeightBuilds:    p.weights.builds - p.weightDiskLoads,
@@ -477,6 +512,11 @@ func (p *Platform) Stats() Stats {
 		LUTDiskLoads:    p.diskLoads,
 		WeightDiskLoads: p.weightDiskLoads,
 	}
+	if p.symb.built {
+		st.Supernodes = p.symb.val.Supernodes()
+		st.MeanPanelWidth = p.symb.val.MeanPanelWidth()
+	}
+	return st
 }
 
 // FullLoadPowers computes the full-utilization per-layer per-block power

@@ -22,6 +22,16 @@ const (
 	// behavior), kept as a cross-check and for configurations whose
 	// matrix changes every solve.
 	SolverCG
+	// SolverScalar forces the LDLᵀ path with the scalar column kernels,
+	// overriding the profitability-based kernel pick. Kept as the
+	// reference implementation and an escape hatch; like SolverDirect,
+	// factorization failure is a hard error.
+	SolverScalar
+	// SolverSupernodal forces the LDLᵀ path with the supernodal
+	// dense-panel kernels even on systems the automatic gate deems too
+	// small to profit. Results match the scalar kernels to floating-point
+	// reassociation (≤1e-6 K end-to-end; see the property tests).
+	SolverSupernodal
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +43,10 @@ func (k SolverKind) String() string {
 		return "direct"
 	case SolverCG:
 		return "cg"
+	case SolverScalar:
+		return "scalar"
+	case SolverSupernodal:
+		return "supernodal"
 	default:
 		return fmt.Sprintf("SolverKind(%d)", int(k))
 	}
@@ -47,8 +61,24 @@ func ParseSolver(s string) (SolverKind, error) {
 		return SolverDirect, nil
 	case "cg", "iterative":
 		return SolverCG, nil
+	case "scalar":
+		return SolverScalar, nil
+	case "supernodal", "super":
+		return SolverSupernodal, nil
 	default:
-		return 0, fmt.Errorf("rcnet: unknown solver %q (want auto|direct|cg)", s)
+		return 0, fmt.Errorf("rcnet: unknown solver %q (want auto|direct|cg|scalar|supernodal)", s)
+	}
+}
+
+// applyKernelMode forces the symbolic analysis onto the kernel family the
+// solver kind demands. SolverAuto and SolverDirect keep the analysis'
+// own profitability-based pick.
+func (k SolverKind) applyKernelMode(s *mat.LDLSymbolic) {
+	switch k {
+	case SolverScalar:
+		s.SetSupernodal(false)
+	case SolverSupernodal:
+		s.SetSupernodal(true)
 	}
 }
 
@@ -123,11 +153,12 @@ func (m *Model) factorFor(dt float64) (*mat.LDLNumeric, error) {
 	return num, nil
 }
 
-// factorFailedErr records a failed factorization. Under SolverDirect the
-// error is surfaced; under SolverAuto the key is cached as broken so every
-// later solve of this configuration goes straight to CG.
+// factorFailedErr records a failed factorization. Under the forced LDLᵀ
+// kinds (SolverDirect, SolverScalar, SolverSupernodal) the error is
+// surfaced; under SolverAuto the key is cached as broken so every later
+// solve of this configuration goes straight to CG.
 func (m *Model) factorFailedErr(key factorKey, err error) error {
-	if m.Cfg.Solver == SolverDirect {
+	if m.Cfg.Solver != SolverAuto {
 		return err
 	}
 	if _, ok := m.factors[key]; !ok {
@@ -145,3 +176,15 @@ func (m *Model) Factorizations() int { return m.nFactor }
 
 // CachedFactors returns the number of live entries in the factor cache.
 func (m *Model) CachedFactors() int { return len(m.factors) }
+
+// SupernodeStats reports the supernodal partition of the model's direct
+// solver: the supernode count, the mean panel width (nodes/supernodes —
+// the factor by which the dense panels amortize the scalar kernels'
+// per-entry index traffic) and whether the panel kernels are active.
+// All zero before the symbolic analysis has run (or under SolverCG).
+func (m *Model) SupernodeStats() (supernodes int, meanPanelWidth float64, active bool) {
+	if m.symb == nil {
+		return 0, 0, false
+	}
+	return m.symb.Supernodes(), m.symb.MeanPanelWidth(), m.symb.Supernodal()
+}

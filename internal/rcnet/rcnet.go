@@ -67,7 +67,10 @@ type Config struct {
 	// Solver selects the linear solver: the zero value SolverAuto uses
 	// the cached sparse LDLᵀ direct solver (factor once per flow setting
 	// and dt, two triangular sweeps per tick) with CG as the fallback;
-	// SolverCG forces the iterative path.
+	// SolverCG forces the iterative path. SolverScalar and
+	// SolverSupernodal force the LDLᵀ kernel family (scalar columns vs
+	// dense supernodal panels) instead of letting the analysis pick by
+	// profitability.
 	Solver SolverKind
 }
 
@@ -211,6 +214,7 @@ func NewWithSymbolic(g *grid.Grid, cfg Config, symb *mat.LDLSymbolic) (*Model, e
 				symb.N(), m.n)
 		}
 		m.symb = symb.Clone()
+		cfg.Solver.applyKernelMode(m.symb)
 	}
 	return m, nil
 }
@@ -228,6 +232,7 @@ func (m *Model) EnsureSymbolic() (*mat.LDLSymbolic, error) {
 		}
 		m.symb = s
 		m.symb.SetWorkers(m.solveWorkers)
+		m.Cfg.Solver.applyKernelMode(m.symb)
 	}
 	return m.symb, nil
 }

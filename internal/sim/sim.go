@@ -193,6 +193,14 @@ type Result struct {
 	// 0 for a solo Run. Excluded from the JSON golden surface — batching
 	// never changes the simulated trajectory, only how it was computed.
 	BatchedSolves int64 `json:"-"`
+	// SupernodalSolver reports whether the direct solver ran the
+	// supernodal dense-panel kernels (vs the scalar column kernels);
+	// Supernodes and MeanPanelWidth describe the partition when it did.
+	// Excluded from the JSON golden surface — the kernel family changes
+	// how temperatures were computed, not the trajectory (≤1e-6 K).
+	SupernodalSolver bool    `json:"-"`
+	Supernodes       int     `json:"-"`
+	MeanPanelWidth   float64 `json:"-"`
 }
 
 // Sim is a stepped simulation; Run drives it to completion, and the
@@ -686,5 +694,6 @@ func (s *Sim) Result() *Result {
 	}
 	r.Stepping = s.engine.Counters()
 	r.BatchedSolves = s.batchedSolves
+	r.Supernodes, r.MeanPanelWidth, r.SupernodalSolver = s.Model.SupernodeStats()
 	return r
 }
